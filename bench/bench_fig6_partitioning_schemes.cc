@@ -1,0 +1,104 @@
+// Reproduces Fig. 6 (a-d) of the paper: throughput, average response time,
+// cluster power, and energy per query over time while the cluster
+// rebalances 50% of all records from 2 nodes onto 2 additional nodes at
+// t = 0, under physical, logical, and physiological partitioning.
+//
+// Expected shape (paper §5.2):
+//  * all three dip right after t=0;
+//  * physical never recovers fully (ownership pinned, remote page fetches);
+//  * logical dips deepest/longest but ends strong once ranges moved;
+//  * physiological moves at copy speed AND transfers ownership: it recovers
+//    fastest and ends with the best response times and J/query;
+//  * power steps up when the two target nodes leave standby.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "partition/logical.h"
+#include "partition/physical.h"
+#include "partition/physiological.h"
+
+namespace wattdb::bench {
+namespace {
+
+constexpr SimTime kWarmup = 180 * kUsPerSec;   // Paper axis: -180 s.
+constexpr SimTime kRunAfter = 570 * kUsPerSec; // Paper axis: +570 s.
+constexpr SimTime kBucket = 10 * kUsPerSec;
+
+metrics::TimeSeries RunScheme(const RebalanceSetup& setup,
+                              const std::string& scheme_name) {
+  RebalanceRig rig = MakeRig(setup);
+  cluster::Cluster& c = *rig.cluster;
+
+  partition::MigrationConfig mc;
+  mc.cost_scale = setup.cost_scale;
+  std::unique_ptr<partition::MigrationManagerBase> scheme;
+  if (scheme_name == "physical") {
+    scheme = std::make_unique<partition::PhysicalPartitioning>(&c, mc);
+  } else if (scheme_name == "logical") {
+    scheme = std::make_unique<partition::LogicalPartitioning>(&c, mc);
+  } else {
+    scheme = std::make_unique<partition::PhysiologicalPartitioning>(&c, mc);
+  }
+  cluster::Master master(&c, scheme.get());
+
+  metrics::TimeSeries series(kBucket);
+  series.SetOrigin(kWarmup);  // t=0 on the axis = rebalance start.
+  c.StartSampling(&series);
+  rig.pool->set_series(&series);
+  rig.pool->Start();
+
+  // Warm up, then trigger the Fig. 6 rebalance: 50% of the records to two
+  // freshly booted nodes.
+  c.events().ScheduleAt(kWarmup, [&]() {
+    const Status s =
+        master.TriggerRebalance({NodeId(2), NodeId(3)}, 0.5, nullptr);
+    if (!s.ok()) {
+      std::fprintf(stderr, "trigger failed: %s\n", s.ToString().c_str());
+    }
+  });
+  c.RunUntil(kWarmup + kRunAfter);
+  rig.pool->Stop();
+
+  std::fprintf(stderr,
+               "[%s] completed=%lld aborted=%lld segs=%lld recs=%lld "
+               "migration=[%.0fs..%.0fs]\n",
+               scheme_name.c_str(),
+               static_cast<long long>(rig.pool->completed()),
+               static_cast<long long>(rig.pool->aborted()),
+               static_cast<long long>(scheme->stats().segments_moved),
+               static_cast<long long>(scheme->stats().records_moved),
+               ToSeconds(scheme->stats().started_at - kWarmup),
+               ToSeconds(scheme->stats().finished_at - kWarmup));
+  return series;
+}
+
+}  // namespace
+}  // namespace wattdb::bench
+
+int main() {
+  using namespace wattdb;
+  using namespace wattdb::bench;
+  PrintHeader("Figure 6", "rebalancing under the three partitioning schemes");
+
+  RebalanceSetup setup;
+  const metrics::TimeSeries physical = RunScheme(setup, "physical");
+  const metrics::TimeSeries logical = RunScheme(setup, "logical");
+  const metrics::TimeSeries physio = RunScheme(setup, "physiological");
+
+  const std::vector<std::string> labels = {"physical", "logical",
+                                           "physiological"};
+  const std::vector<const metrics::TimeSeries*> series = {&physical, &logical,
+                                                          &physio};
+  const double bs = ToSeconds(kBucket);
+  std::printf("\n(a) Throughput of the cluster [qps]\n%s\n",
+              metrics::SideBySide(labels, series, "qps", bs).c_str());
+  std::printf("\n(b) Avg. response time per query [ms]\n%s\n",
+              metrics::SideBySide(labels, series, "ms", bs).c_str());
+  std::printf("\n(c) Power consumption of the cluster [Watt]\n%s\n",
+              metrics::SideBySide(labels, series, "watt", bs).c_str());
+  std::printf("\n(d) Energy consumption per query [Joule/query]\n%s\n",
+              metrics::SideBySide(labels, series, "jpq", bs).c_str());
+  return 0;
+}

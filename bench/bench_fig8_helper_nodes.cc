@@ -1,0 +1,85 @@
+// Reproduces Fig. 8 (a-d) of the paper (§5.2): physiological rebalancing
+// with and without two helper nodes that take over log shipping and provide
+// remote (rDMA) buffer space while the move is running. Helpers power up at
+// t=0 and power down when rebalancing completes (paper: around t+370).
+//
+// Expected shape: with helpers, response times during the move improve and
+// throughput holds up better, at the price of higher power draw — energy
+// per query gets worse while they run ("trading energy efficiency for
+// query performance").
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "partition/physiological.h"
+
+namespace wattdb::bench {
+namespace {
+
+constexpr SimTime kWarmup = 180 * kUsPerSec;
+constexpr SimTime kRunAfter = 570 * kUsPerSec;
+constexpr SimTime kBucket = 10 * kUsPerSec;
+
+metrics::TimeSeries RunOne(bool helpers) {
+  RebalanceSetup setup;
+  RebalanceRig rig = MakeRig(setup);
+  cluster::Cluster& c = *rig.cluster;
+
+  partition::MigrationConfig mc;
+  mc.cost_scale = setup.cost_scale;
+  partition::PhysiologicalPartitioning scheme(&c, mc);
+  cluster::Master master(&c, &scheme);
+
+  metrics::TimeSeries series(kBucket);
+  series.SetOrigin(kWarmup);
+  c.StartSampling(&series);
+  rig.pool->set_series(&series);
+  rig.pool->Start();
+
+  c.events().ScheduleAt(kWarmup, [&]() {
+    if (helpers) {
+      (void)master.AttachHelpers({NodeId(4), NodeId(5)},
+                                 {NodeId(0), NodeId(1), NodeId(2), NodeId(3)},
+                                 /*remote_buffer_pages=*/1500);
+    }
+    (void)master.TriggerRebalance({NodeId(2), NodeId(3)}, 0.5, [&]() {
+      // Helpers are brought down again once rebalancing finished.
+      if (helpers) (void)master.DetachHelpers();
+    });
+  });
+  c.RunUntil(kWarmup + kRunAfter);
+  rig.pool->Stop();
+  std::fprintf(stderr, "[%s] completed=%lld migration end t=%+.0fs\n",
+               helpers ? "physio+helper" : "physiological",
+               static_cast<long long>(rig.pool->completed()),
+               scheme.stats().finished_at == 0
+                   ? -1.0
+                   : ToSeconds(scheme.stats().finished_at - kWarmup));
+  return series;
+}
+
+}  // namespace
+}  // namespace wattdb::bench
+
+int main() {
+  using namespace wattdb;
+  using namespace wattdb::bench;
+  PrintHeader("Figure 8", "physiological rebalancing with helper nodes");
+
+  const metrics::TimeSeries plain = RunOne(false);
+  const metrics::TimeSeries helped = RunOne(true);
+
+  const std::vector<std::string> labels = {"physiological", "physio+helper"};
+  const std::vector<const metrics::TimeSeries*> series = {&plain, &helped};
+  const double bs = ToSeconds(kBucket);
+  std::printf("\n(a) Throughput of the cluster [qps]\n%s\n",
+              metrics::SideBySide(labels, series, "qps", bs).c_str());
+  std::printf("\n(b) Avg. response time per query [ms]\n%s\n",
+              metrics::SideBySide(labels, series, "ms", bs).c_str());
+  std::printf("\n(c) Power consumption of the cluster [Watt]\n%s\n",
+              metrics::SideBySide(labels, series, "watt", bs).c_str());
+  std::printf("\n(d) Energy consumption per query [Joule/query]\n%s\n",
+              metrics::SideBySide(labels, series, "jpq", bs).c_str());
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Reproduces the §3.1 power envelope of the paper's 10-node cluster:
+//   * one node + switch, rest standby: ~65 W,
+//   * realistic minimal configuration: ~70-75 W,
+//   * all nodes fully utilized: ~260-280 W,
+//   * per node: ~22-26 W active (utilization dependent), ~2.5 W standby,
+//   * switch: 20 W, always on.
+// Also a google-benchmark micro-suite for the model itself.
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/cluster.h"
+#include "common/constants.h"
+
+namespace wattdb {
+namespace {
+
+double ClusterWatts(int active_nodes, double utilization) {
+  hw::PowerModel model;
+  double watts = model.SwitchWatts();
+  for (int i = 0; i < kPaperClusterNodes; ++i) {
+    watts += model.NodeWatts(i < active_nodes ? hw::PowerState::kActive
+                                              : hw::PowerState::kStandby,
+                             utilization);
+  }
+  return watts;
+}
+
+void PrintEnvelope() {
+  std::printf("%-44s %10s %14s\n", "configuration", "watts", "paper");
+  std::printf("%-44s %10.1f %14s\n", "1 node idle + switch, 9 standby",
+              ClusterWatts(1, 0.0), "~65 W");
+  std::printf("%-44s %10.1f %14s\n",
+              "minimal realistic (1 node ~50% util)", ClusterWatts(1, 0.5),
+              "~70-75 W");
+  std::printf("%-44s %10.1f %14s\n", "all 10 nodes, full utilization",
+              ClusterWatts(10, 1.0), "~260-280 W");
+  std::printf("%-44s %10.1f %14s\n", "per node, idle-active",
+              hw::PowerModel().NodeWatts(hw::PowerState::kActive, 0.0),
+              "~22 W");
+  std::printf("%-44s %10.1f %14s\n", "per node, full utilization",
+              hw::PowerModel().NodeWatts(hw::PowerState::kActive, 1.0),
+              "~26 W");
+  std::printf("%-44s %10.1f %14s\n", "per node, standby",
+              hw::PowerModel().NodeWatts(hw::PowerState::kStandby, 0.0),
+              "~2.5 W");
+  // Energy-proportionality sweep: cluster watts per active-node count.
+  std::printf("\nEnergy proportionality (50%% utilization per active node):\n");
+  std::printf("%12s %10s\n", "active_nodes", "watts");
+  for (int n = 1; n <= kPaperClusterNodes; ++n) {
+    std::printf("%12d %10.1f\n", n, ClusterWatts(n, 0.5));
+  }
+}
+
+void BM_NodeWatts(benchmark::State& state) {
+  hw::PowerModel model;
+  double u = 0.0;
+  for (auto _ : state) {
+    u += 0.001;
+    if (u > 1.0) u = 0.0;
+    benchmark::DoNotOptimize(
+        model.NodeWatts(hw::PowerState::kActive, u));
+  }
+}
+BENCHMARK(BM_NodeWatts);
+
+void BM_EnergyMeter(benchmark::State& state) {
+  hw::EnergyMeter meter;
+  SimTime t = 0;
+  for (auto _ : state) {
+    meter.Accumulate(70.0, t, t + kUsPerSec);
+    t += kUsPerSec;
+  }
+  benchmark::DoNotOptimize(meter.joules());
+}
+BENCHMARK(BM_EnergyMeter);
+
+}  // namespace
+}  // namespace wattdb
+
+int main(int argc, char** argv) {
+  std::printf("==============================================================\n");
+  std::printf("Section 3.1 — cluster power envelope\n");
+  std::printf("==============================================================\n");
+  wattdb::PrintEnvelope();
+  std::printf("\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,87 @@
+#ifndef WATTDB_BENCH_BENCH_UTIL_H_
+#define WATTDB_BENCH_BENCH_UTIL_H_
+
+// Shared scaffolding for the paper-reproduction benches. Each bench binary
+// regenerates one table/figure of Schall & Härder, ICDE 2015; see
+// EXPERIMENTS.md for the mapping and the calibration rationale.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "cluster/cluster.h"
+#include "cluster/master.h"
+#include "metrics/time_series.h"
+#include "workload/client.h"
+#include "workload/tpcc_loader.h"
+
+namespace wattdb::bench {
+
+/// The Fig. 6/8 testbed: a 10-node wimpy cluster, data initially on two
+/// nodes (the master and node 1), TPC-C-derived workload throttled by
+/// client think times (§5.1).
+struct RebalanceSetup {
+  int warehouses = 8;
+  double fill = 0.5;
+  int num_nodes = 10;
+  int clients = 60;
+  SimTime think_time = 60 * kUsPerMs;
+  /// Every materialized byte stands for `cost_scale` paper bytes so the
+  /// SF-1000 migration duration (~4-5 minutes) is reproduced with a small
+  /// materialized database (see DESIGN.md, substitution table).
+  double cost_scale = 22.0;
+  /// Buffer sized to the paper's DRAM:data ratio (2 GB against ~20+ GB per
+  /// node -> a few percent of the pages are resident).
+  size_t buffer_pages = 400;
+  uint64_t seed = 42;
+};
+
+struct RebalanceRig {
+  std::unique_ptr<cluster::Cluster> cluster;
+  std::unique_ptr<workload::TpccDatabase> db;
+  std::unique_ptr<workload::ClientPool> pool;
+};
+
+inline RebalanceRig MakeRig(const RebalanceSetup& s,
+                            tx::CcScheme cc = tx::CcScheme::kMvcc) {
+  cluster::ClusterConfig cfg;
+  cfg.num_nodes = s.num_nodes;
+  cfg.initially_active = 2;
+  cfg.buffer.capacity_pages = s.buffer_pages;
+  cfg.cc = cc;
+  cfg.seed = s.seed;
+
+  RebalanceRig rig;
+  rig.cluster = std::make_unique<cluster::Cluster>(cfg);
+
+  workload::TpccLoadConfig load;
+  load.warehouses = s.warehouses;
+  load.fill = s.fill;
+  load.home_nodes = {NodeId(0), NodeId(1)};
+  load.seed = s.seed;
+  rig.db = std::make_unique<workload::TpccDatabase>(rig.cluster.get(), load);
+  const Status st = rig.db->Load();
+  if (!st.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", st.ToString().c_str());
+    std::abort();
+  }
+
+  workload::ClientPoolConfig pool_cfg;
+  pool_cfg.num_clients = s.clients;
+  pool_cfg.think_time = s.think_time;
+  pool_cfg.seed = s.seed;
+  rig.pool = std::make_unique<workload::ClientPool>(rig.db.get(), pool_cfg);
+  return rig;
+}
+
+inline void PrintHeader(const char* figure, const char* what) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure, what);
+  std::printf("Reproduction of Schall & Haerder, \"Dynamic Physiological\n");
+  std::printf("Partitioning on a Shared-nothing Database Cluster\" (ICDE'15)\n");
+  std::printf("==============================================================\n");
+}
+
+}  // namespace wattdb::bench
+
+#endif  // WATTDB_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,229 @@
+#include "catalog/global_partition_table.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace wattdb::catalog {
+
+TableId GlobalPartitionTable::CreateTable(TableSchema schema) {
+  const TableId id(next_table_id_++);
+  schema.id = id;
+  schemas_.emplace(id, std::move(schema));
+  routes_.emplace(id, RangeMap{});
+  return id;
+}
+
+const TableSchema* GlobalPartitionTable::GetSchema(TableId table) const {
+  auto it = schemas_.find(table);
+  return it == schemas_.end() ? nullptr : &it->second;
+}
+
+const TableSchema* GlobalPartitionTable::GetSchemaByName(
+    const std::string& name) const {
+  for (const auto& [id, schema] : schemas_) {
+    if (schema.name == name) return &schema;
+  }
+  return nullptr;
+}
+
+std::vector<TableId> GlobalPartitionTable::Tables() const {
+  std::vector<TableId> out;
+  out.reserve(schemas_.size());
+  for (const auto& [id, schema] : schemas_) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Partition* GlobalPartitionTable::CreatePartition(TableId table, NodeId owner) {
+  WATTDB_CHECK_MSG(schemas_.count(table) > 0, "unknown table");
+  const PartitionId id(next_partition_id_++);
+  auto part = std::make_unique<Partition>(id, table, owner);
+  Partition* raw = part.get();
+  partitions_.emplace(id, std::move(part));
+  return raw;
+}
+
+Partition* GlobalPartitionTable::GetPartition(PartitionId id) {
+  auto it = partitions_.find(id);
+  return it == partitions_.end() ? nullptr : it->second.get();
+}
+
+const Partition* GlobalPartitionTable::GetPartition(PartitionId id) const {
+  auto it = partitions_.find(id);
+  return it == partitions_.end() ? nullptr : it->second.get();
+}
+
+Status GlobalPartitionTable::DropPartition(PartitionId id) {
+  auto it = partitions_.find(id);
+  if (it == partitions_.end()) return Status::NotFound("no such partition");
+  // Refuse to drop a partition that still routes traffic.
+  for (const auto& [table, rm] : routes_) {
+    for (const auto& [lo, e] : rm) {
+      if (e.primary == id || e.secondary == id) {
+        return Status::Busy("partition still routed");
+      }
+    }
+  }
+  partitions_.erase(it);
+  return Status::OK();
+}
+
+std::vector<Partition*> GlobalPartitionTable::PartitionsOf(TableId table) {
+  std::vector<Partition*> out;
+  for (auto& [id, p] : partitions_) {
+    if (p->table() == table) out.push_back(p.get());
+  }
+  std::sort(out.begin(), out.end(),
+            [](Partition* a, Partition* b) { return a->id() < b->id(); });
+  return out;
+}
+
+std::vector<Partition*> GlobalPartitionTable::PartitionsOwnedBy(NodeId node) {
+  std::vector<Partition*> out;
+  for (auto& [id, p] : partitions_) {
+    if (p->owner() == node) out.push_back(p.get());
+  }
+  std::sort(out.begin(), out.end(),
+            [](Partition* a, Partition* b) { return a->id() < b->id(); });
+  return out;
+}
+
+void GlobalPartitionTable::SplitAt(RangeMap* rm, Key boundary) {
+  auto it = rm->upper_bound(boundary);
+  if (it == rm->begin()) return;
+  --it;
+  RouteEntry& e = it->second;
+  if (e.range.lo < boundary && boundary < e.range.hi) {
+    RouteEntry right = e;
+    right.range.lo = boundary;
+    e.range.hi = boundary;
+    rm->emplace(boundary, right);
+  }
+}
+
+Status GlobalPartitionTable::AssignRange(TableId table, const KeyRange& range,
+                                         PartitionId partition) {
+  if (range.Empty()) return Status::InvalidArgument("empty range");
+  auto rit = routes_.find(table);
+  if (rit == routes_.end()) return Status::NotFound("unknown table");
+  if (partitions_.count(partition) == 0) {
+    return Status::NotFound("unknown partition");
+  }
+  RangeMap& rm = rit->second;
+  SplitAt(&rm, range.lo);
+  SplitAt(&rm, range.hi);
+  // Remove fully covered entries.
+  auto it = rm.lower_bound(range.lo);
+  while (it != rm.end() && it->second.range.lo < range.hi) {
+    it = rm.erase(it);
+  }
+  rm.emplace(range.lo, RouteEntry{range, partition, PartitionId::Invalid()});
+  return Status::OK();
+}
+
+Status GlobalPartitionTable::UnassignRange(TableId table,
+                                           const KeyRange& range) {
+  auto rit = routes_.find(table);
+  if (rit == routes_.end()) return Status::NotFound("unknown table");
+  RangeMap& rm = rit->second;
+  SplitAt(&rm, range.lo);
+  SplitAt(&rm, range.hi);
+  auto it = rm.lower_bound(range.lo);
+  while (it != rm.end() && it->second.range.lo < range.hi) {
+    it = rm.erase(it);
+  }
+  return Status::OK();
+}
+
+Status GlobalPartitionTable::BeginMove(TableId table, const KeyRange& range,
+                                       PartitionId to) {
+  auto rit = routes_.find(table);
+  if (rit == routes_.end()) return Status::NotFound("unknown table");
+  RangeMap& rm = rit->second;
+  SplitAt(&rm, range.lo);
+  SplitAt(&rm, range.hi);
+  for (auto it = rm.lower_bound(range.lo);
+       it != rm.end() && it->second.range.lo < range.hi; ++it) {
+    it->second.secondary = to;
+  }
+  return Status::OK();
+}
+
+Status GlobalPartitionTable::CompleteMove(TableId table, const KeyRange& range,
+                                          PartitionId to) {
+  auto rit = routes_.find(table);
+  if (rit == routes_.end()) return Status::NotFound("unknown table");
+  RangeMap& rm = rit->second;
+  SplitAt(&rm, range.lo);
+  SplitAt(&rm, range.hi);
+  for (auto it = rm.lower_bound(range.lo);
+       it != rm.end() && it->second.range.lo < range.hi; ++it) {
+    it->second.primary = to;
+    it->second.secondary = PartitionId::Invalid();
+  }
+  return Status::OK();
+}
+
+std::optional<RouteEntry> GlobalPartitionTable::Route(TableId table,
+                                                      Key key) const {
+  auto rit = routes_.find(table);
+  if (rit == routes_.end()) return std::nullopt;
+  const RangeMap& rm = rit->second;
+  auto it = rm.upper_bound(key);
+  if (it == rm.begin()) return std::nullopt;
+  --it;
+  if (!it->second.range.Contains(key)) return std::nullopt;
+  return it->second;
+}
+
+std::vector<RouteEntry> GlobalPartitionTable::RoutesInRange(
+    TableId table, const KeyRange& range) const {
+  std::vector<RouteEntry> out;
+  auto rit = routes_.find(table);
+  if (rit == routes_.end() || range.Empty()) return out;
+  const RangeMap& rm = rit->second;
+  auto it = rm.upper_bound(range.lo);
+  if (it != rm.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.range.hi > range.lo) out.push_back(prev->second);
+  }
+  for (; it != rm.end() && it->second.range.lo < range.hi; ++it) {
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+std::vector<RouteEntry> GlobalPartitionTable::AllRoutes(TableId table) const {
+  std::vector<RouteEntry> out;
+  auto rit = routes_.find(table);
+  if (rit == routes_.end()) return out;
+  for (const auto& [lo, e] : rit->second) out.push_back(e);
+  return out;
+}
+
+bool GlobalPartitionTable::CheckInvariants() const {
+  for (const auto& [table, rm] : routes_) {
+    Key prev_hi = kMinKey;
+    bool first = true;
+    for (const auto& [lo, e] : rm) {
+      if (lo != e.range.lo || e.range.Empty()) return false;
+      if (!first && e.range.lo < prev_hi) return false;
+      prev_hi = e.range.hi;
+      first = false;
+      auto pit = partitions_.find(e.primary);
+      if (pit == partitions_.end() || pit->second->table() != table) {
+        return false;
+      }
+      if (e.secondary.valid()) {
+        auto sit = partitions_.find(e.secondary);
+        if (sit == partitions_.end() || sit->second->table() != table) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace wattdb::catalog

@@ -1,0 +1,96 @@
+#ifndef WATTDB_CATALOG_GLOBAL_PARTITION_TABLE_H_
+#define WATTDB_CATALOG_GLOBAL_PARTITION_TABLE_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "catalog/partition.h"
+#include "catalog/schema.h"
+
+namespace wattdb::catalog {
+
+/// Where a key's data lives right now. During repartitioning the master
+/// keeps *two* pointers — the old and the new location — and "queries are
+/// advised to visit both" (§4.3 Housekeeping on the master).
+struct RouteEntry {
+  KeyRange range;
+  PartitionId primary;
+  PartitionId secondary;  ///< Invalid unless a move is in flight.
+};
+
+/// Master-side catalog: table schemas, all partition objects, and the
+/// global key-range routing tree used by query optimization (§4.3:
+/// "the master keeps a tree with the primary-key ranges of all
+/// partitions"). The registry owns the Partition objects; nodes hold
+/// non-owning pointers to the partitions assigned to them.
+class GlobalPartitionTable {
+ public:
+  GlobalPartitionTable() = default;
+  GlobalPartitionTable(const GlobalPartitionTable&) = delete;
+  GlobalPartitionTable& operator=(const GlobalPartitionTable&) = delete;
+
+  // --- Tables -----------------------------------------------------------
+  TableId CreateTable(TableSchema schema);
+  const TableSchema* GetSchema(TableId table) const;
+  const TableSchema* GetSchemaByName(const std::string& name) const;
+  std::vector<TableId> Tables() const;
+
+  // --- Partitions -------------------------------------------------------
+  Partition* CreatePartition(TableId table, NodeId owner);
+  Partition* GetPartition(PartitionId id);
+  const Partition* GetPartition(PartitionId id) const;
+  Status DropPartition(PartitionId id);
+  std::vector<Partition*> PartitionsOf(TableId table);
+  std::vector<Partition*> PartitionsOwnedBy(NodeId node);
+
+  // --- Routing ----------------------------------------------------------
+  /// Route `range` to `partition`, splitting/trimming any overlapped
+  /// entries (their primary keeps owning the uncovered remainder).
+  Status AssignRange(TableId table, const KeyRange& range,
+                     PartitionId partition);
+
+  /// Remove routing for `range` entirely.
+  Status UnassignRange(TableId table, const KeyRange& range);
+
+  /// Mark a move: entries covered by `range` gain `to` as secondary.
+  Status BeginMove(TableId table, const KeyRange& range, PartitionId to);
+
+  /// Complete a move: covered entries flip primary to `to`, secondary
+  /// cleared.
+  Status CompleteMove(TableId table, const KeyRange& range, PartitionId to);
+
+  /// Routing entry covering `key`, if any.
+  std::optional<RouteEntry> Route(TableId table, Key key) const;
+
+  /// All routing entries intersecting `range`, in key order.
+  std::vector<RouteEntry> RoutesInRange(TableId table,
+                                        const KeyRange& range) const;
+
+  /// All routing entries of a table, in key order.
+  std::vector<RouteEntry> AllRoutes(TableId table) const;
+
+  /// Routing invariant: entries disjoint, each names a live partition of
+  /// the right table.
+  bool CheckInvariants() const;
+
+ private:
+  using RangeMap = std::map<Key, RouteEntry>;  // Keyed by range.lo.
+
+  /// Carve out `range` so that no entry straddles its boundaries.
+  void SplitAt(RangeMap* rm, Key boundary);
+
+  uint32_t next_table_id_ = 1;
+  uint32_t next_partition_id_ = 1;
+  std::unordered_map<TableId, TableSchema> schemas_;
+  std::unordered_map<PartitionId, std::unique_ptr<Partition>> partitions_;
+  std::unordered_map<TableId, RangeMap> routes_;
+};
+
+}  // namespace wattdb::catalog
+
+#endif  // WATTDB_CATALOG_GLOBAL_PARTITION_TABLE_H_

@@ -1,0 +1,73 @@
+#ifndef WATTDB_CATALOG_PARTITION_H_
+#define WATTDB_CATALOG_PARTITION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "index/top_index.h"
+
+namespace wattdb::catalog {
+
+/// Lifecycle state of a partition during online repartitioning (§4.3).
+enum class PartitionState {
+  kNormal,
+  kMovingOut,  ///< Read-locked source: writers drained, copy in progress.
+  kForwarding, ///< Copy done; old location redirects residual readers.
+};
+
+/// A horizontal partition: the unit of ownership, integrity control, and
+/// query evaluation (§4). It holds a *top index* mapping key ranges to the
+/// segments (mini-partitions) attached to it. The owning node is
+/// responsible for locking, logging, and buffering of all data reachable
+/// from here.
+class Partition {
+ public:
+  Partition(PartitionId id, TableId table, NodeId owner)
+      : id_(id), table_(table), owner_(owner) {}
+
+  Partition(const Partition&) = delete;
+  Partition& operator=(const Partition&) = delete;
+
+  PartitionId id() const { return id_; }
+  TableId table() const { return table_; }
+
+  NodeId owner() const { return owner_; }
+  void set_owner(NodeId owner) { owner_ = owner; }
+
+  PartitionState state() const { return state_; }
+  void set_state(PartitionState s) { state_ = s; }
+
+  /// Redirect target while records/segments are moving (§4.3: the source
+  /// keeps a pointer to the new location until old readers drain).
+  PartitionId forward_to() const { return forward_to_; }
+  void set_forward_to(PartitionId p) { forward_to_ = p; }
+
+  index::TopIndex& top_index() { return top_index_; }
+  const index::TopIndex& top_index() const { return top_index_; }
+
+  /// Convenience: attach/detach segments in the top index.
+  Status AttachSegment(const KeyRange& range, SegmentId seg) {
+    return top_index_.Attach(range, seg);
+  }
+  Status DetachSegment(SegmentId seg) { return top_index_.Detach(seg); }
+
+  SegmentId SegmentFor(Key key) const { return top_index_.Lookup(key); }
+  std::vector<index::TopIndex::Entry> SegmentsInRange(const KeyRange& r) const {
+    return top_index_.Intersecting(r);
+  }
+
+  size_t segment_count() const { return top_index_.size(); }
+
+ private:
+  PartitionId id_;
+  TableId table_;
+  NodeId owner_;
+  PartitionState state_ = PartitionState::kNormal;
+  PartitionId forward_to_;
+  index::TopIndex top_index_;
+};
+
+}  // namespace wattdb::catalog
+
+#endif  // WATTDB_CATALOG_PARTITION_H_

@@ -1,0 +1,46 @@
+#ifndef WATTDB_CATALOG_SCHEMA_H_
+#define WATTDB_CATALOG_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace wattdb::catalog {
+
+enum class ColumnType : uint8_t { kInt64, kDouble, kString };
+
+struct Column {
+  std::string name;
+  ColumnType type;
+  /// Fixed on-page width in bytes (strings are stored padded; TPC-C fields
+  /// are all bounded).
+  uint32_t width;
+};
+
+/// Logical table metadata, maintained on the master node (§4: "A DB table
+/// is a purely logical construct in WattDB").
+struct TableSchema {
+  TableId id;
+  std::string name;
+  std::vector<Column> columns;
+
+  /// Width of one record's payload (sum of column widths).
+  size_t RecordBytes() const {
+    size_t n = 0;
+    for (const auto& c : columns) n += c.width;
+    return n;
+  }
+
+  int ColumnIndex(const std::string& col_name) const {
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (columns[i].name == col_name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+}  // namespace wattdb::catalog
+
+#endif  // WATTDB_CATALOG_SCHEMA_H_

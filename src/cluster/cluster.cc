@@ -1,0 +1,219 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace wattdb::cluster {
+
+Cluster::Cluster(const ClusterConfig& config)
+    : config_(config), events_(&clock_), network_(config.network),
+      power_model_(config.power), rng_(config.seed) {
+  WATTDB_CHECK(config.num_nodes >= 1);
+  WATTDB_CHECK(config.initially_active >= 1);
+  const int disks_per_node = config.node_hw.num_hdd + config.node_hw.num_ssd;
+  for (int i = 0; i < config.num_nodes; ++i) {
+    const NodeId id(i);
+    network_.AddNode(id);
+    auto node = std::make_unique<Node>(
+        id, config.node_hw, config.buffer, config.costs, config.cc,
+        DiskId(static_cast<uint32_t>(i * disks_per_node)), &segments_, &tm_,
+        &network_, [this](DiskId d) { return FindDisk(d); });
+    for (auto& disk : node->hardware().disks()) {
+      disk_index_[disk->id()] = disk.get();
+    }
+    node->hardware().set_power_state(i < config.initially_active
+                                         ? hw::PowerState::kActive
+                                         : hw::PowerState::kStandby);
+    nodes_.push_back(std::move(node));
+  }
+}
+
+std::vector<Node*> Cluster::ActiveNodes() {
+  std::vector<Node*> out;
+  for (auto& n : nodes_) {
+    if (n->IsActive()) out.push_back(n.get());
+  }
+  return out;
+}
+
+int Cluster::ActiveNodeCount() const {
+  int n = 0;
+  for (const auto& node : nodes_) {
+    if (node->hardware().power_state() == hw::PowerState::kActive) ++n;
+  }
+  return n;
+}
+
+Status Cluster::PowerOn(NodeId id, std::function<void()> on_ready) {
+  Node* n = node(id);
+  if (n == nullptr) return Status::NotFound("no such node");
+  if (n->hardware().power_state() == hw::PowerState::kActive) {
+    if (on_ready) on_ready();
+    return Status::OK();
+  }
+  if (n->hardware().power_state() == hw::PowerState::kBooting) {
+    return Status::Busy("already booting");
+  }
+  n->hardware().set_power_state(hw::PowerState::kBooting);
+  events_.ScheduleAfter(config_.node_hw.boot_time_us,
+                        [this, id, cb = std::move(on_ready)]() {
+                          node(id)->hardware().set_power_state(
+                              hw::PowerState::kActive);
+                          WATTDB_INFO("node " << id.value() << " active");
+                          if (cb) cb();
+                        });
+  return Status::OK();
+}
+
+Status Cluster::PowerOff(NodeId id) {
+  Node* n = node(id);
+  if (n == nullptr) return Status::NotFound("no such node");
+  if (n->IsMaster()) return Status::InvalidArgument("master never sleeps");
+  if (!segments_.SegmentsOn(id).empty()) {
+    return Status::Busy("node still holds segment data");
+  }
+  if (!catalog_.PartitionsOwnedBy(id).empty()) {
+    return Status::Busy("node still owns partitions");
+  }
+  n->hardware().set_power_state(hw::PowerState::kStandby);
+  return Status::OK();
+}
+
+double Cluster::WattsIn(SimTime from, SimTime to) const {
+  if (to <= from) return 0.0;
+  double watts = power_model_.SwitchWatts();
+  for (const auto& n : nodes_) {
+    watts += n->hardware().PowerIn(power_model_, from, to);
+  }
+  return watts;
+}
+
+void Cluster::StartSampling(metrics::TimeSeries* series) {
+  series_ = series;
+  if (sampling_) return;
+  sampling_ = true;
+  last_sample_ = clock_.Now();
+  events_.ScheduleAfter(config_.sample_period, [this]() { SampleTick(); });
+}
+
+void Cluster::SampleTick() {
+  if (!sampling_) return;
+  const SimTime now = clock_.Now();
+  const double watts = WattsIn(last_sample_, now);
+  energy_.Accumulate(watts, last_sample_, now);
+  if (series_ != nullptr) {
+    series_->RecordPower(last_sample_, now, watts);
+  }
+  // Prune resource interval bookkeeping we have already accounted, keeping
+  // enough history for the master's monitoring windows.
+  const SimTime keep_from = now - 30 * kUsPerSec;
+  for (auto& n : nodes_) n->hardware().Prune(keep_from);
+  network_.Prune(keep_from);
+  tm_.locks().Prune(last_sample_);
+  if (auto_vacuum_) tm_.Vacuum();
+  last_sample_ = now;
+  events_.ScheduleAfter(config_.sample_period, [this]() { SampleTick(); });
+}
+
+SimTime Cluster::CommitTxn(Node* coordinator, tx::Txn* txn) {
+  coordinator->LogCommit(txn);
+  tm_.Commit(txn);
+  const SimTime latency = txn->Elapsed();
+  return latency;
+}
+
+void Cluster::AbortTxn(tx::Txn* txn) {
+  auto undo = tm_.Abort(txn);
+  // Undo must be applied at the location that actually holds the record —
+  // during a move the primary route may still point at the old partition
+  // while the write (and therefore the undo target) lives at the new one.
+  auto resolve = [this, txn](TableId table, Key key) -> catalog::Partition* {
+    auto [first, second] = RouteBoth(txn, table, key);
+    if (first != nullptr) {
+      const SegmentId sid = first->SegmentFor(key);
+      if (sid.valid()) {
+        storage::Segment* seg = segments_.Get(sid);
+        if (seg != nullptr && seg->Contains(key)) return first;
+      }
+    }
+    if (second != nullptr) {
+      const SegmentId sid = second->SegmentFor(key);
+      if (sid.valid()) {
+        storage::Segment* seg = segments_.Get(sid);
+        if (seg != nullptr && seg->Contains(key)) return second;
+      }
+    }
+    // Record exists at neither (aborted delete whose tombstone must be
+    // undone by re-insertion): prefer the newer location when a move is in
+    // flight, the primary otherwise.
+    if (second != nullptr) return second;
+    return first;
+  };
+  for (const auto& e : undo) {
+    catalog::Partition* part = resolve(e.table, e.key);
+    if (part == nullptr) continue;
+    Node* owner = node(part->owner());
+    std::vector<tx::VersionStore::UndoEntry> one;
+    one.push_back(e);
+    owner->ApplyUndo(one, resolve);
+  }
+}
+
+catalog::Partition* Cluster::Route(tx::Txn* txn, TableId table, Key key) {
+  auto entry = catalog_.Route(table, key);
+  if (!entry.has_value()) return nullptr;
+  catalog::Partition* primary = catalog_.GetPartition(entry->primary);
+  if (primary == nullptr) return nullptr;
+  // Two-pointer protocol: while a move is in flight the primary may no
+  // longer (or not yet) cover the key — probe it, then follow to the
+  // secondary/forwarding target (§4.3 Correctness).
+  if (primary->SegmentFor(key).valid() || !entry->secondary.valid()) {
+    if (primary->state() == catalog::PartitionState::kForwarding &&
+        primary->forward_to().valid() && !primary->SegmentFor(key).valid()) {
+      catalog::Partition* fwd = catalog_.GetPartition(primary->forward_to());
+      if (fwd != nullptr && txn != nullptr) {
+        // Redirect probe costs one hop to the old node.
+        ChargeClientHop(txn, primary->owner(), 64, 64);
+        return fwd;
+      }
+    }
+    return primary;
+  }
+  catalog::Partition* secondary = catalog_.GetPartition(entry->secondary);
+  if (secondary != nullptr && secondary->SegmentFor(key).valid()) {
+    if (txn != nullptr) ChargeClientHop(txn, primary->owner(), 64, 64);
+    return secondary;
+  }
+  return primary;
+}
+
+std::pair<catalog::Partition*, catalog::Partition*> Cluster::RouteBoth(
+    tx::Txn* txn, TableId table, Key key) {
+  auto entry = catalog_.Route(table, key);
+  if (!entry.has_value()) return {nullptr, nullptr};
+  catalog::Partition* primary = catalog_.GetPartition(entry->primary);
+  catalog::Partition* first = Route(txn, table, key);
+  catalog::Partition* second = nullptr;
+  if (entry->secondary.valid()) {
+    catalog::Partition* sec = catalog_.GetPartition(entry->secondary);
+    if (sec != nullptr && sec != first) second = sec;
+  }
+  if (second == nullptr && primary != nullptr && primary != first) {
+    second = primary;
+  }
+  return {first, second};
+}
+
+void Cluster::ChargeClientHop(tx::Txn* txn, NodeId owner, size_t req_bytes,
+                              size_t resp_bytes) {
+  const NodeId master_id = nodes_[0]->id();
+  if (owner == master_id) return;
+  const SimTime t0 = txn->now;
+  const SimTime done =
+      network_.RoundTrip(t0, master_id, owner, req_bytes, resp_bytes);
+  txn->net_us += done - t0;
+  txn->AdvanceTo(done);
+}
+
+}  // namespace wattdb::cluster

@@ -1,0 +1,51 @@
+#include "cluster/forecast.h"
+
+#include <algorithm>
+
+namespace wattdb::cluster {
+
+void LoadForecaster::Observe(SimTime at, double utilization) {
+  if (samples_ == 0) {
+    level_ = utilization;
+    trend_ = 0.0;
+  } else {
+    const double dt_sec = std::max(1e-6, ToSeconds(at - last_at_));
+    // Holt's linear method with irregular sampling: scale the trend by the
+    // elapsed interval.
+    const double prev_level = level_;
+    const double predicted = level_ + trend_ * dt_sec;
+    level_ = options_.level_alpha * utilization +
+             (1.0 - options_.level_alpha) * predicted;
+    const double observed_trend = (level_ - prev_level) / dt_sec;
+    trend_ = options_.trend_beta * observed_trend +
+             (1.0 - options_.trend_beta) * trend_;
+  }
+  last_at_ = at;
+  ++samples_;
+  // Consume shifts that are now in the past: they are reflected in samples.
+  while (!shifts_.empty() && shifts_.front().at <= at) {
+    shifts_.pop_front();
+  }
+}
+
+double LoadForecaster::Forecast(SimTime horizon) const {
+  double value = level_;
+  if (samples_ >= 2) {
+    value += trend_ * ToSeconds(horizon);
+  }
+  const SimTime target = last_at_ + horizon;
+  for (const Shift& s : shifts_) {
+    if (s.at <= target) value += s.delta;
+  }
+  if (options_.clamp) value = std::clamp(value, 0.0, 1.0);
+  return value;
+}
+
+void LoadForecaster::DeclareShift(SimTime at, double delta) {
+  // Keep shifts ordered by time.
+  auto it = shifts_.begin();
+  while (it != shifts_.end() && it->at <= at) ++it;
+  shifts_.insert(it, Shift{at, delta});
+}
+
+}  // namespace wattdb::cluster

@@ -1,0 +1,63 @@
+#ifndef WATTDB_CLUSTER_FORECAST_H_
+#define WATTDB_CLUSTER_FORECAST_H_
+
+#include <cstddef>
+#include <deque>
+
+#include "common/types.h"
+
+namespace wattdb::cluster {
+
+/// Utilization forecaster backing the master's proactive decisions. §3.4:
+/// "WattDB makes decisions based on the current workload, the course of
+/// utilization in the recent past, and the expected future workloads [8]"
+/// (Kramer, Höfner & Härder's load forecasting for energy-efficient
+/// distributed DBMSs). This implements Holt's double exponential smoothing
+/// (level + trend) over the monitor's utilization samples, plus optional
+/// user-declared workload shifts ("workload shifts can be user-defined to
+/// inform the cluster of an expected change in utilization").
+class LoadForecaster {
+ public:
+  struct Options {
+    double level_alpha = 0.4;  ///< Smoothing of the level component.
+    double trend_beta = 0.2;   ///< Smoothing of the trend component.
+    /// Clamp forecasts into [0, 1] (utilization domain).
+    bool clamp = true;
+  };
+
+  LoadForecaster() : LoadForecaster(Options{}) {}
+  explicit LoadForecaster(Options options) : options_(options) {}
+
+  /// Feed one utilization sample observed at simulated time `at`.
+  void Observe(SimTime at, double utilization);
+
+  /// Forecast utilization `horizon` into the future from the last sample.
+  /// Falls back to the last level when fewer than two samples were seen.
+  double Forecast(SimTime horizon) const;
+
+  /// Declare an expected workload shift: from `at` on, add `delta`
+  /// utilization to forecasts (user-defined hints, §3.4).
+  void DeclareShift(SimTime at, double delta);
+
+  /// Current smoothed level and per-second trend.
+  double level() const { return level_; }
+  double trend_per_sec() const { return trend_; }
+  size_t samples() const { return samples_; }
+
+ private:
+  struct Shift {
+    SimTime at;
+    double delta;
+  };
+
+  Options options_;
+  double level_ = 0.0;
+  double trend_ = 0.0;  ///< Utilization change per second.
+  SimTime last_at_ = 0;
+  size_t samples_ = 0;
+  std::deque<Shift> shifts_;
+};
+
+}  // namespace wattdb::cluster
+
+#endif  // WATTDB_CLUSTER_FORECAST_H_

@@ -1,0 +1,189 @@
+#include "cluster/master.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace wattdb::cluster {
+
+Master::Master(Cluster* cluster, Repartitioner* repartitioner,
+               MasterPolicy policy)
+    : cluster_(cluster),
+      repartitioner_(repartitioner),
+      policy_(policy),
+      monitor_(cluster) {}
+
+void Master::Start() {
+  if (running_) return;
+  running_ = true;
+  cluster_->events().ScheduleAfter(policy_.check_period,
+                                   [this]() { ControlTick(); });
+}
+
+void Master::ControlTick() {
+  if (!running_) return;
+  const auto stats = monitor_.Sample(policy_.stats_window);
+  // Feed the forecaster with the busiest active node's CPU (the component
+  // whose overload triggers repartitioning, §3.4).
+  double max_cpu = 0.0;
+  for (const auto& s : stats) {
+    if (s.active) max_cpu = std::max(max_cpu, s.cpu);
+  }
+  forecaster_.Observe(cluster_->Now(), max_cpu);
+  if (repartitioner_ == nullptr || !repartitioner_->InProgress()) {
+    MaybeScaleOut(stats);
+    MaybeScaleIn(stats);
+  }
+  cluster_->events().ScheduleAfter(policy_.check_period,
+                                   [this]() { ControlTick(); });
+}
+
+void Master::MaybeScaleOut(const std::vector<NodeStats>& stats) {
+  if (!policy_.enable_scale_out || repartitioner_ == nullptr) return;
+  bool overloaded = false;
+  for (const auto& s : stats) {
+    if (s.active && s.cpu > policy_.cpu_upper) overloaded = true;
+  }
+  if (policy_.use_forecast &&
+      forecaster_.Forecast(policy_.forecast_horizon) > policy_.cpu_upper) {
+    overloaded = true;  // Proactive: the trend will cross the bound.
+  }
+  if (!overloaded) {
+    over_count_ = 0;
+    return;
+  }
+  if (++over_count_ < policy_.trigger_after) return;
+  over_count_ = 0;
+  // Find a standby node to enlist.
+  for (const auto& s : stats) {
+    Node* n = cluster_->node(s.node);
+    if (n->hardware().power_state() == hw::PowerState::kStandby) {
+      ++scale_out_events_;
+      const int actives = cluster_->ActiveNodeCount();
+      const double fraction = 1.0 / (actives + 1);
+      WATTDB_INFO("scale-out: booting node " << s.node.value()
+                                             << ", migrating fraction "
+                                             << fraction);
+      TriggerRebalance({s.node}, fraction, nullptr);
+      return;
+    }
+  }
+}
+
+void Master::MaybeScaleIn(const std::vector<NodeStats>& stats) {
+  if (!policy_.enable_scale_in || repartitioner_ == nullptr) return;
+  int active = 0;
+  bool all_under = true;
+  for (const auto& s : stats) {
+    if (!s.active) continue;
+    ++active;
+    if (s.cpu > policy_.cpu_lower) all_under = false;
+  }
+  if (active <= 1 || !all_under) {
+    under_count_ = 0;
+    return;
+  }
+  if (++under_count_ < policy_.trigger_after) return;
+  under_count_ = 0;
+  // Drain the non-master active node with the least data.
+  NodeId victim = NodeId::Invalid();
+  size_t least_bytes = SIZE_MAX;
+  for (const auto& s : stats) {
+    if (!s.active || s.node.value() == 0) continue;
+    size_t bytes = 0;
+    for (auto* seg : cluster_->segments().SegmentsOn(s.node)) {
+      bytes += seg->DiskBytes();
+    }
+    if (bytes < least_bytes) {
+      least_bytes = bytes;
+      victim = s.node;
+    }
+  }
+  if (!victim.valid()) return;
+  ++scale_in_events_;
+  WATTDB_INFO("scale-in: draining node " << victim.value());
+  repartitioner_->Drain(victim, [this, victim]() {
+    const Status s = cluster_->PowerOff(victim);
+    WATTDB_INFO("scale-in: node " << victim.value() << " off: "
+                                  << s.ToString());
+  });
+}
+
+Status Master::TriggerRebalance(const std::vector<NodeId>& targets,
+                                double fraction,
+                                std::function<void()> done) {
+  if (repartitioner_ == nullptr) {
+    return Status::InvalidArgument("no repartitioner configured");
+  }
+  if (repartitioner_->InProgress()) {
+    return Status::Busy("rebalance already running");
+  }
+  // Boot any standby targets first; start when all are active.
+  auto pending = std::make_shared<int>(0);
+  auto start = [this, targets, fraction, done]() {
+    const Status s = repartitioner_->StartRebalance(targets, fraction, done);
+    if (!s.ok()) {
+      WATTDB_WARN("rebalance failed to start: " << s.ToString());
+    }
+  };
+  std::vector<NodeId> to_boot;
+  for (NodeId t : targets) {
+    if (!cluster_->node(t)->IsActive()) to_boot.push_back(t);
+  }
+  if (to_boot.empty()) {
+    start();
+    return Status::OK();
+  }
+  *pending = static_cast<int>(to_boot.size());
+  for (NodeId t : to_boot) {
+    WATTDB_RETURN_IF_ERROR(cluster_->PowerOn(t, [pending, start]() {
+      if (--*pending == 0) start();
+    }));
+  }
+  return Status::OK();
+}
+
+Status Master::AttachHelpers(const std::vector<NodeId>& helpers,
+                             const std::vector<NodeId>& assisted,
+                             size_t remote_buffer_pages) {
+  if (!active_helpers_.empty()) return Status::Busy("helpers already attached");
+  if (helpers.empty() || assisted.empty()) {
+    return Status::InvalidArgument("need helpers and assisted nodes");
+  }
+  active_helpers_ = helpers;
+  assisted_nodes_ = assisted;
+  auto pending = std::make_shared<int>(static_cast<int>(helpers.size()));
+  auto wire = [this, remote_buffer_pages]() {
+    // Round-robin helpers across assisted nodes: each assisted node ships
+    // its log to one helper and uses its memory as an rDMA buffer tier.
+    for (size_t i = 0; i < assisted_nodes_.size(); ++i) {
+      Node* a = cluster_->node(assisted_nodes_[i]);
+      Node* h = cluster_->node(active_helpers_[i % active_helpers_.size()]);
+      a->log().AttachHelper(h->id(), h->hardware().disk(0));
+      a->buffer().AttachRemoteTier(h->id(), remote_buffer_pages);
+    }
+    WATTDB_INFO("helpers wired for log shipping + remote buffering");
+  };
+  for (NodeId h : helpers) {
+    WATTDB_RETURN_IF_ERROR(cluster_->PowerOn(h, [pending, wire]() {
+      if (--*pending == 0) wire();
+    }));
+  }
+  return Status::OK();
+}
+
+Status Master::DetachHelpers() {
+  if (active_helpers_.empty()) return Status::OK();
+  for (NodeId a : assisted_nodes_) {
+    cluster_->node(a)->log().DetachHelper();
+    cluster_->node(a)->buffer().DetachRemoteTier();
+  }
+  for (NodeId h : active_helpers_) {
+    (void)cluster_->PowerOff(h);
+  }
+  active_helpers_.clear();
+  assisted_nodes_.clear();
+  return Status::OK();
+}
+
+}  // namespace wattdb::cluster

@@ -1,0 +1,109 @@
+#ifndef WATTDB_CLUSTER_MASTER_H_
+#define WATTDB_CLUSTER_MASTER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/forecast.h"
+#include "cluster/monitor.h"
+#include "common/constants.h"
+#include "common/status.h"
+
+namespace wattdb::cluster {
+
+/// Abstract repartitioning engine the master drives. Implemented by the
+/// three schemes in src/partition (physical, logical, physiological).
+class Repartitioner {
+ public:
+  virtual ~Repartitioner() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Move `fraction` of every table's data from its current owners onto
+  /// `targets` (which must be active). `done` fires when all moves have
+  /// completed. Runs online: queries continue while data moves.
+  virtual Status StartRebalance(const std::vector<NodeId>& targets,
+                                double fraction,
+                                std::function<void()> done) = 0;
+
+  /// Move everything owned by `victim` to the remaining active nodes so the
+  /// node can be powered off (scale-in, §3.4).
+  virtual Status Drain(NodeId victim, std::function<void()> done) = 0;
+
+  virtual bool InProgress() const = 0;
+};
+
+/// Thresholds and cadence of the master's control loop (§3.4).
+struct MasterPolicy {
+  double cpu_upper = kCpuUpperThreshold;  ///< 80%: scale out / repartition.
+  double cpu_lower = kCpuLowerThreshold;  ///< Under it on all nodes: scale in.
+  SimTime check_period = 5 * kUsPerSec;
+  SimTime stats_window = 10 * kUsPerSec;
+  /// Consecutive violating samples before acting (hysteresis).
+  int trigger_after = 2;
+  bool enable_scale_out = true;
+  bool enable_scale_in = true;
+  /// Scale out proactively when the utilization *forecast* crosses the
+  /// threshold (§3.4: decisions consider "the expected future workloads").
+  bool use_forecast = false;
+  SimTime forecast_horizon = 30 * kUsPerSec;
+};
+
+/// The master node's control plane: watches node utilization, decides when
+/// to power nodes on/off, and triggers repartitioning through the active
+/// scheme. Query routing itself lives in Cluster::Route; this class is the
+/// elasticity controller.
+class Master {
+ public:
+  Master(Cluster* cluster, Repartitioner* repartitioner,
+         MasterPolicy policy = MasterPolicy());
+
+  /// Start the periodic control loop.
+  void Start();
+  void Stop() { running_ = false; }
+
+  /// Explicitly trigger a rebalance onto `extra_nodes` standby nodes,
+  /// moving `fraction` of the data (the Fig. 6 experiment: 2 -> 4 nodes,
+  /// 50% of records). Boots the targets first if needed.
+  Status TriggerRebalance(const std::vector<NodeId>& targets, double fraction,
+                          std::function<void()> done = nullptr);
+
+  /// Fig. 8: power up `helpers` and use them for log shipping and remote
+  /// (rDMA) buffer space on behalf of `assisted` nodes.
+  Status AttachHelpers(const std::vector<NodeId>& helpers,
+                       const std::vector<NodeId>& assisted,
+                       size_t remote_buffer_pages);
+  /// Detach and power the helpers back down.
+  Status DetachHelpers();
+
+  Monitor& monitor() { return monitor_; }
+  LoadForecaster& forecaster() { return forecaster_; }
+  const MasterPolicy& policy() const { return policy_; }
+  int scale_out_events() const { return scale_out_events_; }
+  int scale_in_events() const { return scale_in_events_; }
+
+ private:
+  void ControlTick();
+  void MaybeScaleOut(const std::vector<NodeStats>& stats);
+  void MaybeScaleIn(const std::vector<NodeStats>& stats);
+
+  Cluster* cluster_;
+  Repartitioner* repartitioner_;
+  MasterPolicy policy_;
+  Monitor monitor_;
+  LoadForecaster forecaster_;
+  bool running_ = false;
+  int over_count_ = 0;
+  int under_count_ = 0;
+  int scale_out_events_ = 0;
+  int scale_in_events_ = 0;
+
+  std::vector<NodeId> active_helpers_;
+  std::vector<NodeId> assisted_nodes_;
+};
+
+}  // namespace wattdb::cluster
+
+#endif  // WATTDB_CLUSTER_MASTER_H_

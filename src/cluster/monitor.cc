@@ -1,0 +1,59 @@
+#include "cluster/monitor.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "cluster/cluster.h"
+
+namespace wattdb::cluster {
+
+std::vector<NodeStats> Monitor::Sample(SimTime window) const {
+  std::vector<NodeStats> out;
+  const SimTime now = cluster_->Now();
+  const SimTime from = now > window ? now - window : 0;
+  for (int i = 0; i < cluster_->num_nodes(); ++i) {
+    Node* n = cluster_->node(NodeId(i));
+    NodeStats s;
+    s.node = n->id();
+    s.active = n->IsActive();
+    if (s.active) {
+      s.cpu = n->hardware().CpuUtilizationIn(from, now);
+      for (const auto& d : n->hardware().disks()) {
+        s.max_disk = std::max(s.max_disk, d->resource().UtilizationIn(from, now));
+      }
+      s.net_in = cluster_->network().IngressUtilization(n->id(), from, now);
+      s.net_out = cluster_->network().EgressUtilization(n->id(), from, now);
+      s.buffer_hits = n->buffer().hits();
+      s.buffer_misses = n->buffer().misses();
+    }
+    out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<SegmentHeat> Monitor::SampleSegments() {
+  std::unordered_map<uint32_t, std::pair<int64_t, int64_t>> prev;
+  for (const auto& [seg, counts] : last_counts_) {
+    prev[seg.value()] = counts;
+  }
+  last_counts_.clear();
+  std::vector<SegmentHeat> out;
+  for (int i = 0; i < cluster_->num_nodes(); ++i) {
+    for (storage::Segment* seg :
+         cluster_->segments().SegmentsOn(NodeId(i))) {
+      SegmentHeat h;
+      h.segment = seg->id();
+      h.storage_node = seg->storage_node();
+      auto it = prev.find(seg->id().value());
+      const int64_t pr = it == prev.end() ? 0 : it->second.first;
+      const int64_t pw = it == prev.end() ? 0 : it->second.second;
+      h.reads = seg->reads() - pr;
+      h.writes = seg->writes() - pw;
+      last_counts_.push_back({seg->id(), {seg->reads(), seg->writes()}});
+      out.push_back(h);
+    }
+  }
+  return out;
+}
+
+}  // namespace wattdb::cluster

@@ -1,0 +1,53 @@
+#ifndef WATTDB_CLUSTER_MONITOR_H_
+#define WATTDB_CLUSTER_MONITOR_H_
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace wattdb::cluster {
+
+class Cluster;
+
+/// Utilization snapshot of one node over a sampling window. Nodes report
+/// these "every few seconds" to the master (§3.4), which correlates them
+/// with per-partition activity to locate the source of imbalance.
+struct NodeStats {
+  NodeId node;
+  bool active = false;
+  double cpu = 0.0;        ///< Core-pool utilization in [0, 1].
+  double max_disk = 0.0;   ///< Busiest local disk's utilization.
+  double net_in = 0.0;
+  double net_out = 0.0;
+  int64_t buffer_hits = 0;
+  int64_t buffer_misses = 0;
+};
+
+/// Per-segment activity since the previous sample (the "performance-
+/// critical data collected for each DB partition", §3.4).
+struct SegmentHeat {
+  SegmentId segment;
+  NodeId storage_node;
+  int64_t reads = 0;
+  int64_t writes = 0;
+};
+
+/// Computes utilization windows over the cluster's resource timelines.
+class Monitor {
+ public:
+  explicit Monitor(Cluster* cluster) : cluster_(cluster) {}
+
+  /// Stats for every node over [now - window, now).
+  std::vector<NodeStats> Sample(SimTime window) const;
+
+  /// Heat of every segment since the last call (counters are deltas).
+  std::vector<SegmentHeat> SampleSegments();
+
+ private:
+  Cluster* cluster_;
+  std::vector<std::pair<SegmentId, std::pair<int64_t, int64_t>>> last_counts_;
+};
+
+}  // namespace wattdb::cluster
+
+#endif  // WATTDB_CLUSTER_MONITOR_H_

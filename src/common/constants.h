@@ -1,0 +1,31 @@
+#ifndef WATTDB_COMMON_CONSTANTS_H_
+#define WATTDB_COMMON_CONSTANTS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace wattdb {
+
+/// Storage geometry from the paper (§4, Fig. 4): a segment is 32 MB and
+/// consists of 4096 consecutively stored pages, i.e. pages are 8 KB. The
+/// page is the unit of buffering and inter-node transfer; the segment is the
+/// unit of distribution/migration in the storage subsystem.
+constexpr size_t kPageSize = 8 * 1024;
+constexpr size_t kPagesPerSegment = 4096;
+constexpr size_t kSegmentSize = kPageSize * kPagesPerSegment;  // 32 MB
+
+/// Usable payload bytes in a slotted page after the header.
+constexpr size_t kPageHeaderSize = 32;
+constexpr size_t kSlotSize = 8;
+
+/// CPU-load upper bound that triggers offloading / repartitioning (§3.4).
+constexpr double kCpuUpperThreshold = 0.80;
+/// Lower bound under which the scale-in protocol may fire (§3.4).
+constexpr double kCpuLowerThreshold = 0.30;
+
+/// Default cluster size in the paper's testbed.
+constexpr int kPaperClusterNodes = 10;
+
+}  // namespace wattdb
+
+#endif  // WATTDB_COMMON_CONSTANTS_H_

@@ -1,0 +1,62 @@
+#ifndef WATTDB_COMMON_LOGGING_H_
+#define WATTDB_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace wattdb {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level; messages below it are dropped. Defaults to
+/// kWarn so tests and benches stay quiet unless they opt in.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& msg);
+}  // namespace internal
+
+}  // namespace wattdb
+
+#define WATTDB_LOG(level, msg_expr)                                       \
+  do {                                                                    \
+    if (static_cast<int>(level) >=                                        \
+        static_cast<int>(::wattdb::GetLogLevel())) {                      \
+      std::ostringstream _os;                                             \
+      _os << msg_expr;                                                    \
+      ::wattdb::internal::LogMessage(level, __FILE__, __LINE__, _os.str()); \
+    }                                                                     \
+  } while (0)
+
+#define WATTDB_DEBUG(msg) WATTDB_LOG(::wattdb::LogLevel::kDebug, msg)
+#define WATTDB_INFO(msg) WATTDB_LOG(::wattdb::LogLevel::kInfo, msg)
+#define WATTDB_WARN(msg) WATTDB_LOG(::wattdb::LogLevel::kWarn, msg)
+#define WATTDB_ERROR(msg) WATTDB_LOG(::wattdb::LogLevel::kError, msg)
+
+/// Invariant check that stays on in release builds. The simulation is fully
+/// deterministic, so a tripped check is always reproducible.
+#define WATTDB_CHECK(cond)                                                 \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,        \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define WATTDB_CHECK_MSG(cond, msg)                                        \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream _os;                                              \
+      _os << msg;                                                          \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__,   \
+                   __LINE__, #cond, _os.str().c_str());                    \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#endif  // WATTDB_COMMON_LOGGING_H_

@@ -1,0 +1,44 @@
+#ifndef WATTDB_COMMON_RNG_H_
+#define WATTDB_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace wattdb {
+
+/// Deterministic, seedable PRNG (xoshiro256**). Every simulation component
+/// owns its own instance so that experiments are reproducible regardless of
+/// execution interleavings.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  void Seed(uint64_t seed);
+
+  uint64_t Next();
+
+  /// Uniform integer in [lo, hi] (inclusive bounds, TPC-C convention).
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Exponentially distributed value with the given mean.
+  double Exponential(double mean);
+
+  /// TPC-C NURand(A, x, y): non-uniform random integer in [x, y] skewed by
+  /// the constant-load parameter A (see TPC-C spec clause 2.1.6).
+  int64_t NURand(int64_t a, int64_t x, int64_t y);
+
+  /// Zipfian value in [0, n) with skew theta (Gray et al. generator).
+  uint64_t Zipf(uint64_t n, double theta);
+
+ private:
+  uint64_t state_[4];
+  uint64_t c_255_ = 0;   ///< NURand C constant for A=255.
+  uint64_t c_1023_ = 0;  ///< NURand C constant for A=1023.
+  uint64_t c_8191_ = 0;  ///< NURand C constant for A=8191.
+};
+
+}  // namespace wattdb
+
+#endif  // WATTDB_COMMON_RNG_H_

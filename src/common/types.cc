@@ -1,0 +1,19 @@
+#include "common/types.h"
+
+#include <sstream>
+
+namespace wattdb {
+
+std::string KeyRange::ToString() const {
+  std::ostringstream os;
+  os << "[" << lo << ", ";
+  if (hi == kMaxKey) {
+    os << "max";
+  } else {
+    os << hi;
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace wattdb

@@ -1,0 +1,108 @@
+#ifndef WATTDB_COMMON_TYPES_H_
+#define WATTDB_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace wattdb {
+
+/// Strongly-typed integral identifier. `Tag` disambiguates id spaces so that
+/// e.g. a NodeId cannot be passed where a SegmentId is expected.
+template <typename Tag, typename Rep = uint32_t>
+class Id {
+ public:
+  using rep_type = Rep;
+
+  constexpr Id() : value_(kInvalidValue) {}
+  constexpr explicit Id(Rep value) : value_(value) {}
+
+  constexpr Rep value() const { return value_; }
+  constexpr bool valid() const { return value_ != kInvalidValue; }
+
+  static constexpr Id Invalid() { return Id(); }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(Id a, Id b) { return a.value_ < b.value_; }
+  friend constexpr bool operator>(Id a, Id b) { return a.value_ > b.value_; }
+  friend constexpr bool operator<=(Id a, Id b) { return a.value_ <= b.value_; }
+  friend constexpr bool operator>=(Id a, Id b) { return a.value_ >= b.value_; }
+
+ private:
+  static constexpr Rep kInvalidValue = std::numeric_limits<Rep>::max();
+  Rep value_;
+};
+
+struct NodeTag {};
+struct DiskTag {};
+struct TableTag {};
+struct PartitionTag {};
+struct SegmentTag {};
+struct PageTag {};
+struct TxnTag {};
+
+/// Cluster node (0 is always the master node).
+using NodeId = Id<NodeTag, uint32_t>;
+/// Storage device, unique cluster-wide.
+using DiskId = Id<DiskTag, uint32_t>;
+using TableId = Id<TableTag, uint32_t>;
+/// Horizontal partition of a table; owned by exactly one node.
+using PartitionId = Id<PartitionTag, uint32_t>;
+/// 32 MB unit of physical storage and of migration.
+using SegmentId = Id<SegmentTag, uint32_t>;
+/// Page number within a segment (0..4095).
+using PageId = Id<PageTag, uint32_t>;
+/// Transaction identifier; also used as MVCC begin/commit timestamp domain.
+using TxnId = Id<TxnTag, uint64_t>;
+
+/// Primary keys are modeled as 64-bit integers. Composite TPC-C keys are
+/// packed into 64 bits by the workload layer.
+using Key = uint64_t;
+
+constexpr Key kMinKey = 0;
+constexpr Key kMaxKey = std::numeric_limits<Key>::max();
+
+/// Half-open key interval [lo, hi).
+struct KeyRange {
+  Key lo = kMinKey;
+  Key hi = kMaxKey;
+
+  bool Contains(Key k) const { return k >= lo && k < hi; }
+  bool Overlaps(const KeyRange& o) const { return lo < o.hi && o.lo < hi; }
+  bool Empty() const { return lo >= hi; }
+
+  friend bool operator==(const KeyRange& a, const KeyRange& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+
+  std::string ToString() const;
+};
+
+/// Simulated time in microseconds since simulation start.
+using SimTime = int64_t;
+
+constexpr SimTime kUsPerMs = 1000;
+constexpr SimTime kUsPerSec = 1000 * 1000;
+
+inline double ToSeconds(SimTime t) { return static_cast<double>(t) / kUsPerSec; }
+inline SimTime FromSeconds(double s) {
+  return static_cast<SimTime>(s * kUsPerSec);
+}
+inline SimTime FromMillis(double ms) {
+  return static_cast<SimTime>(ms * kUsPerMs);
+}
+
+}  // namespace wattdb
+
+namespace std {
+template <typename Tag, typename Rep>
+struct hash<wattdb::Id<Tag, Rep>> {
+  size_t operator()(wattdb::Id<Tag, Rep> id) const {
+    return std::hash<Rep>()(id.value());
+  }
+};
+}  // namespace std
+
+#endif  // WATTDB_COMMON_TYPES_H_

@@ -1,0 +1,166 @@
+#ifndef WATTDB_EXEC_OPERATORS_H_
+#define WATTDB_EXEC_OPERATORS_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/partition.h"
+#include "exec/operator.h"
+
+namespace wattdb::exec {
+
+/// Leaf: scans a partition's records in key order on the partition's owner
+/// node (data access operators cannot be placed remotely, §3.3). Emits
+/// `vector_size` records per next() call — 1 reproduces classic
+/// record-at-a-time volcano.
+class TableScanOp : public Operator {
+ public:
+  TableScanOp(catalog::Partition* partition, KeyRange range,
+              size_t vector_size, OperatorCosts costs = OperatorCosts());
+
+  void Open(ExecContext* ctx) override;
+  bool Next(ExecContext* ctx, Batch* out) override;
+  void Close(ExecContext* ctx) override;
+  NodeId node() const override { return node_; }
+  const char* name() const override { return "TBSCAN"; }
+
+ private:
+  catalog::Partition* partition_;
+  KeyRange range_;
+  size_t vector_size_;
+  OperatorCosts costs_;
+  NodeId node_;
+  // Materialized cursor state (record positions gathered at Open; I/O and
+  // CPU are charged per batch as the cursor advances).
+  std::vector<std::pair<Key, storage::Rid>> rows_;
+  size_t cursor_ = 0;
+  SegmentId last_page_seg_;
+  uint16_t last_page_ = UINT16_MAX;
+};
+
+/// Pipelining projection (§3.3): per-record CPU on its node, no blocking.
+class ProjectOp : public Operator {
+ public:
+  ProjectOp(std::unique_ptr<Operator> child, NodeId node,
+            OperatorCosts costs = OperatorCosts());
+
+  void Open(ExecContext* ctx) override;
+  bool Next(ExecContext* ctx, Batch* out) override;
+  void Close(ExecContext* ctx) override;
+  NodeId node() const override { return node_; }
+  const char* name() const override { return "PROJECT"; }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  NodeId node_;
+  OperatorCosts costs_;
+};
+
+/// Blocking sort (§3.3): drains its child completely, charges n·log n
+/// compares on its node, then emits sorted batches. Blocking operators are
+/// the profitable offloading candidates.
+class SortOp : public Operator {
+ public:
+  SortOp(std::unique_ptr<Operator> child, NodeId node, size_t vector_size,
+         OperatorCosts costs = OperatorCosts());
+
+  void Open(ExecContext* ctx) override;
+  bool Next(ExecContext* ctx, Batch* out) override;
+  void Close(ExecContext* ctx) override;
+  NodeId node() const override { return node_; }
+  const char* name() const override { return "SORT"; }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  NodeId node_;
+  size_t vector_size_;
+  OperatorCosts costs_;
+  Batch materialized_;
+  size_t cursor_ = 0;
+  bool sorted_ = false;
+};
+
+/// Blocking hash aggregation: count/sum grouped by a key-derived group id.
+class GroupAggregateOp : public Operator {
+ public:
+  GroupAggregateOp(std::unique_ptr<Operator> child, NodeId node,
+                   std::function<uint64_t(const storage::Record&)> group_of,
+                   OperatorCosts costs = OperatorCosts());
+
+  void Open(ExecContext* ctx) override;
+  bool Next(ExecContext* ctx, Batch* out) override;
+  void Close(ExecContext* ctx) override;
+  NodeId node() const override { return node_; }
+  const char* name() const override { return "GROUP"; }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  NodeId node_;
+  std::function<uint64_t(const storage::Record&)> group_of_;
+  OperatorCosts costs_;
+  Batch groups_;
+  size_t cursor_ = 0;
+  bool done_ = false;
+};
+
+/// Ships batches from its child's node to `consumer_node`. Every next()
+/// call is a synchronous request/response round trip — with vector size 1
+/// this reproduces the "less than 1,000 records per second" collapse of
+/// Fig. 1; with larger vectors the round trips amortize.
+class ExchangeOp : public Operator {
+ public:
+  ExchangeOp(std::unique_ptr<Operator> child, NodeId consumer_node,
+             OperatorCosts costs = OperatorCosts());
+
+  void Open(ExecContext* ctx) override;
+  bool Next(ExecContext* ctx, Batch* out) override;
+  void Close(ExecContext* ctx) override;
+  NodeId node() const override { return consumer_node_; }
+  const char* name() const override { return "EXCHANGE"; }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  NodeId consumer_node_;
+  OperatorCosts costs_;
+};
+
+/// Prefetching proxy (§3.3 "buffering operators"): runs on the producer
+/// side and asynchronously prefetches the child's next batch while the
+/// consumer still processes the previous one, hiding the fetch delay. The
+/// consumer waits only for max(0, producer_ready - now).
+class BufferOp : public Operator {
+ public:
+  BufferOp(std::unique_ptr<Operator> child, NodeId consumer_node,
+           size_t prefetch_depth = 2, OperatorCosts costs = OperatorCosts());
+
+  void Open(ExecContext* ctx) override;
+  bool Next(ExecContext* ctx, Batch* out) override;
+  void Close(ExecContext* ctx) override;
+  NodeId node() const override { return consumer_node_; }
+  const char* name() const override { return "BUFFER"; }
+
+ private:
+  /// Start prefetching the next batch on the producer timeline.
+  void IssuePrefetch(ExecContext* ctx);
+
+  std::unique_ptr<Operator> child_;
+  NodeId consumer_node_;
+  size_t prefetch_depth_;
+  OperatorCosts costs_;
+  /// (batch, time at which it is fully delivered to the consumer node).
+  std::deque<std::pair<Batch, SimTime>> inflight_;
+  SimTime producer_time_ = 0;
+  bool exhausted_ = false;
+};
+
+/// Drain a plan to completion, returning the number of records delivered to
+/// the root's consumer. Advances the transaction's clock through every
+/// operator.
+size_t DrainPlan(ExecContext* ctx, Operator* root);
+
+}  // namespace wattdb::exec
+
+#endif  // WATTDB_EXEC_OPERATORS_H_

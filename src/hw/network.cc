@@ -1,0 +1,59 @@
+#include "hw/network.h"
+
+#include "common/logging.h"
+
+namespace wattdb::hw {
+
+void Network::AddNode(NodeId node) {
+  nics_.try_emplace(node);
+}
+
+SimTime Network::TransmitTime(size_t bytes) const {
+  return static_cast<SimTime>(static_cast<double>(bytes) /
+                              spec_.link_bandwidth_bps * kUsPerSec);
+}
+
+SimTime Network::Transfer(SimTime arrival, NodeId src, NodeId dst,
+                          size_t bytes) {
+  if (src == dst) return arrival;
+  auto src_it = nics_.find(src);
+  auto dst_it = nics_.find(dst);
+  WATTDB_CHECK_MSG(src_it != nics_.end() && dst_it != nics_.end(),
+                   "transfer between unregistered nodes");
+  ++messages_sent_;
+  bytes_sent_ += static_cast<int64_t>(bytes);
+  const SimTime svc = TransmitTime(bytes);
+  // Store-and-forward through the switch: serialize on the sender's egress,
+  // then (after the one-way latency) on the receiver's ingress.
+  const SimTime sent = src_it->second.egress.Acquire(arrival, svc);
+  const SimTime at_receiver = sent + spec_.message_latency_us;
+  return dst_it->second.ingress.Acquire(at_receiver, svc);
+}
+
+SimTime Network::RoundTrip(SimTime arrival, NodeId src, NodeId dst,
+                           size_t req_bytes, size_t resp_bytes) {
+  if (src == dst) return arrival;
+  const SimTime request_done = Transfer(arrival, src, dst, req_bytes);
+  return Transfer(request_done, dst, src, resp_bytes);
+}
+
+double Network::EgressUtilization(NodeId node, SimTime from, SimTime to) const {
+  auto it = nics_.find(node);
+  if (it == nics_.end()) return 0.0;
+  return it->second.egress.UtilizationIn(from, to);
+}
+
+double Network::IngressUtilization(NodeId node, SimTime from, SimTime to) const {
+  auto it = nics_.find(node);
+  if (it == nics_.end()) return 0.0;
+  return it->second.ingress.UtilizationIn(from, to);
+}
+
+void Network::Prune(SimTime before) {
+  for (auto& [id, nic] : nics_) {
+    nic.egress.Prune(before);
+    nic.ingress.Prune(before);
+  }
+}
+
+}  // namespace wattdb::hw

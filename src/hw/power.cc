@@ -1,0 +1,27 @@
+#include "hw/power.h"
+
+#include <algorithm>
+
+namespace wattdb::hw {
+
+double PowerModel::NodeWatts(PowerState state, double utilization) const {
+  switch (state) {
+    case PowerState::kStandby:
+      return spec_.node_standby_watts;
+    case PowerState::kBooting:
+      return spec_.node_active_idle_watts;
+    case PowerState::kActive: {
+      const double u = std::clamp(utilization, 0.0, 1.0);
+      return spec_.node_active_idle_watts +
+             u * (spec_.node_active_full_watts - spec_.node_active_idle_watts);
+    }
+  }
+  return 0.0;
+}
+
+void EnergyMeter::Accumulate(double watts, SimTime from, SimTime to) {
+  if (to <= from) return;
+  joules_ += watts * ToSeconds(to - from);
+}
+
+}  // namespace wattdb::hw

@@ -1,0 +1,276 @@
+#ifndef WATTDB_INDEX_BTREE_H_
+#define WATTDB_INDEX_BTREE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/types.h"
+
+namespace wattdb::index {
+
+/// In-memory B+-tree keyed by `Key` (uint64). Used both as the segment-local
+/// primary-key index (physiological partitioning, §4.3) and as a
+/// partition-wide index where needed. Values live only in leaves; leaves are
+/// chained for range scans. Fanout is configurable to let the ablation
+/// benches vary index height.
+///
+/// Not thread-safe: the simulation kernel is single-threaded and concurrency
+/// is modeled at the lock-manager level, so internal latching is accounted
+/// for (by callers) rather than implemented with OS primitives.
+template <typename V, size_t kFanout = 64>
+class BTree {
+  static_assert(kFanout >= 4, "fanout too small");
+
+ public:
+  BTree() : root_(NewLeaf()) {}
+
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+  BTree(BTree&&) = default;
+  BTree& operator=(BTree&&) = default;
+
+  /// Insert or overwrite. Returns true if the key was newly inserted and
+  /// false if an existing value was replaced.
+  bool Insert(Key key, const V& value) {
+    InsertResult r = InsertRec(root_.get(), key, value);
+    if (r.split_sibling) {
+      auto new_root = std::make_unique<Node>(/*leaf=*/false);
+      new_root->keys.push_back(r.split_key);
+      new_root->children.push_back(std::move(root_));
+      new_root->children.push_back(std::move(r.split_sibling));
+      root_ = std::move(new_root);
+      ++height_;
+    }
+    if (r.inserted) ++size_;
+    return r.inserted;
+  }
+
+  /// Remove a key. Returns true if it was present. Deletion is lazy: nodes
+  /// are never merged or freed (the common choice in practice — cf. Graefe,
+  /// "Modern B-tree Techniques" — since B-trees rarely shrink and scans skip
+  /// empty leaves transparently).
+  bool Erase(Key key) {
+    if (!EraseRec(root_.get(), key)) return false;
+    --size_;
+    return true;
+  }
+
+  /// Point lookup; returns nullptr if absent.
+  const V* Find(Key key) const {
+    const Node* n = root_.get();
+    while (!n->leaf) {
+      n = n->children[ChildIndex(n, key)].get();
+    }
+    auto it = std::lower_bound(n->keys.begin(), n->keys.end(), key);
+    if (it == n->keys.end() || *it != key) return nullptr;
+    return &n->values[it - n->keys.begin()];
+  }
+
+  V* Find(Key key) {
+    return const_cast<V*>(static_cast<const BTree*>(this)->Find(key));
+  }
+
+  bool Contains(Key key) const { return Find(key) != nullptr; }
+
+  /// Visit all (key, value) pairs with key in [lo, hi), in key order. The
+  /// callback returns false to stop early. Returns the number visited.
+  size_t Scan(Key lo, Key hi,
+              const std::function<bool(Key, const V&)>& fn) const {
+    size_t visited = 0;
+    const Node* n = root_.get();
+    while (!n->leaf) n = n->children[ChildIndex(n, lo)].get();
+    while (n != nullptr) {
+      auto it = std::lower_bound(n->keys.begin(), n->keys.end(), lo);
+      for (size_t i = it - n->keys.begin(); i < n->keys.size(); ++i) {
+        if (n->keys[i] >= hi) return visited;
+        ++visited;
+        if (!fn(n->keys[i], n->values[i])) return visited;
+      }
+      n = n->next;
+    }
+    return visited;
+  }
+
+  /// Smallest key >= lo, if any.
+  bool LowerBound(Key lo, Key* out_key, V* out_value = nullptr) const {
+    bool found = false;
+    Scan(lo, kMaxKey, [&](Key k, const V& v) {
+      *out_key = k;
+      if (out_value) *out_value = v;
+      found = true;
+      return false;
+    });
+    return found;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  int height() const { return height_; }
+
+  void Clear() {
+    root_ = NewLeaf();
+    size_ = 0;
+    height_ = 1;
+  }
+
+  /// Structural invariant check for tests: key ordering within and across
+  /// nodes, child counts, and leaf chain consistency.
+  bool CheckInvariants() const {
+    Key min_seen = kMinKey;
+    bool first = true;
+    size_t leaf_count = 0;
+    if (!CheckRec(root_.get(), kMinKey, kMaxKey, &min_seen, &first,
+                  &leaf_count)) {
+      return false;
+    }
+    return leaf_count == size_;
+  }
+
+  /// Approximate heap footprint in bytes (for storage accounting).
+  size_t MemoryBytes() const { return CountBytes(root_.get()); }
+
+ private:
+  struct Node {
+    explicit Node(bool is_leaf) : leaf(is_leaf) {}
+    bool leaf;
+    std::vector<Key> keys;
+    // Internal: children.size() == keys.size() + 1; child[i] covers keys
+    // < keys[i], child[last] covers the rest.
+    std::vector<std::unique_ptr<Node>> children;
+    // Leaf payload, parallel to keys.
+    std::vector<V> values;
+    Node* next = nullptr;  // Leaf chain.
+  };
+
+  struct InsertResult {
+    bool inserted = false;
+    Key split_key = 0;
+    std::unique_ptr<Node> split_sibling;
+  };
+
+  static std::unique_ptr<Node> NewLeaf() {
+    return std::make_unique<Node>(/*leaf=*/true);
+  }
+
+  static size_t ChildIndex(const Node* n, Key key) {
+    // First key strictly greater than `key` determines the child slot:
+    // child[i] holds keys in [keys[i-1], keys[i]).
+    auto it = std::upper_bound(n->keys.begin(), n->keys.end(), key);
+    return static_cast<size_t>(it - n->keys.begin());
+  }
+
+  InsertResult InsertRec(Node* n, Key key, const V& value) {
+    InsertResult result;
+    if (n->leaf) {
+      auto it = std::lower_bound(n->keys.begin(), n->keys.end(), key);
+      const size_t pos = static_cast<size_t>(it - n->keys.begin());
+      if (it != n->keys.end() && *it == key) {
+        n->values[pos] = value;
+        return result;  // Overwrite, no growth.
+      }
+      n->keys.insert(it, key);
+      n->values.insert(n->values.begin() + pos, value);
+      result.inserted = true;
+      if (n->keys.size() > kFanout) SplitLeaf(n, &result);
+      return result;
+    }
+    const size_t ci = ChildIndex(n, key);
+    InsertResult child_result = InsertRec(n->children[ci].get(), key, value);
+    result.inserted = child_result.inserted;
+    if (child_result.split_sibling) {
+      n->keys.insert(n->keys.begin() + ci, child_result.split_key);
+      n->children.insert(n->children.begin() + ci + 1,
+                         std::move(child_result.split_sibling));
+      if (n->keys.size() > kFanout) SplitInternal(n, &result);
+    }
+    return result;
+  }
+
+  static void SplitLeaf(Node* n, InsertResult* result) {
+    auto sibling = NewLeaf();
+    const size_t mid = n->keys.size() / 2;
+    sibling->keys.assign(n->keys.begin() + mid, n->keys.end());
+    sibling->values.assign(std::make_move_iterator(n->values.begin() + mid),
+                           std::make_move_iterator(n->values.end()));
+    n->keys.resize(mid);
+    n->values.resize(mid);
+    sibling->next = n->next;
+    n->next = sibling.get();
+    result->split_key = sibling->keys.front();
+    result->split_sibling = std::move(sibling);
+  }
+
+  static void SplitInternal(Node* n, InsertResult* result) {
+    auto sibling = std::make_unique<Node>(/*leaf=*/false);
+    const size_t mid = n->keys.size() / 2;
+    result->split_key = n->keys[mid];
+    sibling->keys.assign(n->keys.begin() + mid + 1, n->keys.end());
+    sibling->children.assign(
+        std::make_move_iterator(n->children.begin() + mid + 1),
+        std::make_move_iterator(n->children.end()));
+    n->keys.resize(mid);
+    n->children.resize(mid + 1);
+    result->split_sibling = std::move(sibling);
+  }
+
+  bool EraseRec(Node* n, Key key) {
+    if (n->leaf) {
+      auto it = std::lower_bound(n->keys.begin(), n->keys.end(), key);
+      if (it == n->keys.end() || *it != key) return false;
+      const size_t pos = static_cast<size_t>(it - n->keys.begin());
+      n->keys.erase(it);
+      n->values.erase(n->values.begin() + pos);
+      return true;
+    }
+    const size_t ci = ChildIndex(n, key);
+    return EraseRec(n->children[ci].get(), key);
+  }
+
+  bool CheckRec(const Node* n, Key lo, Key hi, Key* min_seen, bool* first,
+                size_t* leaf_count) const {
+    if (!std::is_sorted(n->keys.begin(), n->keys.end())) return false;
+    for (Key k : n->keys) {
+      if (k < lo || k >= hi) return false;
+    }
+    if (n->leaf) {
+      if (n->keys.size() != n->values.size()) return false;
+      *leaf_count += n->keys.size();
+      for (Key k : n->keys) {
+        if (!*first && k <= *min_seen) return false;
+        *min_seen = k;
+        *first = false;
+      }
+      return true;
+    }
+    if (n->children.size() != n->keys.size() + 1) return false;
+    for (size_t i = 0; i < n->children.size(); ++i) {
+      const Key child_lo = i == 0 ? lo : n->keys[i - 1];
+      const Key child_hi = i == n->keys.size() ? hi : n->keys[i];
+      if (!CheckRec(n->children[i].get(), child_lo, child_hi, min_seen, first,
+                    leaf_count)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  size_t CountBytes(const Node* n) const {
+    size_t bytes = sizeof(Node) + n->keys.capacity() * sizeof(Key) +
+                   n->values.capacity() * sizeof(V) +
+                   n->children.capacity() * sizeof(std::unique_ptr<Node>);
+    for (const auto& c : n->children) bytes += CountBytes(c.get());
+    return bytes;
+  }
+
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+  int height_ = 1;
+};
+
+}  // namespace wattdb::index
+
+#endif  // WATTDB_INDEX_BTREE_H_

@@ -1,0 +1,94 @@
+#include "index/top_index.h"
+
+#include <sstream>
+
+namespace wattdb::index {
+
+Status TopIndex::Attach(const KeyRange& range, SegmentId segment) {
+  if (range.Empty()) return Status::InvalidArgument("empty key range");
+  if (!segment.valid()) return Status::InvalidArgument("invalid segment id");
+  // The entry at or after range.lo must start at/after range.hi; the entry
+  // before range.lo must end at/before range.lo.
+  auto next = by_lo_.lower_bound(range.lo);
+  if (next != by_lo_.end() && next->second.range.lo < range.hi) {
+    return Status::AlreadyExists("key range overlaps existing entry");
+  }
+  if (next != by_lo_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->second.range.hi > range.lo) {
+      return Status::AlreadyExists("key range overlaps existing entry");
+    }
+  }
+  by_lo_.emplace(range.lo, Entry{range, segment});
+  return Status::OK();
+}
+
+Status TopIndex::Detach(SegmentId segment) {
+  for (auto it = by_lo_.begin(); it != by_lo_.end(); ++it) {
+    if (it->second.segment == segment) {
+      by_lo_.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("segment not attached");
+}
+
+SegmentId TopIndex::Lookup(Key key) const {
+  auto it = by_lo_.upper_bound(key);
+  if (it == by_lo_.begin()) return SegmentId::Invalid();
+  --it;
+  if (it->second.range.Contains(key)) return it->second.segment;
+  return SegmentId::Invalid();
+}
+
+KeyRange TopIndex::RangeOf(SegmentId segment) const {
+  for (const auto& [lo, e] : by_lo_) {
+    if (e.segment == segment) return e.range;
+  }
+  return KeyRange{0, 0};
+}
+
+std::vector<TopIndex::Entry> TopIndex::Intersecting(const KeyRange& range) const {
+  std::vector<Entry> out;
+  if (range.Empty()) return out;
+  auto it = by_lo_.upper_bound(range.lo);
+  if (it != by_lo_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.range.hi > range.lo) out.push_back(prev->second);
+  }
+  for (; it != by_lo_.end() && it->second.range.lo < range.hi; ++it) {
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+std::vector<TopIndex::Entry> TopIndex::All() const {
+  std::vector<Entry> out;
+  out.reserve(by_lo_.size());
+  for (const auto& [lo, e] : by_lo_) out.push_back(e);
+  return out;
+}
+
+KeyRange TopIndex::Hull() const {
+  if (by_lo_.empty()) return KeyRange{0, 0};
+  KeyRange hull{by_lo_.begin()->second.range.lo, 0};
+  for (const auto& [lo, e] : by_lo_) {
+    hull.hi = std::max(hull.hi, e.range.hi);
+  }
+  return hull;
+}
+
+bool TopIndex::CheckInvariants() const {
+  Key prev_hi = kMinKey;
+  bool first = true;
+  for (const auto& [lo, e] : by_lo_) {
+    if (e.range.Empty() || !e.segment.valid()) return false;
+    if (lo != e.range.lo) return false;
+    if (!first && e.range.lo < prev_hi) return false;
+    prev_hi = e.range.hi;
+    first = false;
+  }
+  return true;
+}
+
+}  // namespace wattdb::index

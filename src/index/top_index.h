@@ -1,0 +1,58 @@
+#ifndef WATTDB_INDEX_TOP_INDEX_H_
+#define WATTDB_INDEX_TOP_INDEX_H_
+
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace wattdb::index {
+
+/// The partition "top index" of physiological partitioning (§4.3): a small
+/// ordered structure mapping disjoint primary-key ranges to the segments
+/// (mini-partitions) that hold them. Moving a segment between partitions
+/// only requires detaching here and attaching to the destination's top
+/// index — the segment-local record index stays valid.
+class TopIndex {
+ public:
+  struct Entry {
+    KeyRange range;
+    SegmentId segment;
+  };
+
+  /// Attach a segment covering `range`. Fails if `range` overlaps an
+  /// existing entry or is empty.
+  Status Attach(const KeyRange& range, SegmentId segment);
+
+  /// Detach the entry for `segment`. Fails if the segment is not attached.
+  Status Detach(SegmentId segment);
+
+  /// Segment whose range contains `key`, or invalid id if none.
+  SegmentId Lookup(Key key) const;
+
+  /// The range registered for `segment`; empty range if not attached.
+  KeyRange RangeOf(SegmentId segment) const;
+
+  /// All segments whose ranges intersect [range.lo, range.hi), in key order.
+  std::vector<Entry> Intersecting(const KeyRange& range) const;
+
+  /// All entries in key order.
+  std::vector<Entry> All() const;
+
+  /// Overall covered hull [min lo, max hi); empty if no entries.
+  KeyRange Hull() const;
+
+  size_t size() const { return by_lo_.size(); }
+  bool empty() const { return by_lo_.empty(); }
+
+  /// True iff ranges are pairwise disjoint and each maps a valid segment.
+  bool CheckInvariants() const;
+
+ private:
+  std::map<Key, Entry> by_lo_;
+};
+
+}  // namespace wattdb::index
+
+#endif  // WATTDB_INDEX_TOP_INDEX_H_

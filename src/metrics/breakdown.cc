@@ -1,0 +1,48 @@
+#include "metrics/breakdown.h"
+
+#include <cstdio>
+
+namespace wattdb::metrics {
+
+void TimeBreakdown::AddTxn(const tx::Txn& txn) {
+  ++queries_;
+  log_us_ += txn.log_us;
+  latch_us_ += txn.latch_us;
+  lock_us_ += txn.lock_wait_us;
+  net_us_ += txn.net_us;
+  disk_us_ += txn.disk_us;
+  cpu_us_ += txn.cpu_us;
+  other_us_ += txn.OtherUs();
+}
+
+void TimeBreakdown::Add(const TimeBreakdown& other) {
+  queries_ += other.queries_;
+  log_us_ += other.log_us_;
+  latch_us_ += other.latch_us_;
+  lock_us_ += other.lock_us_;
+  net_us_ += other.net_us_;
+  disk_us_ += other.disk_us_;
+  cpu_us_ += other.cpu_us_;
+  other_us_ += other.other_us_;
+}
+
+void TimeBreakdown::Reset() { *this = TimeBreakdown(); }
+
+std::string TimeBreakdown::Header() {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-24s %9s %9s %9s %9s %9s %9s %9s",
+                "configuration", "logging", "latching", "locking", "net_io",
+                "disk_io", "other", "total_ms");
+  return buf;
+}
+
+std::string TimeBreakdown::ToRow(const std::string& label) const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%-24s %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f",
+                label.c_str(), LoggingMs(), LatchingMs(), LockingMs(),
+                NetworkMs(), DiskMs(), OtherMs(), TotalMs());
+  return buf;
+}
+
+}  // namespace wattdb::metrics

@@ -1,0 +1,58 @@
+#ifndef WATTDB_METRICS_BREAKDOWN_H_
+#define WATTDB_METRICS_BREAKDOWN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+#include "tx/transaction.h"
+
+namespace wattdb::metrics {
+
+/// Per-component query-time accounting for the Fig. 7 breakdown: average
+/// milliseconds a query spends in logging, latching, locking, network I/O,
+/// disk I/O, and everything else.
+class TimeBreakdown {
+ public:
+  void AddTxn(const tx::Txn& txn);
+  void Add(const TimeBreakdown& other);
+  void Reset();
+
+  int64_t queries() const { return queries_; }
+
+  // Average per-query milliseconds per component.
+  double LoggingMs() const { return AvgMs(log_us_); }
+  double LatchingMs() const { return AvgMs(latch_us_); }
+  double LockingMs() const { return AvgMs(lock_us_); }
+  double NetworkMs() const { return AvgMs(net_us_); }
+  double DiskMs() const { return AvgMs(disk_us_); }
+  double OtherMs() const { return AvgMs(cpu_us_ + other_us_); }
+  double TotalMs() const {
+    return LoggingMs() + LatchingMs() + LockingMs() + NetworkMs() + DiskMs() +
+           OtherMs();
+  }
+
+  /// One formatted row: component columns in the Fig. 7 order.
+  std::string ToRow(const std::string& label) const;
+  static std::string Header();
+
+ private:
+  double AvgMs(SimTime total_us) const {
+    return queries_ == 0
+               ? 0.0
+               : static_cast<double>(total_us) / queries_ / kUsPerMs;
+  }
+
+  int64_t queries_ = 0;
+  SimTime log_us_ = 0;
+  SimTime latch_us_ = 0;
+  SimTime lock_us_ = 0;
+  SimTime net_us_ = 0;
+  SimTime disk_us_ = 0;
+  SimTime cpu_us_ = 0;
+  SimTime other_us_ = 0;
+};
+
+}  // namespace wattdb::metrics
+
+#endif  // WATTDB_METRICS_BREAKDOWN_H_

@@ -1,0 +1,221 @@
+#include "partition/migration.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace wattdb::partition {
+
+MigrationManagerBase::MigrationManagerBase(cluster::Cluster* cluster,
+                                           MigrationConfig config)
+    : cluster_(cluster), config_(config) {}
+
+std::vector<MigrationManagerBase::MoveTask>
+MigrationManagerBase::PlanRebalance(const std::vector<NodeId>& targets,
+                                    double fraction) {
+  std::vector<MoveTask> tasks;
+  size_t rr = 0;  // Round-robin cursor over targets.
+  for (TableId table : cluster_->catalog().Tables()) {
+    if (config_.only_table.valid() && table != config_.only_table) continue;
+    // Pool every candidate segment of the table across all source
+    // partitions, so the fraction applies table-wide even when individual
+    // partitions hold very few segments.
+    struct Candidate {
+      catalog::Partition* part;
+      index::TopIndex::Entry entry;
+    };
+    std::vector<Candidate> pool;
+    for (catalog::Partition* part : cluster_->catalog().PartitionsOf(table)) {
+      // Never pull data off the targets themselves.
+      if (std::find(targets.begin(), targets.end(), part->owner()) !=
+          targets.end()) {
+        continue;
+      }
+      for (const auto& e : part->top_index().All()) {
+        pool.push_back({part, e});
+      }
+    }
+    if (pool.empty()) continue;
+    const size_t to_move = std::max<size_t>(
+        pool.size() >= 2 ? 1 : 0,
+        static_cast<size_t>(static_cast<double>(pool.size()) * fraction +
+                            0.5));
+    if (to_move == 0) continue;
+    // Interleave: move every (n/to_move)-th segment so retained and moved
+    // key ranges alternate across the key space.
+    const double stride =
+        static_cast<double>(pool.size()) / static_cast<double>(to_move);
+    double cursor = stride - 1.0;
+    for (size_t k = 0; k < to_move; ++k) {
+      const size_t idx =
+          std::min(pool.size() - 1, static_cast<size_t>(cursor + 0.5));
+      cursor += stride;
+      const Candidate& c = pool[idx];
+      MoveTask t;
+      t.table = table;
+      t.segment = c.entry.segment;
+      t.range = c.entry.range;
+      t.src_partition = c.part->id();
+      t.src_node = c.part->owner();
+      t.dst_node = targets[rr++ % targets.size()];
+      t.dst_partition = PartitionId::Invalid();  // Resolved at execution.
+      tasks.push_back(t);
+    }
+  }
+  return tasks;
+}
+
+std::vector<MigrationManagerBase::MoveTask> MigrationManagerBase::PlanDrain(
+    NodeId victim) {
+  std::vector<MoveTask> tasks;
+  std::vector<NodeId> survivors;
+  for (cluster::Node* n : cluster_->ActiveNodes()) {
+    if (n->id() != victim) survivors.push_back(n->id());
+  }
+  if (survivors.empty()) return tasks;
+  size_t rr = 0;
+  for (catalog::Partition* part :
+       cluster_->catalog().PartitionsOwnedBy(victim)) {
+    for (const auto& e : part->top_index().All()) {
+      MoveTask t;
+      t.table = part->table();
+      t.segment = e.segment;
+      t.range = e.range;
+      t.src_partition = part->id();
+      t.src_node = victim;
+      t.dst_node = survivors[rr++ % survivors.size()];
+      t.dst_partition = PartitionId::Invalid();
+      tasks.push_back(t);
+    }
+  }
+  return tasks;
+}
+
+PartitionId MigrationManagerBase::DstPartitionFor(TableId table, NodeId node,
+                                                  Key range_lo) {
+  const DstKey key{(static_cast<uint64_t>(table.value()) << 32) | node.value(),
+                   range_lo};
+  auto it = dst_partitions_.find(key);
+  if (it != dst_partitions_.end()) {
+    // Reuse only if the partition still exists and is owned by `node`.
+    catalog::Partition* p = cluster_->catalog().GetPartition(it->second);
+    if (p != nullptr && p->owner() == node) return it->second;
+  }
+  catalog::Partition* fresh = cluster_->catalog().CreatePartition(table, node);
+  dst_partitions_[key] = fresh->id();
+  return fresh->id();
+}
+
+Status MigrationManagerBase::StartRebalance(const std::vector<NodeId>& targets,
+                                            double fraction,
+                                            std::function<void()> done) {
+  if (stats_.running) return Status::Busy("migration already running");
+  if (targets.empty() || fraction <= 0.0 || fraction > 1.0) {
+    return Status::InvalidArgument("bad rebalance parameters");
+  }
+  for (NodeId t : targets) {
+    if (!cluster_->node(t)->IsActive()) {
+      return Status::Unavailable("target node not active");
+    }
+  }
+  StartTasks(PlanRebalance(targets, fraction), std::move(done));
+  return Status::OK();
+}
+
+Status MigrationManagerBase::Drain(NodeId victim, std::function<void()> done) {
+  if (stats_.running) return Status::Busy("migration already running");
+  if (!TransfersOwnership()) {
+    return Status::NotSupported(
+        "physical partitioning cannot transfer ownership; scale-in "
+        "impossible (paper §5.2)");
+  }
+  // After the victim is empty, drop its (now segment-less) partitions so
+  // the node can power off (§3.4 scale-in protocol).
+  auto cleanup = [this, victim, done = std::move(done)]() {
+    for (catalog::Partition* p :
+         cluster_->catalog().PartitionsOwnedBy(victim)) {
+      if (p->segment_count() == 0) {
+        (void)cluster_->catalog().DropPartition(p->id());
+      }
+    }
+    if (done) done();
+  };
+  StartTasks(PlanDrain(victim), std::move(cleanup));
+  return Status::OK();
+}
+
+void MigrationManagerBase::StartTasks(std::vector<MoveTask> tasks,
+                                      std::function<void()> done) {
+  stats_ = MigrationStats{};
+  stats_.running = true;
+  stats_.started_at = cluster_->Now();
+  done_ = std::move(done);
+  queue_.assign(tasks.begin(), tasks.end());
+  WATTDB_INFO("migration: " << queue_.size() << " move tasks planned");
+  RunNextTask();
+}
+
+void MigrationManagerBase::RunNextTask() {
+  if (queue_.empty()) {
+    FinishAll();
+    return;
+  }
+  const MoveTask task = queue_.front();
+  queue_.pop_front();
+  ExecuteTask(task, [this]() { RunNextTask(); });
+}
+
+void MigrationManagerBase::FinishAll() {
+  stats_.running = false;
+  stats_.finished_at = cluster_->Now();
+  WATTDB_INFO("migration finished at t=" << ToSeconds(stats_.finished_at)
+                                         << "s, segments="
+                                         << stats_.segments_moved);
+  if (done_) {
+    auto cb = std::move(done_);
+    done_ = nullptr;
+    cb();
+  }
+}
+
+void MigrationManagerBase::StreamBytes(
+    SegmentId seg, NodeId src, NodeId dst, size_t bytes,
+    std::function<void(hw::Disk* dst_disk)> done) {
+  const size_t scaled =
+      static_cast<size_t>(static_cast<double>(bytes) * config_.cost_scale);
+  cluster::Node* src_node = cluster_->node(src);
+  cluster::Node* dst_node = cluster_->node(dst);
+  hw::Disk* dst_disk = dst_node->DataDisk(cluster_->Now());
+  storage::Segment* segment = cluster_->segments().Get(seg);
+  hw::Disk* src_disk =
+      segment != nullptr ? cluster_->FindDisk(segment->disk()) : nullptr;
+  WATTDB_CHECK(src_disk != nullptr);
+
+  src_node->buffer().AddMaintenancePins(config_.pin_pages_per_stream);
+  dst_node->buffer().AddMaintenancePins(config_.pin_pages_per_stream);
+  stats_.bytes_shipped += static_cast<int64_t>(scaled);
+
+  auto remaining = std::make_shared<size_t>(scaled);
+  auto step = std::make_shared<std::function<void()>>();
+  *step = [this, remaining, step, src, dst, src_disk, dst_disk, src_node,
+           dst_node, done = std::move(done)]() {
+    if (*remaining == 0) {
+      src_node->buffer().ReleaseMaintenancePins(config_.pin_pages_per_stream);
+      dst_node->buffer().ReleaseMaintenancePins(config_.pin_pages_per_stream);
+      done(dst_disk);
+      return;
+    }
+    const size_t chunk = std::min(*remaining, config_.copy_chunk_bytes);
+    *remaining -= chunk;
+    const SimTime now = cluster_->Now();
+    // Pipeline one chunk: sequential read, ship, sequential write.
+    const SimTime read_done = src_disk->AccessSequential(now, chunk);
+    const SimTime shipped =
+        cluster_->network().Transfer(read_done, src, dst, chunk);
+    const SimTime written = dst_disk->AccessSequential(shipped, chunk);
+    cluster_->events().ScheduleAt(written, [step]() { (*step)(); });
+  };
+  (*step)();
+}
+
+}  // namespace wattdb::partition

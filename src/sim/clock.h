@@ -1,0 +1,30 @@
+#ifndef WATTDB_SIM_CLOCK_H_
+#define WATTDB_SIM_CLOCK_H_
+
+#include "common/logging.h"
+#include "common/types.h"
+
+namespace wattdb::sim {
+
+/// Virtual simulation clock. Time is in microseconds and only moves forward.
+/// All latency, throughput, power, and energy figures in the reproduction
+/// are derived from this clock, never from wall time, so every experiment is
+/// deterministic and seed-reproducible.
+class Clock {
+ public:
+  SimTime Now() const { return now_; }
+
+  void AdvanceTo(SimTime t) {
+    WATTDB_CHECK_MSG(t >= now_, "clock moved backwards: " << t << " < " << now_);
+    now_ = t;
+  }
+
+  void Reset(SimTime t = 0) { now_ = t; }
+
+ private:
+  SimTime now_ = 0;
+};
+
+}  // namespace wattdb::sim
+
+#endif  // WATTDB_SIM_CLOCK_H_

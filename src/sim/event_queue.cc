@@ -1,0 +1,37 @@
+#include "sim/event_queue.h"
+
+#include <limits>
+
+namespace wattdb::sim {
+
+void EventQueue::ScheduleAt(SimTime when, Callback cb) {
+  if (when < clock_->Now()) when = clock_->Now();
+  heap_.push(Event{when, next_seq_++, std::move(cb)});
+}
+
+bool EventQueue::RunOne() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast, which is safe
+  // because we pop immediately after.
+  Event ev = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  clock_->AdvanceTo(ev.when);
+  ev.cb();
+  return true;
+}
+
+void EventQueue::RunUntil(SimTime until, bool advance_to_until) {
+  while (!heap_.empty() && heap_.top().when <= until) {
+    RunOne();
+  }
+  if (advance_to_until && clock_->Now() < until) {
+    clock_->AdvanceTo(until);
+  }
+}
+
+SimTime EventQueue::NextEventTime() const {
+  if (heap_.empty()) return std::numeric_limits<SimTime>::max();
+  return heap_.top().when;
+}
+
+}  // namespace wattdb::sim

@@ -1,0 +1,69 @@
+#ifndef WATTDB_SIM_EVENT_QUEUE_H_
+#define WATTDB_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/clock.h"
+
+namespace wattdb::sim {
+
+/// Discrete-event scheduler driving the cluster simulation. Events are
+/// callbacks ordered by (time, insertion sequence); ties are broken by
+/// insertion order so that runs are fully deterministic.
+class EventQueue {
+ public:
+  explicit EventQueue(Clock* clock) : clock_(clock) {}
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  using Callback = std::function<void()>;
+
+  /// Schedule `cb` to run at absolute simulated time `when`. Events in the
+  /// past are clamped to "now".
+  void ScheduleAt(SimTime when, Callback cb);
+
+  /// Schedule `cb` to run `delay` microseconds from now.
+  void ScheduleAfter(SimTime delay, Callback cb) {
+    ScheduleAt(clock_->Now() + delay, std::move(cb));
+  }
+
+  /// Run events until the queue is empty or the next event is after `until`.
+  /// The clock is left at `until` (or at the last event time if the queue
+  /// drains first and `advance_to_until` is true).
+  void RunUntil(SimTime until, bool advance_to_until = true);
+
+  /// Run a single event if one exists; returns false when empty.
+  bool RunOne();
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+  SimTime NextEventTime() const;
+
+  Clock* clock() { return clock_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  Clock* clock_;
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+};
+
+}  // namespace wattdb::sim
+
+#endif  // WATTDB_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,146 @@
+#include "sim/resource.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace wattdb::sim {
+
+SimTime Resource::FindSlot(SimTime arrival, SimTime service) const {
+  if (service <= 0) return arrival;
+  SimTime candidate = arrival;
+  // Start from the interval preceding `arrival` (it may cover it).
+  auto it = intervals_.upper_bound(arrival);
+  if (it != intervals_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second > candidate) candidate = prev->second;
+  }
+  for (; it != intervals_.end(); ++it) {
+    if (it->first >= candidate + service) break;  // Gap fits.
+    if (it->second > candidate) candidate = it->second;
+  }
+  return candidate;
+}
+
+SimTime Resource::Acquire(SimTime arrival, SimTime service) {
+  WATTDB_CHECK(service >= 0);
+  if (service == 0) return arrival;
+  const SimTime start = FindSlot(arrival, service);
+  const SimTime end = start + service;
+  total_busy_ += service;
+  // Insert [start, end), coalescing with neighbors that touch it.
+  SimTime lo = start, hi = end;
+  auto it = intervals_.upper_bound(start);
+  if (it != intervals_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second == start) {
+      lo = prev->first;
+      intervals_.erase(prev);
+    }
+  }
+  it = intervals_.find(end);
+  if (it != intervals_.end() && it->first == end) {
+    hi = it->second;
+    intervals_.erase(it);
+  }
+  intervals_[lo] = hi;
+  return end;
+}
+
+SimTime Resource::Peek(SimTime arrival, SimTime service) const {
+  return FindSlot(arrival, service) + service;
+}
+
+SimTime Resource::Backlog(SimTime now) const {
+  // Scheduled busy time after `now`.
+  SimTime busy = 0;
+  auto it = intervals_.upper_bound(now);
+  if (it != intervals_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second > now) busy += prev->second - now;
+  }
+  for (; it != intervals_.end(); ++it) busy += it->second - it->first;
+  return busy;
+}
+
+SimTime Resource::BusyIn(SimTime from, SimTime to) const {
+  SimTime busy = 0;
+  auto it = intervals_.upper_bound(from);
+  if (it != intervals_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second > from) {
+      busy += std::min(prev->second, to) - from;
+    }
+  }
+  for (; it != intervals_.end() && it->first < to; ++it) {
+    busy += std::min(it->second, to) - it->first;
+  }
+  return busy;
+}
+
+double Resource::UtilizationIn(SimTime from, SimTime to) const {
+  if (to <= from) return 0.0;
+  return static_cast<double>(BusyIn(from, to)) / static_cast<double>(to - from);
+}
+
+void Resource::Prune(SimTime before) {
+  auto it = intervals_.begin();
+  while (it != intervals_.end() && it->second <= before) {
+    it = intervals_.erase(it);
+  }
+}
+
+ResourcePool::ResourcePool(std::string name, int count) : name_(std::move(name)) {
+  WATTDB_CHECK(count > 0);
+  members_.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    members_.emplace_back(name_ + "#" + std::to_string(i));
+  }
+}
+
+SimTime ResourcePool::Acquire(SimTime arrival, SimTime service) {
+  size_t best = 0;
+  SimTime best_done = members_[0].Peek(arrival, service);
+  for (size_t i = 1; i < members_.size(); ++i) {
+    const SimTime done = members_[i].Peek(arrival, service);
+    if (done < best_done) {
+      best = i;
+      best_done = done;
+    }
+  }
+  return members_[best].Acquire(arrival, service);
+}
+
+SimTime ResourcePool::Peek(SimTime arrival, SimTime service) const {
+  SimTime best = members_[0].Peek(arrival, service);
+  for (size_t i = 1; i < members_.size(); ++i) {
+    best = std::min(best, members_[i].Peek(arrival, service));
+  }
+  return best;
+}
+
+SimTime ResourcePool::BusyIn(SimTime from, SimTime to) const {
+  SimTime busy = 0;
+  for (const auto& m : members_) busy += m.BusyIn(from, to);
+  return busy;
+}
+
+double ResourcePool::UtilizationIn(SimTime from, SimTime to) const {
+  if (to <= from || members_.empty()) return 0.0;
+  return static_cast<double>(BusyIn(from, to)) /
+         (static_cast<double>(to - from) * members_.size());
+}
+
+void ResourcePool::Prune(SimTime before) {
+  for (auto& m : members_) m.Prune(before);
+}
+
+SimTime ResourcePool::Backlog(SimTime now) const {
+  SimTime best = members_[0].Backlog(now);
+  for (size_t i = 1; i < members_.size(); ++i) {
+    best = std::min(best, members_[i].Backlog(now));
+  }
+  return best;
+}
+
+}  // namespace wattdb::sim

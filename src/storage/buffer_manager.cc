@@ -1,0 +1,163 @@
+#include "storage/buffer_manager.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace wattdb::storage {
+
+BufferManager::BufferManager(NodeId node, BufferSpec spec,
+                             SegmentManager* segments, hw::Network* network,
+                             DiskResolver disk_resolver)
+    : node_(node),
+      spec_(spec),
+      segments_(segments),
+      network_(network),
+      disk_resolver_(std::move(disk_resolver)) {
+  WATTDB_CHECK(spec_.capacity_pages > 0);
+}
+
+SimTime BufferManager::LatchCost() const {
+  // Each concurrently pinned maintenance page adds contention; cap the
+  // multiplier so pathological migrations cannot freeze the node.
+  const double pressure =
+      std::min(4.0, static_cast<double>(maintenance_pins_) / 256.0);
+  return static_cast<SimTime>(spec_.latch_us * (1.0 + 3.0 * pressure));
+}
+
+void BufferManager::TouchLru(const FrameKey& key, Frame* frame) {
+  lru_.erase(frame->lru_it);
+  lru_.push_front(key);
+  frame->lru_it = lru_.begin();
+}
+
+void BufferManager::EvictIfFull(SimTime now) {
+  while (frames_.size() >= spec_.capacity_pages) {
+    const FrameKey victim = lru_.back();
+    lru_.pop_back();
+    auto it = frames_.find(victim);
+    WATTDB_CHECK(it != frames_.end());
+    if (it->second.dirty) {
+      // Asynchronous write-back: the disk gets busy, the caller does not
+      // wait.
+      Segment* seg = segments_->Get(victim.segment);
+      if (seg != nullptr) {
+        hw::Disk* disk = disk_resolver_(seg->disk());
+        if (disk != nullptr) disk->AccessRandom(now, kPageSize);
+        ++dirty_writebacks_;
+      }
+    }
+    frames_.erase(it);
+    // Clean pages may be demoted into the helper's remote-memory tier.
+    if (remote_tier_node_.valid() && remote_tier_capacity_ > 0) {
+      if (remote_tier_.find(victim) == remote_tier_.end()) {
+        while (remote_tier_.size() >= remote_tier_capacity_) {
+          remote_tier_.erase(remote_lru_.back());
+          remote_lru_.pop_back();
+        }
+        remote_lru_.push_front(victim);
+        remote_tier_.emplace(victim, remote_lru_.begin());
+        // The page ships to the helper asynchronously.
+        network_->Transfer(now, node_, remote_tier_node_, kPageSize);
+      }
+    }
+  }
+}
+
+PageAccess BufferManager::FetchPage(SimTime now, SegmentId seg_id,
+                                    uint16_t page_idx, bool for_write) {
+  PageAccess out;
+  const FrameKey key{seg_id, page_idx};
+  const SimTime latch = LatchCost();
+  out.latch_us = latch;
+  SimTime t = now + latch;
+
+  auto it = frames_.find(key);
+  if (it != frames_.end()) {
+    ++hits_;
+    out.hit = true;
+    if (for_write) it->second.dirty = true;
+    TouchLru(key, &it->second);
+    out.done = t + spec_.hit_us;
+    return out;
+  }
+  ++misses_;
+
+  // Remote-memory tier (helper rDMA) is cheaper than any disk.
+  auto rt = remote_tier_.find(key);
+  if (rt != remote_tier_.end()) {
+    ++remote_memory_hits_;
+    out.remote_memory = true;
+    const SimTime t0 = t;
+    t = network_->RoundTrip(t, node_, remote_tier_node_,
+                            spec_.remote_request_bytes, kPageSize);
+    out.net_us = t - t0;
+    remote_lru_.erase(rt->second);
+    remote_tier_.erase(rt);
+  } else {
+    Segment* seg = segments_->Get(seg_id);
+    WATTDB_CHECK_MSG(seg != nullptr, "fetch of dropped segment");
+    hw::Disk* disk = disk_resolver_(seg->disk());
+    WATTDB_CHECK_MSG(disk != nullptr, "segment disk not resolvable");
+    if (seg->storage_node() == node_) {
+      const SimTime t0 = t;
+      t = disk->AccessRandom(t, kPageSize);
+      out.disk_us = t - t0;
+    } else {
+      // Physical-partitioning penalty: the owner must fetch the page across
+      // the network from the node holding the bytes (request -> remote disk
+      // read -> page shipped back).
+      out.remote_disk = true;
+      const SimTime t0 = t;
+      const SimTime req_arrived = network_->Transfer(
+          t, node_, seg->storage_node(), spec_.remote_request_bytes);
+      const SimTime disk_done = disk->AccessRandom(req_arrived, kPageSize);
+      t = network_->Transfer(disk_done, seg->storage_node(), node_, kPageSize);
+      out.disk_us = disk_done - req_arrived;
+      out.net_us = (t - t0) - out.disk_us;
+    }
+  }
+
+  EvictIfFull(now);
+  lru_.push_front(key);
+  Frame frame;
+  frame.dirty = for_write;
+  frame.lru_it = lru_.begin();
+  frames_.emplace(key, frame);
+
+  out.done = t + spec_.hit_us;
+  return out;
+}
+
+void BufferManager::InvalidateSegment(SegmentId seg) {
+  for (auto it = frames_.begin(); it != frames_.end();) {
+    if (it->first.segment == seg) {
+      lru_.erase(it->second.lru_it);
+      it = frames_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = remote_tier_.begin(); it != remote_tier_.end();) {
+    if (it->first.segment == seg) {
+      remote_lru_.erase(it->second);
+      it = remote_tier_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void BufferManager::AttachRemoteTier(NodeId helper, size_t capacity_pages) {
+  remote_tier_node_ = helper;
+  remote_tier_capacity_ = capacity_pages;
+}
+
+void BufferManager::DetachRemoteTier() {
+  remote_tier_node_ = NodeId::Invalid();
+  remote_tier_capacity_ = 0;
+  remote_tier_.clear();
+  remote_lru_.clear();
+}
+
+}  // namespace wattdb::storage

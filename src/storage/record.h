@@ -1,0 +1,80 @@
+#ifndef WATTDB_STORAGE_RECORD_H_
+#define WATTDB_STORAGE_RECORD_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace wattdb::storage {
+
+/// Position of a record inside a segment.
+struct RecordPos {
+  uint16_t page = 0;
+  uint16_t slot = 0;
+
+  friend bool operator==(const RecordPos& a, const RecordPos& b) {
+    return a.page == b.page && a.slot == b.slot;
+  }
+};
+
+/// Cluster-wide record identifier: segment + position. Stable across
+/// physical and physiological segment moves (the segment's content is
+/// shipped verbatim); invalidated by logical record migration, which
+/// re-inserts records elsewhere.
+struct Rid {
+  SegmentId segment;
+  RecordPos pos;
+
+  bool valid() const { return segment.valid(); }
+
+  friend bool operator==(const Rid& a, const Rid& b) {
+    return a.segment == b.segment && a.pos == b.pos;
+  }
+};
+
+/// A materialized record: primary key plus opaque payload bytes. On a page,
+/// records are stored as an 8-byte little-endian key followed by the payload
+/// so that full scans can recover keys without consulting the index.
+struct Record {
+  Key key = 0;
+  std::vector<uint8_t> payload;
+
+  size_t StoredSize() const { return sizeof(Key) + payload.size(); }
+};
+
+/// Serialize key+payload into the page wire format.
+inline std::vector<uint8_t> EncodeRecord(Key key,
+                                         const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> buf(sizeof(Key) + payload.size());
+  std::memcpy(buf.data(), &key, sizeof(Key));
+  if (!payload.empty()) {
+    std::memcpy(buf.data() + sizeof(Key), payload.data(), payload.size());
+  }
+  return buf;
+}
+
+/// Parse the page wire format back into a Record.
+inline Record DecodeRecord(const uint8_t* data, size_t size) {
+  Record r;
+  std::memcpy(&r.key, data, sizeof(Key));
+  r.payload.assign(data + sizeof(Key), data + size);
+  return r;
+}
+
+}  // namespace wattdb::storage
+
+namespace std {
+template <>
+struct hash<wattdb::storage::Rid> {
+  size_t operator()(const wattdb::storage::Rid& rid) const {
+    size_t h = std::hash<wattdb::SegmentId>()(rid.segment);
+    h = h * 1000003 + (static_cast<size_t>(rid.pos.page) << 16 | rid.pos.slot);
+    return h;
+  }
+};
+}  // namespace std
+
+#endif  // WATTDB_STORAGE_RECORD_H_

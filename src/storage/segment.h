@@ -1,0 +1,112 @@
+#ifndef WATTDB_STORAGE_SEGMENT_H_
+#define WATTDB_STORAGE_SEGMENT_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/constants.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "index/btree.h"
+#include "storage/page.h"
+#include "storage/record.h"
+
+namespace wattdb::storage {
+
+/// A 32 MB unit of storage and of migration (§4, Fig. 4): up to 4096 pages
+/// plus — key to physiological partitioning — a segment-local primary-key
+/// B+-tree over exactly the records it stores. Moving the segment between
+/// nodes never invalidates this index; only the partitions' top indexes need
+/// updating (§4.3).
+///
+/// The segment also records where its bytes physically live (node + disk),
+/// which the buffer manager uses to decide between local disk I/O and a
+/// remote fetch (the physical-partitioning penalty).
+class Segment {
+ public:
+  Segment(SegmentId id, NodeId storage_node, DiskId disk);
+
+  Segment(const Segment&) = delete;
+  Segment& operator=(const Segment&) = delete;
+
+  SegmentId id() const { return id_; }
+
+  /// Node whose disk holds the bytes (may differ from the owning partition's
+  /// node under physical partitioning).
+  NodeId storage_node() const { return storage_node_; }
+  DiskId disk() const { return disk_; }
+  void Relocate(NodeId node, DiskId disk) {
+    storage_node_ = node;
+    disk_ = disk;
+  }
+
+  /// Insert a record. Fails with ResourceExhausted when all 4096 pages are
+  /// full, AlreadyExists on duplicate key.
+  Result<RecordPos> Insert(Key key, const std::vector<uint8_t>& payload);
+
+  /// Latest stored record for `key`.
+  Result<Record> Read(Key key) const;
+  /// Record at a known position (index-free access for scans).
+  Result<Record> ReadAt(RecordPos pos) const;
+
+  /// Overwrite the payload of `key`. May relocate the record within the
+  /// segment if it grew; the local index is kept consistent.
+  Status Update(Key key, const std::vector<uint8_t>& payload);
+
+  Status Delete(Key key);
+
+  bool Contains(Key key) const { return pk_index_.Contains(key) ; }
+  Result<RecordPos> Locate(Key key) const;
+
+  /// Visit records with keys in [lo, hi) in key order; fn returns false to
+  /// stop. Returns number visited.
+  size_t ScanRange(Key lo, Key hi,
+                   const std::function<bool(const Record&)>& fn) const;
+
+  /// Visit every record in key order.
+  size_t ScanAll(const std::function<bool(const Record&)>& fn) const;
+
+  size_t record_count() const { return pk_index_.size(); }
+  /// Number of materialized pages.
+  size_t page_count() const { return pages_.size(); }
+  /// Index of the page holding `pos` for buffer-manager addressing.
+  const Page* page(size_t idx) const { return pages_[idx].get(); }
+  Page* page(size_t idx) { return pages_[idx].get(); }
+
+  /// Bytes of live record bodies across all pages.
+  size_t LiveBytes() const;
+  /// Bytes this segment occupies on disk (whole pages).
+  size_t DiskBytes() const { return pages_.size() * kPageSize; }
+  /// Heap bytes of the segment-local index.
+  size_t IndexBytes() const { return pk_index_.MemoryBytes(); }
+
+  /// Smallest/largest key present (0/0 when empty).
+  Key MinKey() const;
+  Key MaxKey() const;
+
+  /// Access statistics for the master's hot-segment detection.
+  int64_t reads() const { return reads_; }
+  int64_t writes() const { return writes_; }
+  void ResetStats() { reads_ = writes_ = 0; }
+
+  /// Index consistency: every index entry resolves to a live record with the
+  /// same key, and counts match.
+  bool CheckInvariants() const;
+
+ private:
+  Page* PageWithRoom(size_t record_size, uint16_t* out_idx);
+
+  SegmentId id_;
+  NodeId storage_node_;
+  DiskId disk_;
+  std::vector<std::unique_ptr<Page>> pages_;
+  index::BTree<RecordPos> pk_index_;
+  /// First page that might have room, to keep inserts O(1) amortized.
+  size_t insert_cursor_ = 0;
+  mutable int64_t reads_ = 0;
+  int64_t writes_ = 0;
+};
+
+}  // namespace wattdb::storage
+
+#endif  // WATTDB_STORAGE_SEGMENT_H_

@@ -1,0 +1,49 @@
+#include "storage/segment_manager.h"
+
+namespace wattdb::storage {
+
+Segment* SegmentManager::Create(NodeId node, DiskId disk) {
+  const SegmentId id(next_id_++);
+  auto seg = std::make_unique<Segment>(id, node, disk);
+  Segment* raw = seg.get();
+  segments_.emplace(id, std::move(seg));
+  return raw;
+}
+
+Segment* SegmentManager::Get(SegmentId id) {
+  auto it = segments_.find(id);
+  return it == segments_.end() ? nullptr : it->second.get();
+}
+
+const Segment* SegmentManager::Get(SegmentId id) const {
+  auto it = segments_.find(id);
+  return it == segments_.end() ? nullptr : it->second.get();
+}
+
+Status SegmentManager::Drop(SegmentId id) {
+  return segments_.erase(id) > 0 ? Status::OK()
+                                 : Status::NotFound("no such segment");
+}
+
+Status SegmentManager::Relocate(SegmentId id, NodeId node, DiskId disk) {
+  Segment* seg = Get(id);
+  if (seg == nullptr) return Status::NotFound("no such segment");
+  seg->Relocate(node, disk);
+  return Status::OK();
+}
+
+std::vector<Segment*> SegmentManager::SegmentsOn(NodeId node) {
+  std::vector<Segment*> out;
+  for (auto& [id, seg] : segments_) {
+    if (seg->storage_node() == node) out.push_back(seg.get());
+  }
+  return out;
+}
+
+size_t SegmentManager::TotalDiskBytes() const {
+  size_t bytes = 0;
+  for (const auto& [id, seg] : segments_) bytes += seg->DiskBytes();
+  return bytes;
+}
+
+}  // namespace wattdb::storage

@@ -1,0 +1,50 @@
+#ifndef WATTDB_STORAGE_SEGMENT_MANAGER_H_
+#define WATTDB_STORAGE_SEGMENT_MANAGER_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/segment.h"
+
+namespace wattdb::storage {
+
+/// Cluster-wide segment directory: allocates segment ids, owns all segment
+/// objects, and tracks where each segment's bytes physically reside. The
+/// master's migration machinery and every node's buffer manager consult it.
+class SegmentManager {
+ public:
+  SegmentManager() = default;
+  SegmentManager(const SegmentManager&) = delete;
+  SegmentManager& operator=(const SegmentManager&) = delete;
+
+  /// Create a fresh segment stored on (node, disk).
+  Segment* Create(NodeId node, DiskId disk);
+
+  Segment* Get(SegmentId id);
+  const Segment* Get(SegmentId id) const;
+
+  /// Remove a segment entirely (after logical migration drained it).
+  Status Drop(SegmentId id);
+
+  /// Update the physical location of a segment's bytes.
+  Status Relocate(SegmentId id, NodeId node, DiskId disk);
+
+  /// All segments whose bytes live on `node`.
+  std::vector<Segment*> SegmentsOn(NodeId node);
+
+  size_t size() const { return segments_.size(); }
+
+  /// Total disk bytes across all segments (storage-footprint metric).
+  size_t TotalDiskBytes() const;
+
+ private:
+  uint32_t next_id_ = 1;
+  std::unordered_map<SegmentId, std::unique_ptr<Segment>> segments_;
+};
+
+}  // namespace wattdb::storage
+
+#endif  // WATTDB_STORAGE_SEGMENT_MANAGER_H_

@@ -1,0 +1,149 @@
+#include "tx/lock_manager.h"
+
+#include <algorithm>
+
+namespace wattdb::tx {
+
+bool LockCompatible(LockMode held, LockMode requested) {
+  // Standard MGL compatibility matrix (rows: held, cols: requested).
+  static constexpr bool kCompat[4][4] = {
+      //            IS     IX     S      X
+      /* IS */ {true, true, true, false},
+      /* IX */ {true, true, false, false},
+      /* S  */ {true, false, true, false},
+      /* X  */ {false, false, false, false},
+  };
+  return kCompat[static_cast<int>(held)][static_cast<int>(requested)];
+}
+
+const char* LockModeName(LockMode mode) {
+  switch (mode) {
+    case LockMode::kIS:
+      return "IS";
+    case LockMode::kIX:
+      return "IX";
+    case LockMode::kS:
+      return "S";
+    case LockMode::kX:
+      return "X";
+  }
+  return "?";
+}
+
+namespace {
+/// Lock-strength order for in-place upgrades: X > S/IX > IS.
+int Strength(LockMode m) {
+  switch (m) {
+    case LockMode::kIS:
+      return 0;
+    case LockMode::kIX:
+    case LockMode::kS:
+      return 1;
+    case LockMode::kX:
+      return 2;
+  }
+  return 0;
+}
+}  // namespace
+
+SimTime LockManager::EarliestGrant(const LockResource& res, LockMode mode,
+                                   TxnId txn, SimTime now) const {
+  auto it = table_.find(res);
+  if (it == table_.end()) return now;
+  SimTime t = now;
+  for (const Grant& g : it->second) {
+    if (g.txn == txn) continue;           // Own grants never conflict.
+    if (g.until <= t) continue;           // Already released by then.
+    if (!LockCompatible(g.mode, mode)) {
+      t = std::max(t, g.until);
+    }
+  }
+  return t;
+}
+
+LockGrant LockManager::Acquire(const LockResource& res, LockMode mode,
+                               TxnId txn, SimTime now, SimTime release_at) {
+  auto& grants = table_[res];
+  // In-place upgrade if this transaction already holds the resource.
+  for (Grant& g : grants) {
+    if (g.txn == txn) {
+      if (Strength(mode) > Strength(g.mode)) {
+        // Upgrades must additionally wait for conflicting peers.
+        const SimTime t = EarliestGrant(res, mode, txn, now);
+        g.mode = mode;
+        g.until = std::max(g.until, release_at);
+        return LockGrant{t, t - now};
+      }
+      g.until = std::max(g.until, release_at);
+      return LockGrant{now, 0};
+    }
+  }
+  const SimTime t = EarliestGrant(res, mode, txn, now);
+  grants.push_back(Grant{txn, mode, t, std::max(release_at, t)});
+  by_txn_[txn].push_back(res);
+  return LockGrant{t, t - now};
+}
+
+void LockManager::ExtendHold(TxnId txn, SimTime release_at) {
+  auto it = by_txn_.find(txn);
+  if (it == by_txn_.end()) return;
+  for (const LockResource& res : it->second) {
+    auto tit = table_.find(res);
+    if (tit == table_.end()) continue;
+    for (Grant& g : tit->second) {
+      if (g.txn == txn && g.until < release_at) g.until = release_at;
+    }
+  }
+}
+
+void LockManager::SettleAll(TxnId txn, SimTime at) {
+  auto it = by_txn_.find(txn);
+  if (it == by_txn_.end()) return;
+  for (const LockResource& res : it->second) {
+    auto tit = table_.find(res);
+    if (tit == table_.end()) continue;
+    for (Grant& g : tit->second) {
+      if (g.txn == txn) g.until = std::max(g.from, at);
+    }
+  }
+  by_txn_.erase(it);
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  auto it = by_txn_.find(txn);
+  if (it == by_txn_.end()) return;
+  for (const LockResource& res : it->second) {
+    auto tit = table_.find(res);
+    if (tit == table_.end()) continue;
+    auto& grants = tit->second;
+    grants.erase(std::remove_if(grants.begin(), grants.end(),
+                                [&](const Grant& g) { return g.txn == txn; }),
+                 grants.end());
+    if (grants.empty()) table_.erase(tit);
+  }
+  by_txn_.erase(it);
+}
+
+size_t LockManager::GrantCount() const {
+  size_t n = 0;
+  for (const auto& [res, grants] : table_) n += grants.size();
+  return n;
+}
+
+void LockManager::Prune(SimTime before) {
+  for (auto it = table_.begin(); it != table_.end();) {
+    auto& grants = it->second;
+    grants.erase(std::remove_if(grants.begin(), grants.end(),
+                                [&](const Grant& g) { return g.until <= before; }),
+                 grants.end());
+    if (grants.empty()) {
+      it = table_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // by_txn_ entries are cleaned in ReleaseAll; stale references to pruned
+  // resources are tolerated (lookups simply miss).
+}
+
+}  // namespace wattdb::tx

@@ -1,0 +1,62 @@
+#ifndef WATTDB_TX_TRANSACTION_H_
+#define WATTDB_TX_TRANSACTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace wattdb::tx {
+
+/// MVCC timestamps are drawn from the same monotone counter as TxnIds.
+using Timestamp = uint64_t;
+constexpr Timestamp kInfinityTs = UINT64_MAX;
+
+enum class TxnState { kActive, kCommitted, kAborted };
+
+/// Which concurrency-control protocol a transaction runs under. The paper
+/// compares classical multi-granularity locking with RX modes (MGL-RX)
+/// against multiversion concurrency control (Fig. 3) and selects MVCC.
+enum class CcScheme { kMvcc, kMglRx };
+
+/// Descriptor of one (possibly system) transaction. Owned by the
+/// TransactionManager; operators and the migration machinery reference it
+/// while threading simulated time through kernel calls.
+struct Txn {
+  TxnId id;
+  Timestamp begin_ts = 0;
+  Timestamp commit_ts = 0;
+  TxnState state = TxnState::kActive;
+  bool read_only = false;
+  /// System transactions guarantee serializability of record movement
+  /// (§3.5); they are invisible to user-level monitoring.
+  bool system = false;
+  /// Simulated start time and running completion estimate.
+  SimTime start_time = 0;
+  SimTime now = 0;
+
+  // Component-time accounting for the Fig. 7 breakdown (microseconds).
+  SimTime cpu_us = 0;
+  SimTime disk_us = 0;
+  SimTime net_us = 0;
+  SimTime lock_wait_us = 0;
+  SimTime latch_us = 0;
+  SimTime log_us = 0;
+
+  /// Advance the transaction's private clock to `t` (monotone).
+  void AdvanceTo(SimTime t) {
+    if (t > now) now = t;
+  }
+
+  SimTime Elapsed() const { return now - start_time; }
+  SimTime OtherUs() const {
+    const SimTime accounted =
+        cpu_us + disk_us + net_us + lock_wait_us + latch_us + log_us;
+    const SimTime total = Elapsed();
+    return total > accounted ? total - accounted : 0;
+  }
+};
+
+}  // namespace wattdb::tx
+
+#endif  // WATTDB_TX_TRANSACTION_H_

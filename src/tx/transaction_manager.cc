@@ -1,0 +1,61 @@
+#include "tx/transaction_manager.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace wattdb::tx {
+
+TransactionManager::TransactionManager() = default;
+
+Txn* TransactionManager::Begin(SimTime now, bool read_only, bool system) {
+  auto txn = std::make_unique<Txn>();
+  txn->id = TxnId(next_ts_++);
+  txn->begin_ts = txn->id.value();
+  txn->read_only = read_only;
+  txn->system = system;
+  txn->start_time = now;
+  txn->now = now;
+  Txn* raw = txn.get();
+  active_.emplace(raw->id, std::move(txn));
+  return raw;
+}
+
+Timestamp TransactionManager::Commit(Txn* txn) {
+  WATTDB_CHECK(txn->state == TxnState::kActive);
+  txn->commit_ts = next_ts_++;
+  txn->state = TxnState::kCommitted;
+  versions_.Commit(*txn);
+  locks_.SettleAll(txn->id, txn->now);
+  ++committed_;
+  return txn->commit_ts;
+}
+
+std::vector<VersionStore::UndoEntry> TransactionManager::Abort(Txn* txn) {
+  WATTDB_CHECK(txn->state == TxnState::kActive);
+  txn->state = TxnState::kAborted;
+  auto undo = versions_.Abort(*txn);
+  locks_.SettleAll(txn->id, txn->now);
+  ++aborted_;
+  return undo;
+}
+
+void TransactionManager::Release(TxnId id) { active_.erase(id); }
+
+Txn* TransactionManager::Get(TxnId id) {
+  auto it = active_.find(id);
+  return it == active_.end() ? nullptr : it->second.get();
+}
+
+Timestamp TransactionManager::MinActiveTs() const {
+  Timestamp min_ts = next_ts_;
+  for (const auto& [id, txn] : active_) {
+    if (txn->state != TxnState::kActive) continue;  // Finished, unreleased.
+    min_ts = std::min(min_ts, txn->begin_ts);
+  }
+  return min_ts;
+}
+
+void TransactionManager::Vacuum() { versions_.Gc(MinActiveTs()); }
+
+}  // namespace wattdb::tx

@@ -1,0 +1,69 @@
+#ifndef WATTDB_TX_TRANSACTION_MANAGER_H_
+#define WATTDB_TX_TRANSACTION_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "tx/lock_manager.h"
+#include "tx/transaction.h"
+#include "tx/version_store.h"
+
+namespace wattdb::tx {
+
+/// Cluster-wide transaction authority. WattDB coordinates transactions from
+/// the master node (§3.2), so a single timestamp domain is appropriate:
+/// TxnIds double as begin timestamps and commit timestamps come from the
+/// same monotone counter, giving snapshot-consistent MVCC across nodes.
+class TransactionManager {
+ public:
+  TransactionManager();
+
+  TransactionManager(const TransactionManager&) = delete;
+  TransactionManager& operator=(const TransactionManager&) = delete;
+
+  /// Start a transaction at simulated time `now`.
+  Txn* Begin(SimTime now, bool read_only = false, bool system = false);
+
+  /// Commit: stamps versions; locks are settled to expire at the
+  /// transaction's simulated completion time (txn->now), so transactions
+  /// that logically overlap still observe the blocking. The Txn object
+  /// stays alive until Release().
+  Timestamp Commit(Txn* txn);
+
+  /// Abort: discards provisional versions; the caller applies the returned
+  /// undo entries to the data pages. Txn stays alive until Release().
+  std::vector<VersionStore::UndoEntry> Abort(Txn* txn);
+
+  /// Free a finished transaction after its metrics have been collected.
+  void Release(TxnId id);
+
+  Txn* Get(TxnId id);
+
+  /// Oldest begin timestamp among active transactions (GC horizon).
+  Timestamp MinActiveTs() const;
+
+  /// Run version GC up to the current horizon.
+  void Vacuum();
+
+  VersionStore& versions() { return versions_; }
+  LockManager& locks() { return locks_; }
+
+  int64_t committed() const { return committed_; }
+  int64_t aborted() const { return aborted_; }
+  size_t active_count() const { return active_.size(); }
+
+ private:
+  uint64_t next_ts_ = 1;
+  std::unordered_map<TxnId, std::unique_ptr<Txn>> active_;
+  VersionStore versions_;
+  LockManager locks_;
+  int64_t committed_ = 0;
+  int64_t aborted_ = 0;
+};
+
+}  // namespace wattdb::tx
+
+#endif  // WATTDB_TX_TRANSACTION_MANAGER_H_

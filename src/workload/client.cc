@@ -1,0 +1,53 @@
+#include "workload/client.h"
+
+#include "common/logging.h"
+
+namespace wattdb::workload {
+
+ClientPool::ClientPool(TpccDatabase* db, ClientPoolConfig config)
+    : db_(db), config_(config), runner_(db) {
+  for (int i = 0; i < config_.num_clients; ++i) {
+    rngs_.push_back(std::make_unique<Rng>(config_.seed * 7919 + i));
+  }
+}
+
+void ClientPool::Start() {
+  if (running_) return;
+  running_ = true;
+  auto& events = db_->cluster()->events();
+  for (int i = 0; i < config_.num_clients; ++i) {
+    // Stagger initial arrivals across one think interval so the pool does
+    // not thunder in lock-step.
+    const SimTime offset = static_cast<SimTime>(
+        rngs_[i]->UniformDouble() * static_cast<double>(config_.think_time));
+    events.ScheduleAfter(offset, [this, i]() { ClientLoop(i); });
+  }
+}
+
+void ClientPool::ClientLoop(int client_idx) {
+  if (!running_) return;
+  Rng* rng = rngs_[client_idx].get();
+  const TpccTxnResult result = runner_.RunMixed(config_.mix, rng);
+  if (result.committed) {
+    ++completed_;
+    latencies_.Add(static_cast<double>(result.latency_us));
+    if (series_ != nullptr) {
+      series_->RecordCompletion(result.completed_at, result.latency_us);
+    }
+    if (breakdown_ != nullptr) {
+      breakdown_->AddTxn(result.profile);
+    }
+  } else {
+    ++aborted_;
+  }
+  // Closed loop: next submission after the answer plus think time.
+  const SimTime think = static_cast<SimTime>(
+      rng->Exponential(static_cast<double>(config_.think_time)));
+  const SimTime next_at = result.completed_at + think;
+  db_->cluster()->events().ScheduleAt(next_at,
+                                      [this, client_idx]() {
+                                        ClientLoop(client_idx);
+                                      });
+}
+
+}  // namespace wattdb::workload

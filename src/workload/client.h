@@ -1,0 +1,70 @@
+#ifndef WATTDB_WORKLOAD_CLIENT_H_
+#define WATTDB_WORKLOAD_CLIENT_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "metrics/breakdown.h"
+#include "metrics/time_series.h"
+#include "workload/tpcc_txn.h"
+
+namespace wattdb::workload {
+
+/// Closed-loop OLTP client pool (§5.1 "Workload mix"): each client submits
+/// one query, waits for the answer, then thinks for an exponentially
+/// distributed interval before the next query. Throughput is therefore
+/// limited at the client side — the experiments measure the DBMS's fitness
+/// to keep latency acceptable at a *given* load, not peak tpmC.
+struct ClientPoolConfig {
+  int num_clients = 50;
+  /// Mean think time between a completion and the next submission.
+  SimTime think_time = 100 * kUsPerMs;
+  TpccMix mix;
+  uint64_t seed = 1234;
+};
+
+class ClientPool {
+ public:
+  ClientPool(TpccDatabase* db, ClientPoolConfig config);
+
+  /// Begin issuing queries now; clients run until Stop().
+  void Start();
+  void Stop() { running_ = false; }
+
+  /// Attach sinks: completions are recorded into `series` (may be null) and
+  /// component times into `breakdown` (may be null; switched atomically so
+  /// benches can segment phases).
+  void set_series(metrics::TimeSeries* series) { series_ = series; }
+  void set_breakdown(metrics::TimeBreakdown* bd) { breakdown_ = bd; }
+
+  int64_t completed() const { return completed_; }
+  int64_t aborted() const { return aborted_; }
+  const Histogram& latencies() const { return latencies_; }
+  void ResetStats() {
+    completed_ = 0;
+    aborted_ = 0;
+    latencies_.Reset();
+  }
+
+ private:
+  void ClientLoop(int client_idx);
+
+  TpccDatabase* db_;
+  ClientPoolConfig config_;
+  TpccRunner runner_;
+  std::vector<std::unique_ptr<Rng>> rngs_;
+  bool running_ = false;
+
+  metrics::TimeSeries* series_ = nullptr;
+  metrics::TimeBreakdown* breakdown_ = nullptr;
+  int64_t completed_ = 0;
+  int64_t aborted_ = 0;
+  Histogram latencies_;
+};
+
+}  // namespace wattdb::workload
+
+#endif  // WATTDB_WORKLOAD_CLIENT_H_

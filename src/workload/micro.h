@@ -1,0 +1,58 @@
+#ifndef WATTDB_WORKLOAD_MICRO_H_
+#define WATTDB_WORKLOAD_MICRO_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "workload/tpcc_loader.h"
+
+namespace wattdb::workload {
+
+/// Micro-benchmark driver for the Fig. 3 experiment (§3.5): a pool of
+/// clients issuing short transactions against the CUSTOMER table, each
+/// either read-only (point reads) or write-intensive (point updates),
+/// with a configurable update-transaction percentage — while a partition
+/// is concurrently being moved.
+struct MicroConfig {
+  int num_clients = 20;
+  SimTime think_time = 20 * kUsPerMs;
+  /// Fraction of transactions that are updaters (the Fig. 3 x-axis).
+  double update_ratio = 0.5;
+  int ops_per_txn = 4;
+  uint64_t seed = 99;
+};
+
+class MicroWorkload {
+ public:
+  MicroWorkload(TpccDatabase* db, MicroConfig config);
+
+  void Start();
+  void Stop() { running_ = false; }
+
+  int64_t committed() const { return committed_; }
+  int64_t aborted() const { return aborted_; }
+  const Histogram& latencies() const { return latencies_; }
+  void ResetStats() {
+    committed_ = 0;
+    aborted_ = 0;
+    latencies_.Reset();
+  }
+
+ private:
+  void ClientLoop(int idx);
+  Key RandomCustomerKey(Rng* rng) const;
+
+  TpccDatabase* db_;
+  MicroConfig config_;
+  std::vector<std::unique_ptr<Rng>> rngs_;
+  bool running_ = false;
+  int64_t committed_ = 0;
+  int64_t aborted_ = 0;
+  Histogram latencies_;
+};
+
+}  // namespace wattdb::workload
+
+#endif  // WATTDB_WORKLOAD_MICRO_H_

@@ -1,0 +1,143 @@
+#include "workload/tpcc_schema.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace wattdb::workload {
+
+KeyRange TpccKeys::WarehouseRange(TpccTable table, int64_t w_lo,
+                                  int64_t w_hi) {
+  switch (table) {
+    case TpccTable::kWarehouse:
+      return {Warehouse(w_lo), Warehouse(w_hi)};
+    case TpccTable::kDistrict:
+      return {District(w_lo, 0), District(w_hi, 0)};
+    case TpccTable::kCustomer:
+      return {Customer(w_lo, 0, 0), Customer(w_hi, 0, 0)};
+    case TpccTable::kHistory:
+      return {History(w_lo, 0, 0), History(w_hi, 0, 0)};
+    case TpccTable::kNewOrder:
+    case TpccTable::kOrders:
+      return {Order(w_lo, 0, 0), Order(w_hi, 0, 0)};
+    case TpccTable::kOrderLine:
+      return {OrderLine(w_lo, 0, 0, 0), OrderLine(w_hi, 0, 0, 0)};
+    case TpccTable::kItem:
+      // ITEM is warehouse-independent; map "warehouse ranges" onto item id
+      // ranges so the table still partitions across nodes.
+      return {Item(0), Item(kItems + 1)};
+    case TpccTable::kStock:
+      return {Stock(w_lo, 0), Stock(w_hi, 0)};
+  }
+  return {0, 0};
+}
+
+int64_t GetI64(const std::vector<uint8_t>& payload, size_t offset) {
+  WATTDB_CHECK(offset + 8 <= payload.size());
+  int64_t v;
+  std::memcpy(&v, payload.data() + offset, 8);
+  return v;
+}
+
+void PutI64(std::vector<uint8_t>* payload, size_t offset, int64_t value) {
+  WATTDB_CHECK(offset + 8 <= payload->size());
+  std::memcpy(payload->data() + offset, &value, 8);
+}
+
+double GetF64(const std::vector<uint8_t>& payload, size_t offset) {
+  WATTDB_CHECK(offset + 8 <= payload.size());
+  double v;
+  std::memcpy(&v, payload.data() + offset, 8);
+  return v;
+}
+
+void PutF64(std::vector<uint8_t>* payload, size_t offset, double value) {
+  WATTDB_CHECK(offset + 8 <= payload->size());
+  std::memcpy(payload->data() + offset, &value, 8);
+}
+
+size_t TpccRecordBytes(TpccTable table) {
+  switch (table) {
+    case TpccTable::kWarehouse:
+      return kWarehouseBytes;
+    case TpccTable::kDistrict:
+      return kDistrictBytes;
+    case TpccTable::kCustomer:
+      return kCustomerBytes;
+    case TpccTable::kHistory:
+      return kHistoryBytes;
+    case TpccTable::kNewOrder:
+      return kNewOrderBytes;
+    case TpccTable::kOrders:
+      return kOrdersBytes;
+    case TpccTable::kOrderLine:
+      return kOrderLineBytes;
+    case TpccTable::kItem:
+      return kItemBytes;
+    case TpccTable::kStock:
+      return kStockBytes;
+  }
+  return 0;
+}
+
+namespace {
+catalog::TableSchema MakeSchema(const char* name, size_t payload_bytes,
+                                std::vector<catalog::Column> lead_columns) {
+  catalog::TableSchema s;
+  s.name = name;
+  size_t used = 0;
+  for (auto& c : lead_columns) used += c.width;
+  s.columns = std::move(lead_columns);
+  WATTDB_CHECK(used <= payload_bytes);
+  if (used < payload_bytes) {
+    s.columns.push_back({"filler", catalog::ColumnType::kString,
+                         static_cast<uint32_t>(payload_bytes - used)});
+  }
+  return s;
+}
+}  // namespace
+
+std::vector<TableId> RegisterTpccSchema(catalog::GlobalPartitionTable* cat) {
+  using CT = catalog::ColumnType;
+  std::vector<TableId> ids(kNumTpccTables);
+  ids[static_cast<int>(TpccTable::kWarehouse)] = cat->CreateTable(MakeSchema(
+      "warehouse", kWarehouseBytes,
+      {{"w_tax", CT::kDouble, 8}, {"w_ytd", CT::kDouble, 8}}));
+  ids[static_cast<int>(TpccTable::kDistrict)] = cat->CreateTable(MakeSchema(
+      "district", kDistrictBytes,
+      {{"d_tax", CT::kDouble, 8},
+       {"d_ytd", CT::kDouble, 8},
+       {"d_next_o_id", CT::kInt64, 8}}));
+  ids[static_cast<int>(TpccTable::kCustomer)] = cat->CreateTable(MakeSchema(
+      "customer", kCustomerBytes,
+      {{"c_balance", CT::kDouble, 8},
+       {"c_ytd_payment", CT::kDouble, 8},
+       {"c_payment_cnt", CT::kInt64, 8},
+       {"c_delivery_cnt", CT::kInt64, 8}}));
+  ids[static_cast<int>(TpccTable::kHistory)] = cat->CreateTable(
+      MakeSchema("history", kHistoryBytes, {{"h_amount", CT::kDouble, 8}}));
+  ids[static_cast<int>(TpccTable::kNewOrder)] = cat->CreateTable(
+      MakeSchema("new_order", kNewOrderBytes, {{"no_flag", CT::kInt64, 8}}));
+  ids[static_cast<int>(TpccTable::kOrders)] = cat->CreateTable(MakeSchema(
+      "orders", kOrdersBytes,
+      {{"o_carrier_id", CT::kInt64, 8},
+       {"o_ol_cnt", CT::kInt64, 8},
+       {"o_c_id", CT::kInt64, 8}}));
+  ids[static_cast<int>(TpccTable::kOrderLine)] = cat->CreateTable(MakeSchema(
+      "order_line", kOrderLineBytes,
+      {{"ol_i_id", CT::kInt64, 8},
+       {"ol_quantity", CT::kInt64, 8},
+       {"ol_amount", CT::kDouble, 8},
+       {"ol_delivery_d", CT::kInt64, 8}}));
+  ids[static_cast<int>(TpccTable::kItem)] = cat->CreateTable(
+      MakeSchema("item", kItemBytes, {{"i_price", CT::kDouble, 8}}));
+  ids[static_cast<int>(TpccTable::kStock)] = cat->CreateTable(MakeSchema(
+      "stock", kStockBytes,
+      {{"s_quantity", CT::kInt64, 8},
+       {"s_ytd", CT::kInt64, 8},
+       {"s_order_cnt", CT::kInt64, 8},
+       {"s_remote_cnt", CT::kInt64, 8}}));
+  return ids;
+}
+
+}  // namespace wattdb::workload

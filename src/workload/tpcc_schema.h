@@ -1,0 +1,140 @@
+#ifndef WATTDB_WORKLOAD_TPCC_SCHEMA_H_
+#define WATTDB_WORKLOAD_TPCC_SCHEMA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/global_partition_table.h"
+#include "common/types.h"
+
+namespace wattdb::workload {
+
+/// The nine TPC-C tables.
+enum class TpccTable : int {
+  kWarehouse = 0,
+  kDistrict,
+  kCustomer,
+  kHistory,
+  kNewOrder,
+  kOrders,
+  kOrderLine,
+  kItem,
+  kStock,
+};
+constexpr int kNumTpccTables = 9;
+
+/// Per-warehouse cardinalities (TPC-C clause 1.2; scale factor = number of
+/// warehouses).
+constexpr int kDistrictsPerWarehouse = 10;
+constexpr int kCustomersPerDistrict = 3000;
+constexpr int kItems = 100000;
+constexpr int kStockPerWarehouse = 100000;
+constexpr int kInitialOrdersPerDistrict = 3000;
+constexpr int kInitialNewOrdersPerDistrict = 900;
+
+/// On-page payload widths (bytes), close to the spec's row sizes.
+constexpr size_t kWarehouseBytes = 96;
+constexpr size_t kDistrictBytes = 104;
+constexpr size_t kCustomerBytes = 656;
+constexpr size_t kHistoryBytes = 48;
+constexpr size_t kNewOrderBytes = 8;
+constexpr size_t kOrdersBytes = 32;
+constexpr size_t kOrderLineBytes = 56;
+constexpr size_t kItemBytes = 88;
+constexpr size_t kStockBytes = 312;
+
+/// 64-bit key packing, warehouse-major so that key ranges align with
+/// warehouses and physiological mini-partitions fall out naturally:
+///   warehouse:  w
+///   district:   w<<4  | d                    (d in 1..10)
+///   customer:   (w<<4 | d)<<12 | c           (c in 1..3000)
+///   orders:     (w<<4 | d)<<24 | o
+///   new_order:  same packing as orders
+///   order_line: ((w<<4|d)<<24 | o)<<4 | ol   (ol in 1..15)
+///   history:    (w<<4 | d)<<28 | seq
+///   item:       i
+///   stock:      w<<17 | i                    (i in 1..100000)
+struct TpccKeys {
+  static Key Warehouse(int64_t w) { return static_cast<Key>(w); }
+  static Key District(int64_t w, int64_t d) {
+    return (static_cast<Key>(w) << 4) | static_cast<Key>(d);
+  }
+  static Key Customer(int64_t w, int64_t d, int64_t c) {
+    return (District(w, d) << 12) | static_cast<Key>(c);
+  }
+  static Key Order(int64_t w, int64_t d, int64_t o) {
+    return (District(w, d) << 24) | static_cast<Key>(o);
+  }
+  static Key NewOrder(int64_t w, int64_t d, int64_t o) {
+    return Order(w, d, o);
+  }
+  static Key OrderLine(int64_t w, int64_t d, int64_t o, int64_t ol) {
+    return (Order(w, d, o) << 4) | static_cast<Key>(ol);
+  }
+  static Key History(int64_t w, int64_t d, int64_t seq) {
+    return (District(w, d) << 28) | static_cast<Key>(seq);
+  }
+  static Key Item(int64_t i) { return static_cast<Key>(i); }
+  static Key Stock(int64_t w, int64_t i) {
+    return (static_cast<Key>(w) << 17) | static_cast<Key>(i);
+  }
+
+  /// Key range covering warehouses [w_lo, w_hi) for `table`. All packings
+  /// are monotone in w, so warehouse intervals map to key intervals.
+  static KeyRange WarehouseRange(TpccTable table, int64_t w_lo, int64_t w_hi);
+};
+
+/// Field codecs: the transaction logic reads/writes a few numeric fields at
+/// fixed offsets inside the otherwise opaque payload bytes.
+int64_t GetI64(const std::vector<uint8_t>& payload, size_t offset);
+void PutI64(std::vector<uint8_t>* payload, size_t offset, int64_t value);
+double GetF64(const std::vector<uint8_t>& payload, size_t offset);
+void PutF64(std::vector<uint8_t>* payload, size_t offset, double value);
+
+/// Field offsets used by the transaction profiles.
+struct WarehouseFields {
+  static constexpr size_t kTax = 0;   // f64
+  static constexpr size_t kYtd = 8;   // f64
+};
+struct DistrictFields {
+  static constexpr size_t kTax = 0;       // f64
+  static constexpr size_t kYtd = 8;       // f64
+  static constexpr size_t kNextOid = 16;  // i64
+};
+struct CustomerFields {
+  static constexpr size_t kBalance = 0;       // f64
+  static constexpr size_t kYtdPayment = 8;    // f64
+  static constexpr size_t kPaymentCount = 16; // i64
+  static constexpr size_t kDeliveryCount = 24; // i64
+};
+struct OrderFields {
+  static constexpr size_t kCarrierId = 0;  // i64
+  static constexpr size_t kOlCount = 8;    // i64
+  static constexpr size_t kCustomer = 16;  // i64
+};
+struct OrderLineFields {
+  static constexpr size_t kItem = 0;      // i64
+  static constexpr size_t kQuantity = 8;  // i64
+  static constexpr size_t kAmount = 16;   // f64
+  static constexpr size_t kDeliveryD = 24; // i64
+};
+struct StockFields {
+  static constexpr size_t kQuantity = 0;  // i64
+  static constexpr size_t kYtd = 8;       // i64
+  static constexpr size_t kOrderCount = 16; // i64
+  static constexpr size_t kRemoteCount = 24; // i64
+};
+struct ItemFields {
+  static constexpr size_t kPrice = 0;  // f64
+};
+
+/// Register the nine table schemas; returns the TableIds indexed by
+/// TpccTable.
+std::vector<TableId> RegisterTpccSchema(catalog::GlobalPartitionTable* cat);
+
+/// Payload width of `table`.
+size_t TpccRecordBytes(TpccTable table);
+
+}  // namespace wattdb::workload
+
+#endif  // WATTDB_WORKLOAD_TPCC_SCHEMA_H_

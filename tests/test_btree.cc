@@ -1,0 +1,207 @@
+// Unit + property tests for the B+-tree (segment-local PK index).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "index/btree.h"
+
+namespace wattdb::index {
+namespace {
+
+TEST(BTree, EmptyTree) {
+  BTree<int> t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.Find(1), nullptr);
+  EXPECT_FALSE(t.Erase(1));
+  EXPECT_TRUE(t.CheckInvariants());
+}
+
+TEST(BTree, InsertFind) {
+  BTree<int> t;
+  EXPECT_TRUE(t.Insert(10, 100));
+  EXPECT_TRUE(t.Insert(5, 50));
+  EXPECT_TRUE(t.Insert(20, 200));
+  ASSERT_NE(t.Find(10), nullptr);
+  EXPECT_EQ(*t.Find(10), 100);
+  EXPECT_EQ(*t.Find(5), 50);
+  EXPECT_EQ(t.Find(7), nullptr);
+  EXPECT_EQ(t.size(), 3u);
+}
+
+TEST(BTree, InsertOverwrites) {
+  BTree<int> t;
+  EXPECT_TRUE(t.Insert(1, 10));
+  EXPECT_FALSE(t.Insert(1, 20));  // Overwrite, not new.
+  EXPECT_EQ(*t.Find(1), 20);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(BTree, EraseRemoves) {
+  BTree<int> t;
+  t.Insert(1, 10);
+  t.Insert(2, 20);
+  EXPECT_TRUE(t.Erase(1));
+  EXPECT_EQ(t.Find(1), nullptr);
+  EXPECT_NE(t.Find(2), nullptr);
+  EXPECT_FALSE(t.Erase(1));
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(BTree, SplitsGrowHeight) {
+  BTree<int, 8> t;
+  for (Key k = 0; k < 1000; ++k) t.Insert(k, static_cast<int>(k));
+  EXPECT_GT(t.height(), 2);
+  EXPECT_EQ(t.size(), 1000u);
+  EXPECT_TRUE(t.CheckInvariants());
+  for (Key k = 0; k < 1000; ++k) {
+    ASSERT_NE(t.Find(k), nullptr) << k;
+  }
+}
+
+TEST(BTree, ScanInOrder) {
+  BTree<int, 8> t;
+  for (Key k = 100; k > 0; --k) t.Insert(k, static_cast<int>(k));
+  std::vector<Key> seen;
+  t.Scan(kMinKey, kMaxKey, [&](Key k, const int&) {
+    seen.push_back(k);
+    return true;
+  });
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+}
+
+TEST(BTree, ScanRangeBounds) {
+  BTree<int, 8> t;
+  for (Key k = 0; k < 100; ++k) t.Insert(k, 1);
+  std::vector<Key> seen;
+  t.Scan(10, 20, [&](Key k, const int&) {
+    seen.push_back(k);
+    return true;
+  });
+  ASSERT_EQ(seen.size(), 10u);
+  EXPECT_EQ(seen.front(), 10u);
+  EXPECT_EQ(seen.back(), 19u);
+}
+
+TEST(BTree, ScanEarlyStop) {
+  BTree<int, 8> t;
+  for (Key k = 0; k < 100; ++k) t.Insert(k, 1);
+  size_t visited = t.Scan(0, 100, [&](Key k, const int&) { return k < 4; });
+  EXPECT_EQ(visited, 5u);
+}
+
+TEST(BTree, LowerBound) {
+  BTree<int> t;
+  t.Insert(10, 1);
+  t.Insert(20, 2);
+  Key k = 0;
+  int v = 0;
+  ASSERT_TRUE(t.LowerBound(15, &k, &v));
+  EXPECT_EQ(k, 20u);
+  EXPECT_EQ(v, 2);
+  ASSERT_TRUE(t.LowerBound(10, &k));
+  EXPECT_EQ(k, 10u);
+  EXPECT_FALSE(t.LowerBound(21, &k));
+}
+
+TEST(BTree, ClearResets) {
+  BTree<int> t;
+  for (Key k = 0; k < 100; ++k) t.Insert(k, 1);
+  t.Clear();
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.Find(5), nullptr);
+  EXPECT_TRUE(t.CheckInvariants());
+}
+
+TEST(BTree, MemoryBytesGrows) {
+  BTree<int> t;
+  const size_t empty = t.MemoryBytes();
+  for (Key k = 0; k < 1000; ++k) t.Insert(k, 1);
+  EXPECT_GT(t.MemoryBytes(), empty);
+}
+
+TEST(BTree, MaxKeyBoundary) {
+  BTree<int> t;
+  t.Insert(kMaxKey - 1, 1);
+  t.Insert(kMinKey, 2);
+  EXPECT_NE(t.Find(kMaxKey - 1), nullptr);
+  EXPECT_NE(t.Find(kMinKey), nullptr);
+  size_t n = t.Scan(kMinKey, kMaxKey, [](Key, const int&) { return true; });
+  EXPECT_EQ(n, 2u);
+}
+
+// Property test: against a std::map reference model under mixed
+// insert/erase/overwrite traffic, across fanouts and seeds.
+struct PropParam {
+  uint64_t seed;
+  int ops;
+};
+
+class BTreePropertyTest : public ::testing::TestWithParam<PropParam> {};
+
+TEST_P(BTreePropertyTest, MatchesReferenceModel) {
+  BTree<int, 8> t;
+  std::map<Key, int> model;
+  Rng rng(GetParam().seed);
+  for (int i = 0; i < GetParam().ops; ++i) {
+    const Key k = static_cast<Key>(rng.UniformInt(0, 500));
+    const int op = static_cast<int>(rng.UniformInt(0, 2));
+    if (op <= 1) {
+      const int v = static_cast<int>(rng.Next() & 0xFFFF);
+      t.Insert(k, v);
+      model[k] = v;
+    } else {
+      const bool erased = t.Erase(k);
+      EXPECT_EQ(erased, model.erase(k) > 0);
+    }
+  }
+  EXPECT_EQ(t.size(), model.size());
+  ASSERT_TRUE(t.CheckInvariants());
+  for (const auto& [k, v] : model) {
+    const int* found = t.Find(k);
+    ASSERT_NE(found, nullptr) << k;
+    EXPECT_EQ(*found, v);
+  }
+  // Scan yields exactly the model's keys, in order.
+  std::vector<std::pair<Key, int>> scanned;
+  t.Scan(kMinKey, kMaxKey, [&](Key k, const int& v) {
+    scanned.push_back({k, v});
+    return true;
+  });
+  ASSERT_EQ(scanned.size(), model.size());
+  auto it = model.begin();
+  for (const auto& [k, v] : scanned) {
+    EXPECT_EQ(k, it->first);
+    EXPECT_EQ(v, it->second);
+    ++it;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BTreePropertyTest,
+    ::testing::Values(PropParam{1, 500}, PropParam{2, 2000},
+                      PropParam{3, 5000}, PropParam{77, 10000},
+                      PropParam{123456, 20000}));
+
+// Sequential-insert property across fanouts: the TPC-C loader's
+// monotonically increasing keys must stay balanced.
+template <size_t F>
+void SequentialInsertCheck() {
+  BTree<int, F> t;
+  for (Key k = 0; k < 5000; ++k) t.Insert(k, 1);
+  EXPECT_TRUE(t.CheckInvariants());
+  EXPECT_EQ(t.size(), 5000u);
+}
+
+TEST(BTree, SequentialInsertFanout4) { SequentialInsertCheck<4>(); }
+TEST(BTree, SequentialInsertFanout16) { SequentialInsertCheck<16>(); }
+TEST(BTree, SequentialInsertFanout64) { SequentialInsertCheck<64>(); }
+TEST(BTree, SequentialInsertFanout256) { SequentialInsertCheck<256>(); }
+
+}  // namespace
+}  // namespace wattdb::index

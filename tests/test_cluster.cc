@@ -1,0 +1,201 @@
+// Tests for the cluster layer: power state machine, §3.1 power accounting,
+// sampling, routing, and the master's elasticity controller + helpers.
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "cluster/master.h"
+#include "cluster/monitor.h"
+#include "partition/physiological.h"
+#include "workload/client.h"
+#include "workload/tpcc_loader.h"
+
+namespace wattdb::cluster {
+namespace {
+
+ClusterConfig SmallConfig(int nodes = 4, int active = 2) {
+  ClusterConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.initially_active = active;
+  cfg.buffer.capacity_pages = 1000;
+  return cfg;
+}
+
+TEST(Cluster, InitialPowerStates) {
+  Cluster c(SmallConfig(4, 2));
+  EXPECT_TRUE(c.node(NodeId(0))->IsActive());
+  EXPECT_TRUE(c.node(NodeId(1))->IsActive());
+  EXPECT_FALSE(c.node(NodeId(2))->IsActive());
+  EXPECT_EQ(c.ActiveNodeCount(), 2);
+  EXPECT_TRUE(c.master()->IsMaster());
+}
+
+TEST(Cluster, PowerOnTakesBootTime) {
+  Cluster c(SmallConfig());
+  bool ready = false;
+  ASSERT_TRUE(c.PowerOn(NodeId(2), [&]() { ready = true; }).ok());
+  EXPECT_EQ(c.node(NodeId(2))->hardware().power_state(),
+            hw::PowerState::kBooting);
+  c.RunUntil(c.Now() + c.config().node_hw.boot_time_us / 2);
+  EXPECT_FALSE(ready);
+  c.RunUntil(c.Now() + c.config().node_hw.boot_time_us);
+  EXPECT_TRUE(ready);
+  EXPECT_TRUE(c.node(NodeId(2))->IsActive());
+  // Power on while booting is rejected; already-active is a no-op success.
+  EXPECT_TRUE(c.PowerOn(NodeId(2)).ok());
+}
+
+TEST(Cluster, PowerOffGuards) {
+  Cluster c(SmallConfig());
+  EXPECT_TRUE(c.PowerOff(NodeId(0)).IsInvalidArgument()) << "master stays";
+  // A node with data may not power off (§4: data inaccessibility).
+  c.segments().Create(NodeId(1), DiskId(3));
+  EXPECT_TRUE(c.PowerOff(NodeId(1)).IsBusy());
+}
+
+TEST(Cluster, WattsMatchPaperEnvelope) {
+  Cluster c(SmallConfig(10, 1));
+  // 1 active idle node + 9 standby + switch ~ 65 W.
+  EXPECT_NEAR(c.WattsIn(0, kUsPerSec), 64.5, 1.0);
+}
+
+TEST(Cluster, SamplingAccumulatesEnergy) {
+  Cluster c(SmallConfig(2, 2));
+  metrics::TimeSeries series(kUsPerSec);
+  c.StartSampling(&series);
+  c.RunUntil(10 * kUsPerSec);
+  // 2 active idle nodes + switch = 64 W for 10 s ~ 640 J.
+  EXPECT_NEAR(c.energy().joules(), 640.0, 20.0);
+  EXPECT_GE(series.buckets().size(), 9u);
+}
+
+TEST(Cluster, ChargeClientHopOnlyForRemote) {
+  Cluster c(SmallConfig());
+  tx::Txn* t = c.BeginTxn();
+  c.ChargeClientHop(t, NodeId(0), 100, 100);
+  EXPECT_EQ(t->net_us, 0);
+  c.ChargeClientHop(t, NodeId(1), 100, 100);
+  EXPECT_GT(t->net_us, 0);
+  c.AbortTxn(t);
+  c.tm().Release(t->id);
+}
+
+TEST(Monitor, SamplesUtilizationAndHeat) {
+  Cluster c(SmallConfig());
+  Monitor mon(&c);
+  // Create some disk + cpu activity.
+  storage::Segment* seg = c.segments().Create(NodeId(0), DiskId(1));
+  ASSERT_TRUE(seg->Insert(1, std::vector<uint8_t>(100, 1)).ok());
+  c.node(NodeId(0))->hardware().cpu().Acquire(0, 500000);
+  c.FindDisk(DiskId(1))->AccessRandom(0, kPageSize);
+  c.clock().AdvanceTo(kUsPerSec);
+  auto stats = mon.Sample(kUsPerSec);
+  ASSERT_EQ(stats.size(), 4u);
+  EXPECT_TRUE(stats[0].active);
+  EXPECT_GT(stats[0].cpu, 0.2);
+  EXPECT_FALSE(stats[2].active);
+  auto heat = mon.SampleSegments();
+  ASSERT_EQ(heat.size(), 1u);
+  EXPECT_EQ(heat[0].writes, 1);
+  // Deltas: second sample shows no new activity.
+  auto heat2 = mon.SampleSegments();
+  EXPECT_EQ(heat2[0].writes, 0);
+}
+
+TEST(Master, ScaleOutOnSustainedOverload) {
+  Cluster c(SmallConfig(4, 2));
+  workload::TpccLoadConfig load;
+  load.warehouses = 2;
+  load.fill = 0.05;
+  load.home_nodes = {NodeId(0), NodeId(1)};
+  workload::TpccDatabase db(&c, load);
+  ASSERT_TRUE(db.Load().ok());
+
+  partition::PhysiologicalPartitioning scheme(&c);
+  MasterPolicy policy;
+  policy.cpu_upper = 0.05;  // Absurdly low so any load trips it.
+  policy.enable_scale_in = false;  // Keep the new node (tested separately).
+  policy.check_period = 2 * kUsPerSec;
+  policy.trigger_after = 2;
+  Master master(&c, &scheme, policy);
+  master.Start();
+
+  workload::ClientPoolConfig pool_cfg;
+  pool_cfg.num_clients = 30;
+  pool_cfg.think_time = 10 * kUsPerMs;
+  workload::ClientPool pool(&db, pool_cfg);
+  pool.Start();
+  c.StartSampling(nullptr);
+  c.RunUntil(120 * kUsPerSec);
+  pool.Stop();
+
+  EXPECT_GE(master.scale_out_events(), 1);
+  EXPECT_GT(c.ActiveNodeCount(), 2);
+  EXPECT_FALSE(c.catalog().PartitionsOwnedBy(NodeId(2)).empty());
+}
+
+TEST(Master, ScaleInWhenIdle) {
+  Cluster c(SmallConfig(4, 2));
+  workload::TpccLoadConfig load;
+  load.warehouses = 2;
+  load.fill = 0.05;
+  load.home_nodes = {NodeId(0), NodeId(1)};
+  workload::TpccDatabase db(&c, load);
+  ASSERT_TRUE(db.Load().ok());
+
+  partition::PhysiologicalPartitioning scheme(&c);
+  MasterPolicy policy;
+  policy.cpu_lower = 0.99;  // Everything counts as underutilized.
+  policy.enable_scale_out = false;
+  policy.check_period = 2 * kUsPerSec;
+  Master master(&c, &scheme, policy);
+  master.Start();
+  c.StartSampling(nullptr);
+  c.RunUntil(300 * kUsPerSec);
+
+  EXPECT_GE(master.scale_in_events(), 1);
+  EXPECT_EQ(c.ActiveNodeCount(), 1) << "node 1 drained and powered off";
+  EXPECT_TRUE(c.segments().SegmentsOn(NodeId(1)).empty());
+  EXPECT_TRUE(c.catalog().CheckInvariants());
+}
+
+TEST(Master, HelpersWireLogShippingAndRemoteBuffer) {
+  Cluster c(SmallConfig(4, 2));
+  partition::PhysiologicalPartitioning scheme(&c);
+  Master master(&c, &scheme);
+  ASSERT_TRUE(
+      master.AttachHelpers({NodeId(2)}, {NodeId(0), NodeId(1)}, 1000).ok());
+  c.RunUntil(c.Now() + 10 * kUsPerSec);  // Boot.
+  EXPECT_TRUE(c.node(NodeId(2))->IsActive());
+  EXPECT_TRUE(c.node(NodeId(0))->log().HasHelper());
+  EXPECT_TRUE(c.node(NodeId(1))->buffer().HasRemoteTier());
+  EXPECT_TRUE(master.AttachHelpers({NodeId(3)}, {NodeId(0)}, 10).IsBusy());
+  ASSERT_TRUE(master.DetachHelpers().ok());
+  EXPECT_FALSE(c.node(NodeId(0))->log().HasHelper());
+  EXPECT_FALSE(c.node(NodeId(1))->buffer().HasRemoteTier());
+  EXPECT_FALSE(c.node(NodeId(2))->IsActive());
+}
+
+TEST(Master, TriggerRebalanceBootsTargets) {
+  Cluster c(SmallConfig(4, 2));
+  workload::TpccLoadConfig load;
+  load.warehouses = 2;
+  load.fill = 0.05;
+  load.home_nodes = {NodeId(0), NodeId(1)};
+  workload::TpccDatabase db(&c, load);
+  ASSERT_TRUE(db.Load().ok());
+  partition::PhysiologicalPartitioning scheme(&c);
+  Master master(&c, &scheme);
+  bool done = false;
+  ASSERT_TRUE(master
+                  .TriggerRebalance({NodeId(2), NodeId(3)}, 0.5,
+                                    [&]() { done = true; })
+                  .ok());
+  EXPECT_FALSE(c.node(NodeId(2))->IsActive()) << "boots asynchronously";
+  c.RunUntil(c.Now() + 300 * kUsPerSec);
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(c.node(NodeId(2))->IsActive());
+}
+
+}  // namespace
+}  // namespace wattdb::cluster

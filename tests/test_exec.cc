@@ -1,0 +1,216 @@
+// Tests for the volcano operator layer: correctness of results and the
+// cost/shape properties behind Figs. 1 and 2.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cluster/cluster.h"
+#include "exec/operators.h"
+
+namespace wattdb::exec {
+namespace {
+
+class ExecTest : public ::testing::Test {
+ protected:
+  ExecTest() : cluster_(MakeConfig()) {
+    table_ = cluster_.catalog().CreateTable(
+        {TableId(), "t", {{"v", catalog::ColumnType::kString, 64}}});
+    part_ = cluster_.catalog().CreatePartition(table_, NodeId(0));
+    WATTDB_CHECK(
+        cluster_.catalog().AssignRange(table_, {0, 100000}, part_->id()).ok());
+    auto seg = cluster_.master()->AllocateSegment(0, part_, {0, 100000});
+    WATTDB_CHECK(seg.ok());
+    // 500 records with descending values (so sort has work to do).
+    for (Key k = 0; k < 500; ++k) {
+      WATTDB_CHECK(seg.value()
+                       ->Insert(k, std::vector<uint8_t>(
+                                       64, static_cast<uint8_t>(255 - k % 256)))
+                       .ok());
+    }
+  }
+
+  static cluster::ClusterConfig MakeConfig() {
+    cluster::ClusterConfig cfg;
+    cfg.num_nodes = 2;
+    cfg.initially_active = 2;
+    cfg.buffer.capacity_pages = 4000;
+    return cfg;
+  }
+
+  std::unique_ptr<TableScanOp> Scan(size_t vec, KeyRange r = {0, 100000}) {
+    return std::make_unique<TableScanOp>(part_, r, vec);
+  }
+
+  size_t Drain(Operator* root, SimTime* elapsed = nullptr) {
+    tx::Txn* txn = cluster_.BeginTxn(true);
+    ExecContext ctx{&cluster_, txn};
+    const SimTime t0 = txn->now;
+    const size_t n = DrainPlan(&ctx, root);
+    if (elapsed != nullptr) *elapsed = txn->now - t0;
+    cluster_.tm().Commit(txn);
+    cluster_.tm().Release(txn->id);
+    cluster_.RunUntil(cluster_.Now() + kUsPerSec);
+    return n;
+  }
+
+  cluster::Cluster cluster_;
+  TableId table_;
+  catalog::Partition* part_;
+};
+
+TEST_F(ExecTest, ScanReturnsAllRecordsInOrder) {
+  auto scan = Scan(64);
+  tx::Txn* txn = cluster_.BeginTxn(true);
+  ExecContext ctx{&cluster_, txn};
+  scan->Open(&ctx);
+  Batch b;
+  Key prev = 0;
+  size_t n = 0;
+  bool first = true;
+  while (scan->Next(&ctx, &b)) {
+    for (const auto& r : b) {
+      if (!first) EXPECT_GT(r.key, prev);
+      prev = r.key;
+      first = false;
+      ++n;
+    }
+  }
+  scan->Close(&ctx);
+  EXPECT_EQ(n, 500u);
+  cluster_.tm().Commit(txn);
+  cluster_.tm().Release(txn->id);
+}
+
+TEST_F(ExecTest, ScanHonorsRange) {
+  auto scan = Scan(64, {100, 200});
+  EXPECT_EQ(Drain(scan.get()), 100u);
+}
+
+TEST_F(ExecTest, VectorSizeControlsBatching) {
+  tx::Txn* txn = cluster_.BeginTxn(true);
+  ExecContext ctx{&cluster_, txn};
+  auto scan = Scan(7);
+  scan->Open(&ctx);
+  Batch b;
+  ASSERT_TRUE(scan->Next(&ctx, &b));
+  EXPECT_EQ(b.size(), 7u);
+  scan->Close(&ctx);
+  cluster_.tm().Commit(txn);
+  cluster_.tm().Release(txn->id);
+}
+
+TEST_F(ExecTest, SortProducesSortedOutput) {
+  SortOp sort(Scan(64), NodeId(0), 64);
+  tx::Txn* txn = cluster_.BeginTxn(true);
+  ExecContext ctx{&cluster_, txn};
+  sort.Open(&ctx);
+  Batch b;
+  Key prev = 0;
+  bool first = true;
+  size_t n = 0;
+  while (sort.Next(&ctx, &b)) {
+    for (const auto& r : b) {
+      if (!first) EXPECT_GE(r.key, prev);
+      prev = r.key;
+      first = false;
+      ++n;
+    }
+  }
+  sort.Close(&ctx);
+  EXPECT_EQ(n, 500u);
+  cluster_.tm().Commit(txn);
+  cluster_.tm().Release(txn->id);
+}
+
+TEST_F(ExecTest, GroupAggregateCounts) {
+  GroupAggregateOp agg(Scan(64), NodeId(0),
+                       [](const storage::Record& r) { return r.key % 5; });
+  tx::Txn* txn = cluster_.BeginTxn(true);
+  ExecContext ctx{&cluster_, txn};
+  agg.Open(&ctx);
+  Batch b;
+  size_t groups = 0;
+  int64_t total = 0;
+  while (agg.Next(&ctx, &b)) {
+    for (const auto& r : b) {
+      ++groups;
+      int64_t count;
+      memcpy(&count, r.payload.data(), 8);
+      total += count;
+    }
+  }
+  agg.Close(&ctx);
+  EXPECT_EQ(groups, 5u);
+  EXPECT_EQ(total, 500);
+  cluster_.tm().Commit(txn);
+  cluster_.tm().Release(txn->id);
+}
+
+TEST_F(ExecTest, ExchangeShipsAllRecords) {
+  ExchangeOp ex(Scan(64), NodeId(1));
+  EXPECT_EQ(Drain(&ex), 500u);
+}
+
+TEST_F(ExecTest, ExchangeLocalIsPassThrough) {
+  ExchangeOp ex(Scan(64), NodeId(0));  // Producer == consumer.
+  SimTime elapsed = 0;
+  EXPECT_EQ(Drain(&ex, &elapsed), 500u);
+  ExchangeOp remote(Scan(64), NodeId(1));
+  SimTime remote_elapsed = 0;
+  Drain(&remote, &remote_elapsed);
+  EXPECT_LT(elapsed, remote_elapsed);
+}
+
+TEST_F(ExecTest, SingleRecordExchangeIsCatastrophic) {
+  // The Fig. 1 cliff: per-record round trips vs vectorized shipping.
+  ExchangeOp slow(Scan(1), NodeId(1));
+  SimTime slow_elapsed = 0;
+  Drain(&slow, &slow_elapsed);
+  ExchangeOp fast(Scan(64), NodeId(1));
+  SimTime fast_elapsed = 0;
+  Drain(&fast, &fast_elapsed);
+  EXPECT_GT(slow_elapsed, 5 * fast_elapsed);
+}
+
+TEST_F(ExecTest, BufferOpDeliversEverythingFaster) {
+  ExchangeOp plain(Scan(64), NodeId(1));
+  SimTime plain_elapsed = 0;
+  EXPECT_EQ(Drain(&plain, &plain_elapsed), 500u);
+  BufferOp buffered(Scan(64), NodeId(1), 3);
+  SimTime buf_elapsed = 0;
+  EXPECT_EQ(Drain(&buffered, &buf_elapsed), 500u);
+  // Prefetch hides the fetch delay (§3.3).
+  EXPECT_LT(buf_elapsed, plain_elapsed);
+}
+
+TEST_F(ExecTest, ProjectPreservesCardinality) {
+  ProjectOp proj(Scan(32), NodeId(0));
+  EXPECT_EQ(Drain(&proj), 500u);
+}
+
+TEST_F(ExecTest, ComposedRemotePlan) {
+  // scan -> buffer-ship to node 1 -> sort on node 1: Fig. 2's offloaded plan.
+  SortOp root(std::make_unique<BufferOp>(Scan(64), NodeId(1), 2), NodeId(1),
+              64);
+  EXPECT_EQ(Drain(&root), 500u);
+}
+
+TEST_F(ExecTest, OffloadingChargesRemoteCpu) {
+  const SimTime t0 = cluster_.Now();
+  SortOp root(std::make_unique<BufferOp>(Scan(64), NodeId(1), 2), NodeId(1),
+              64);
+  Drain(&root);
+  // Node 1's CPU did the sorting work.
+  EXPECT_GT(cluster_.node(NodeId(1))->hardware().cpu().BusyIn(
+                t0, cluster_.Now() + 10 * kUsPerSec),
+            0);
+}
+
+TEST_F(ExecTest, EmptyRangeYieldsNothing) {
+  auto scan = Scan(64, {50000, 60000});
+  EXPECT_EQ(Drain(scan.get()), 0u);
+}
+
+}  // namespace
+}  // namespace wattdb::exec

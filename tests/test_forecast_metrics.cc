@@ -1,0 +1,167 @@
+// Tests for the load forecaster (§3.4 proactive decisions) and the metrics
+// module (time series + Fig. 7 breakdown).
+
+#include <gtest/gtest.h>
+
+#include "cluster/forecast.h"
+#include "metrics/breakdown.h"
+#include "metrics/time_series.h"
+
+namespace wattdb {
+namespace {
+
+using cluster::LoadForecaster;
+
+TEST(LoadForecaster, FlatSeriesForecastsFlat) {
+  LoadForecaster f;
+  for (int i = 0; i < 20; ++i) {
+    f.Observe(i * kUsPerSec, 0.5);
+  }
+  EXPECT_NEAR(f.Forecast(30 * kUsPerSec), 0.5, 0.05);
+  EXPECT_NEAR(f.trend_per_sec(), 0.0, 0.01);
+}
+
+TEST(LoadForecaster, RisingTrendExtrapolates) {
+  LoadForecaster f;
+  // +2% utilization per second.
+  for (int i = 0; i < 30; ++i) {
+    f.Observe(i * kUsPerSec, 0.1 + 0.02 * i);
+  }
+  const double now_level = f.level();
+  const double later = f.Forecast(10 * kUsPerSec);
+  EXPECT_GT(later, now_level + 0.1) << "forecast must ride the trend";
+  EXPECT_GT(f.trend_per_sec(), 0.01);
+}
+
+TEST(LoadForecaster, ForecastClampsToUtilizationDomain) {
+  LoadForecaster f;
+  for (int i = 0; i < 30; ++i) {
+    f.Observe(i * kUsPerSec, 0.05 * i);  // Steep rise past 1.0.
+  }
+  EXPECT_LE(f.Forecast(60 * kUsPerSec), 1.0);
+}
+
+TEST(LoadForecaster, FirstSampleIsLevel) {
+  LoadForecaster f;
+  f.Observe(0, 0.7);
+  EXPECT_DOUBLE_EQ(f.level(), 0.7);
+  EXPECT_DOUBLE_EQ(f.Forecast(kUsPerSec), 0.7);
+}
+
+TEST(LoadForecaster, DeclaredShiftRaisesForecast) {
+  LoadForecaster f;
+  for (int i = 0; i < 10; ++i) f.Observe(i * kUsPerSec, 0.2);
+  // A user-declared surge 5 s ahead (§3.4: user-defined workload shifts).
+  f.DeclareShift(9 * kUsPerSec + 5 * kUsPerSec, +0.5);
+  EXPECT_NEAR(f.Forecast(2 * kUsPerSec), 0.2, 0.05);   // Before the shift.
+  EXPECT_NEAR(f.Forecast(10 * kUsPerSec), 0.7, 0.05);  // After it.
+}
+
+TEST(LoadForecaster, PastShiftsAreConsumed) {
+  LoadForecaster f;
+  f.Observe(0, 0.2);
+  f.DeclareShift(2 * kUsPerSec, +0.5);
+  f.Observe(3 * kUsPerSec, 0.2);  // Shift instant has passed.
+  EXPECT_NEAR(f.Forecast(kUsPerSec), 0.2, 0.05);
+}
+
+TEST(TimeSeries, BucketsRelativeToOrigin) {
+  metrics::TimeSeries ts(10 * kUsPerSec);
+  ts.SetOrigin(100 * kUsPerSec);
+  ts.RecordCompletion(95 * kUsPerSec, 5000);   // Bucket -1.
+  ts.RecordCompletion(105 * kUsPerSec, 15000); // Bucket 0.
+  ASSERT_EQ(ts.buckets().size(), 2u);
+  EXPECT_EQ(ts.buckets().begin()->first, -1);
+  EXPECT_EQ(ts.buckets().rbegin()->first, 0);
+  EXPECT_DOUBLE_EQ(ts.buckets().rbegin()->second.AvgLatencyMs(), 15.0);
+}
+
+TEST(TimeSeries, PowerSplitsAcrossBuckets) {
+  metrics::TimeSeries ts(10 * kUsPerSec);
+  // 100 W over [5 s, 25 s): 5 s in bucket 0, 10 s in bucket 1, 5 s in 2.
+  ts.RecordPower(5 * kUsPerSec, 25 * kUsPerSec, 100.0);
+  ASSERT_EQ(ts.buckets().size(), 3u);
+  const auto& b0 = ts.buckets().at(0);
+  const auto& b1 = ts.buckets().at(1);
+  EXPECT_NEAR(b0.joules, 500.0, 1.0);
+  EXPECT_NEAR(b1.joules, 1000.0, 1.0);
+  EXPECT_NEAR(b1.watts, 100.0, 0.5);  // Fully covered bucket.
+}
+
+TEST(TimeSeries, QpsAndJoulesPerQuery) {
+  metrics::TimeSeries ts(kUsPerSec);
+  for (int i = 0; i < 50; ++i) ts.RecordCompletion(500000, 2000);
+  ts.RecordPower(0, kUsPerSec, 80.0);
+  const auto& b = ts.buckets().at(0);
+  EXPECT_DOUBLE_EQ(b.Qps(1.0), 50.0);
+  EXPECT_NEAR(b.JoulesPerQuery(), 80.0 / 50.0, 0.01);
+}
+
+TEST(TimeSeries, CsvAndTableEmission) {
+  metrics::TimeSeries ts(kUsPerSec);
+  ts.RecordCompletion(100, 1000);
+  const std::string csv = ts.ToCsv();
+  EXPECT_NE(csv.find("t_sec,qps,avg_ms,watts,j_per_query"), std::string::npos);
+  const std::string table = ts.ToTable("demo");
+  EXPECT_NE(table.find("demo"), std::string::npos);
+}
+
+TEST(SideBySide, MergesSeriesColumns) {
+  metrics::TimeSeries a(kUsPerSec), b(kUsPerSec);
+  a.RecordCompletion(500000, 1000);
+  b.RecordCompletion(1500000, 1000);
+  const std::string out =
+      metrics::SideBySide({"a", "b"}, {&a, &b}, "qps", 1.0);
+  // Two bucket rows, both labels in the header.
+  EXPECT_NE(out.find("a"), std::string::npos);
+  EXPECT_NE(out.find("b"), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+}
+
+TEST(TimeBreakdown, AccumulatesTxnComponents) {
+  metrics::TimeBreakdown bd;
+  tx::Txn t;
+  t.start_time = 0;
+  t.now = 10000;
+  t.log_us = 1000;
+  t.latch_us = 500;
+  t.lock_wait_us = 1500;
+  t.net_us = 2000;
+  t.disk_us = 3000;
+  t.cpu_us = 1000;
+  bd.AddTxn(t);
+  EXPECT_EQ(bd.queries(), 1);
+  EXPECT_DOUBLE_EQ(bd.LoggingMs(), 1.0);
+  EXPECT_DOUBLE_EQ(bd.LatchingMs(), 0.5);
+  EXPECT_DOUBLE_EQ(bd.LockingMs(), 1.5);
+  EXPECT_DOUBLE_EQ(bd.NetworkMs(), 2.0);
+  EXPECT_DOUBLE_EQ(bd.DiskMs(), 3.0);
+  // Other = cpu (1ms) + unattributed (10 - 9 = 1ms).
+  EXPECT_DOUBLE_EQ(bd.OtherMs(), 2.0);
+  EXPECT_DOUBLE_EQ(bd.TotalMs(), 10.0);
+}
+
+TEST(TimeBreakdown, MergeAndReset) {
+  metrics::TimeBreakdown a, b;
+  tx::Txn t;
+  t.start_time = 0;
+  t.now = 4000;
+  t.disk_us = 4000;
+  a.AddTxn(t);
+  b.AddTxn(t);
+  a.Add(b);
+  EXPECT_EQ(a.queries(), 2);
+  EXPECT_DOUBLE_EQ(a.DiskMs(), 4.0);
+  a.Reset();
+  EXPECT_EQ(a.queries(), 0);
+}
+
+TEST(TimeBreakdown, RowFormatting) {
+  metrics::TimeBreakdown bd;
+  const std::string header = metrics::TimeBreakdown::Header();
+  EXPECT_NE(header.find("logging"), std::string::npos);
+  EXPECT_NE(bd.ToRow("label").find("label"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wattdb

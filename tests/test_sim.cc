@@ -1,0 +1,212 @@
+// Unit tests for the simulation substrate: virtual clock, deterministic
+// event queue, and gap-filling resource timelines.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/clock.h"
+#include "sim/event_queue.h"
+#include "sim/resource.h"
+
+namespace wattdb::sim {
+namespace {
+
+TEST(Clock, StartsAtZeroAndAdvances) {
+  Clock c;
+  EXPECT_EQ(c.Now(), 0);
+  c.AdvanceTo(100);
+  EXPECT_EQ(c.Now(), 100);
+}
+
+TEST(EventQueue, RunsInTimeOrder) {
+  Clock clock;
+  EventQueue q(&clock);
+  std::vector<int> order;
+  q.ScheduleAt(30, [&]() { order.push_back(3); });
+  q.ScheduleAt(10, [&]() { order.push_back(1); });
+  q.ScheduleAt(20, [&]() { order.push_back(2); });
+  q.RunUntil(100);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(clock.Now(), 100);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  Clock clock;
+  EventQueue q(&clock);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.ScheduleAt(50, [&order, i]() { order.push_back(i); });
+  }
+  q.RunUntil(50);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, PastEventsClampToNow) {
+  Clock clock;
+  EventQueue q(&clock);
+  clock.AdvanceTo(100);
+  bool ran = false;
+  q.ScheduleAt(10, [&]() { ran = true; });
+  EXPECT_EQ(q.NextEventTime(), 100);
+  q.RunUntil(100);
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  Clock clock;
+  EventQueue q(&clock);
+  int depth = 0;
+  std::function<void()> recurse = [&]() {
+    if (++depth < 5) q.ScheduleAfter(10, recurse);
+  };
+  q.ScheduleAt(0, recurse);
+  q.RunUntil(1000);
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, RunUntilStopsBeforeLaterEvents) {
+  Clock clock;
+  EventQueue q(&clock);
+  bool late = false;
+  q.ScheduleAt(200, [&]() { late = true; });
+  q.RunUntil(100);
+  EXPECT_FALSE(late);
+  EXPECT_EQ(clock.Now(), 100);
+  q.RunUntil(300);
+  EXPECT_TRUE(late);
+}
+
+TEST(Resource, SimpleFcfs) {
+  Resource r;
+  EXPECT_EQ(r.Acquire(0, 10), 10);
+  EXPECT_EQ(r.Acquire(0, 10), 20);   // Queues behind the first.
+  EXPECT_EQ(r.Acquire(50, 10), 60);  // Idle gap before it.
+}
+
+TEST(Resource, GapFilling) {
+  Resource r;
+  // Occupy [100, 200).
+  EXPECT_EQ(r.Acquire(100, 100), 200);
+  // A later-issued request for an EARLIER time fits in the gap [0, 100).
+  EXPECT_EQ(r.Acquire(0, 50), 50);
+  // And one that does not fit before 100 goes after 200.
+  EXPECT_EQ(r.Acquire(60, 80), 280);
+}
+
+TEST(Resource, GapExactFit) {
+  Resource r;
+  r.Acquire(0, 10);    // [0,10)
+  r.Acquire(20, 10);   // [20,30)
+  EXPECT_EQ(r.Acquire(10, 10), 20);  // Exactly fills [10,20).
+  // Now fully busy [0,30): next goes at 30.
+  EXPECT_EQ(r.Acquire(0, 5), 35);
+}
+
+TEST(Resource, ZeroServiceIsFree) {
+  Resource r;
+  r.Acquire(0, 100);
+  EXPECT_EQ(r.Acquire(50, 0), 50);
+}
+
+TEST(Resource, BusyInWindows) {
+  Resource r;
+  r.Acquire(10, 20);  // [10, 30)
+  r.Acquire(50, 10);  // [50, 60)
+  EXPECT_EQ(r.BusyIn(0, 100), 30);
+  EXPECT_EQ(r.BusyIn(0, 20), 10);
+  EXPECT_EQ(r.BusyIn(25, 55), 10);
+  EXPECT_DOUBLE_EQ(r.UtilizationIn(0, 100), 0.3);
+}
+
+TEST(Resource, TotalBusyAccumulates) {
+  Resource r;
+  r.Acquire(0, 5);
+  r.Acquire(0, 7);
+  EXPECT_EQ(r.TotalBusy(), 12);
+}
+
+TEST(Resource, PruneDropsOldIntervalsOnly) {
+  Resource r;
+  r.Acquire(0, 10);
+  r.Acquire(100, 10);
+  r.Prune(50);
+  EXPECT_EQ(r.BusyIn(0, 50), 0);    // Forgotten.
+  EXPECT_EQ(r.BusyIn(50, 200), 10); // Retained.
+}
+
+TEST(Resource, BacklogMeasuresFutureWork) {
+  Resource r;
+  r.Acquire(0, 100);
+  EXPECT_EQ(r.Backlog(40), 60);
+  EXPECT_EQ(r.Backlog(100), 0);
+}
+
+TEST(Resource, PeekDoesNotReserve) {
+  Resource r;
+  EXPECT_EQ(r.Peek(0, 10), 10);
+  EXPECT_EQ(r.Peek(0, 10), 10);  // Still free.
+  EXPECT_EQ(r.Acquire(0, 10), 10);
+  EXPECT_EQ(r.Peek(0, 10), 20);
+}
+
+TEST(Resource, CoalescesAdjacentIntervals) {
+  Resource r;
+  for (int i = 0; i < 1000; ++i) r.Acquire(0, 1);
+  // All contiguous: still a single busy block [0, 1000).
+  EXPECT_EQ(r.BusyIn(0, 1000), 1000);
+  EXPECT_EQ(r.Acquire(0, 1), 1001);
+}
+
+TEST(ResourcePool, ParallelismAcrossMembers) {
+  ResourcePool pool("cpu", 2);
+  EXPECT_EQ(pool.Acquire(0, 10), 10);  // Core 0.
+  EXPECT_EQ(pool.Acquire(0, 10), 10);  // Core 1, in parallel.
+  EXPECT_EQ(pool.Acquire(0, 10), 20);  // Queues on the earliest-free core.
+}
+
+TEST(ResourcePool, UtilizationAveragesMembers) {
+  ResourcePool pool("cpu", 2);
+  pool.Acquire(0, 100);  // One core busy [0, 100).
+  EXPECT_DOUBLE_EQ(pool.UtilizationIn(0, 100), 0.5);
+}
+
+TEST(ResourcePool, PicksEarliestCompletion) {
+  ResourcePool pool("cpu", 2);
+  pool.Acquire(0, 100);           // Core 0 busy till 100.
+  EXPECT_EQ(pool.Acquire(0, 5), 5);  // Lands on core 1.
+}
+
+// Property-style sweep: whatever the (deterministic pseudo-random) request
+// pattern, intervals never overlap within one resource and total busy time
+// is conserved.
+class ResourcePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ResourcePropertyTest, NoOverlapAndConservation) {
+  Resource r;
+  uint64_t x = GetParam();
+  auto next = [&x]() {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x;
+  };
+  SimTime total = 0;
+  for (int i = 0; i < 500; ++i) {
+    const SimTime arrival = static_cast<SimTime>(next() % 10000);
+    const SimTime service = static_cast<SimTime>(next() % 50 + 1);
+    const SimTime done = r.Acquire(arrival, service);
+    EXPECT_GE(done, arrival + service);
+    total += service;
+  }
+  EXPECT_EQ(r.TotalBusy(), total);
+  // Busy time within the full horizon equals the scheduled work.
+  EXPECT_EQ(r.BusyIn(0, 1'000'000), total);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ResourcePropertyTest,
+                         ::testing::Values(1, 7, 42, 12345, 999983));
+
+}  // namespace
+}  // namespace wattdb::sim

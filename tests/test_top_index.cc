@@ -1,0 +1,100 @@
+// Unit tests for the partition top index (physiological mini-partitions).
+
+#include <gtest/gtest.h>
+
+#include "index/top_index.h"
+
+namespace wattdb::index {
+namespace {
+
+TEST(TopIndex, AttachAndLookup) {
+  TopIndex t;
+  ASSERT_TRUE(t.Attach({0, 100}, SegmentId(1)).ok());
+  ASSERT_TRUE(t.Attach({100, 200}, SegmentId(2)).ok());
+  EXPECT_EQ(t.Lookup(0), SegmentId(1));
+  EXPECT_EQ(t.Lookup(99), SegmentId(1));
+  EXPECT_EQ(t.Lookup(100), SegmentId(2));
+  EXPECT_EQ(t.Lookup(200), SegmentId::Invalid());
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_TRUE(t.CheckInvariants());
+}
+
+TEST(TopIndex, RejectsOverlap) {
+  TopIndex t;
+  ASSERT_TRUE(t.Attach({10, 20}, SegmentId(1)).ok());
+  EXPECT_TRUE(t.Attach({15, 25}, SegmentId(2)).IsAlreadyExists());
+  EXPECT_TRUE(t.Attach({0, 11}, SegmentId(3)).IsAlreadyExists());
+  EXPECT_TRUE(t.Attach({10, 20}, SegmentId(4)).IsAlreadyExists());
+  // Adjacent is fine.
+  EXPECT_TRUE(t.Attach({20, 30}, SegmentId(5)).ok());
+  EXPECT_TRUE(t.Attach({0, 10}, SegmentId(6)).ok());
+}
+
+TEST(TopIndex, RejectsEmptyRangeAndInvalidSegment) {
+  TopIndex t;
+  EXPECT_TRUE(t.Attach({5, 5}, SegmentId(1)).IsInvalidArgument());
+  EXPECT_TRUE(t.Attach({5, 10}, SegmentId::Invalid()).IsInvalidArgument());
+}
+
+TEST(TopIndex, DetachFreesRange) {
+  TopIndex t;
+  ASSERT_TRUE(t.Attach({0, 100}, SegmentId(1)).ok());
+  ASSERT_TRUE(t.Detach(SegmentId(1)).ok());
+  EXPECT_EQ(t.Lookup(50), SegmentId::Invalid());
+  EXPECT_TRUE(t.Detach(SegmentId(1)).IsNotFound());
+  // Range reusable after detach (the physiological move dance).
+  EXPECT_TRUE(t.Attach({0, 100}, SegmentId(2)).ok());
+}
+
+TEST(TopIndex, RangeOf) {
+  TopIndex t;
+  ASSERT_TRUE(t.Attach({7, 9}, SegmentId(3)).ok());
+  EXPECT_EQ(t.RangeOf(SegmentId(3)), (KeyRange{7, 9}));
+  EXPECT_TRUE(t.RangeOf(SegmentId(99)).Empty());
+}
+
+TEST(TopIndex, IntersectingFindsPartialOverlaps) {
+  TopIndex t;
+  ASSERT_TRUE(t.Attach({0, 10}, SegmentId(1)).ok());
+  ASSERT_TRUE(t.Attach({10, 20}, SegmentId(2)).ok());
+  ASSERT_TRUE(t.Attach({30, 40}, SegmentId(3)).ok());
+  auto hits = t.Intersecting({5, 35});
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0].segment, SegmentId(1));
+  EXPECT_EQ(hits[1].segment, SegmentId(2));
+  EXPECT_EQ(hits[2].segment, SegmentId(3));
+  EXPECT_TRUE(t.Intersecting({20, 30}).empty());
+  EXPECT_TRUE(t.Intersecting({40, 50}).empty());
+  EXPECT_TRUE(t.Intersecting({5, 5}).empty());
+}
+
+TEST(TopIndex, AllAndHull) {
+  TopIndex t;
+  EXPECT_TRUE(t.Hull().Empty());
+  ASSERT_TRUE(t.Attach({10, 20}, SegmentId(1)).ok());
+  ASSERT_TRUE(t.Attach({40, 50}, SegmentId(2)).ok());
+  EXPECT_EQ(t.All().size(), 2u);
+  EXPECT_EQ(t.Hull(), (KeyRange{10, 50}));
+}
+
+TEST(TopIndex, ManySegmentsStaysConsistent) {
+  TopIndex t;
+  for (uint32_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(t.Attach({i * 10, i * 10 + 10}, SegmentId(i + 1)).ok());
+  }
+  EXPECT_TRUE(t.CheckInvariants());
+  for (uint32_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(t.Lookup(i * 10 + 5), SegmentId(i + 1));
+  }
+  // Detach every other one; lookups route to the survivors only.
+  for (uint32_t i = 0; i < 1000; i += 2) {
+    ASSERT_TRUE(t.Detach(SegmentId(i + 1)).ok());
+  }
+  EXPECT_TRUE(t.CheckInvariants());
+  EXPECT_EQ(t.size(), 500u);
+  EXPECT_EQ(t.Lookup(5), SegmentId::Invalid());
+  EXPECT_EQ(t.Lookup(15), SegmentId(2));
+}
+
+}  // namespace
+}  // namespace wattdb::index

@@ -1,0 +1,419 @@
+// Unit tests for the transaction layer: MGL-RX lock manager, MVCC version
+// store, WAL, and the transaction manager.
+
+#include <gtest/gtest.h>
+
+#include "hw/disk.h"
+#include "hw/network.h"
+#include "tx/lock_manager.h"
+#include "tx/log_manager.h"
+#include "tx/transaction_manager.h"
+#include "tx/version_store.h"
+
+namespace wattdb::tx {
+namespace {
+
+// ------------------------------------------------------------ LockManager
+
+TEST(LockCompatibility, StandardMglMatrix) {
+  using M = LockMode;
+  EXPECT_TRUE(LockCompatible(M::kIS, M::kIS));
+  EXPECT_TRUE(LockCompatible(M::kIS, M::kIX));
+  EXPECT_TRUE(LockCompatible(M::kIS, M::kS));
+  EXPECT_FALSE(LockCompatible(M::kIS, M::kX));
+  EXPECT_TRUE(LockCompatible(M::kIX, M::kIX));
+  EXPECT_FALSE(LockCompatible(M::kIX, M::kS));
+  EXPECT_TRUE(LockCompatible(M::kS, M::kS));
+  EXPECT_FALSE(LockCompatible(M::kS, M::kIX));
+  EXPECT_FALSE(LockCompatible(M::kX, M::kIS));
+  EXPECT_FALSE(LockCompatible(M::kX, M::kX));
+}
+
+TEST(LockManager, GrantWithoutConflict) {
+  LockManager lm;
+  auto g = lm.Acquire(LockResource::Record(PartitionId(1), 5), LockMode::kX,
+                      TxnId(1), 100, 200);
+  EXPECT_EQ(g.granted_at, 100);
+  EXPECT_EQ(g.waited_us, 0);
+}
+
+TEST(LockManager, ConflictWaitsUntilRelease) {
+  LockManager lm;
+  const auto res = LockResource::Record(PartitionId(1), 5);
+  lm.Acquire(res, LockMode::kX, TxnId(1), 100, 300);
+  auto g = lm.Acquire(res, LockMode::kX, TxnId(2), 150, 500);
+  EXPECT_EQ(g.granted_at, 300);
+  EXPECT_EQ(g.waited_us, 150);
+}
+
+TEST(LockManager, SharedReadersDoNotWait) {
+  LockManager lm;
+  const auto res = LockResource::Record(PartitionId(1), 5);
+  lm.Acquire(res, LockMode::kS, TxnId(1), 100, 300);
+  auto g = lm.Acquire(res, LockMode::kS, TxnId(2), 150, 400);
+  EXPECT_EQ(g.waited_us, 0);
+}
+
+TEST(LockManager, IntentionLocksCoexist) {
+  LockManager lm;
+  const auto res = LockResource::Partition(PartitionId(1));
+  lm.Acquire(res, LockMode::kIX, TxnId(1), 0, 1000);
+  auto g = lm.Acquire(res, LockMode::kIX, TxnId(2), 0, 1000);
+  EXPECT_EQ(g.waited_us, 0);
+}
+
+TEST(LockManager, MigrationDrainSemantics) {
+  // §4.3: the mover's partition S lock waits for writers (IX) to finish and
+  // blocks new writers, but IS readers pass.
+  LockManager lm;
+  const auto part = LockResource::Partition(PartitionId(7));
+  lm.Acquire(part, LockMode::kIX, TxnId(1), 0, 250);  // In-flight writer.
+  auto mover = lm.Acquire(part, LockMode::kS, TxnId(2), 100, 100 + 5000);
+  EXPECT_EQ(mover.granted_at, 250);  // Drained.
+  auto writer = lm.Acquire(part, LockMode::kIX, TxnId(3), 300, 600);
+  EXPECT_EQ(writer.granted_at, 5100);  // Blocked until copy ends.
+  auto reader = lm.Acquire(part, LockMode::kIS, TxnId(4), 300, 400);
+  EXPECT_EQ(reader.waited_us, 0);  // Readers unaffected.
+}
+
+TEST(LockManager, SettleTruncatesHold) {
+  LockManager lm;
+  const auto res = LockResource::Record(PartitionId(1), 5);
+  lm.Acquire(res, LockMode::kX, TxnId(1), 100, 100 + kUsPerSec);
+  lm.SettleAll(TxnId(1), 180);  // Actually committed at 180.
+  auto g = lm.Acquire(res, LockMode::kX, TxnId(2), 150, 400);
+  EXPECT_EQ(g.granted_at, 180);
+}
+
+TEST(LockManager, ReacquireExtendsOwnGrant) {
+  LockManager lm;
+  const auto res = LockResource::Record(PartitionId(1), 5);
+  lm.Acquire(res, LockMode::kX, TxnId(1), 100, 200);
+  auto again = lm.Acquire(res, LockMode::kX, TxnId(1), 150, 400);
+  EXPECT_EQ(again.waited_us, 0);
+  auto other = lm.Acquire(res, LockMode::kX, TxnId(2), 150, 600);
+  EXPECT_EQ(other.granted_at, 400);  // Extended hold observed.
+}
+
+TEST(LockManager, UpgradeWaitsForPeers) {
+  LockManager lm;
+  const auto res = LockResource::Record(PartitionId(1), 5);
+  lm.Acquire(res, LockMode::kS, TxnId(1), 0, 500);
+  lm.Acquire(res, LockMode::kS, TxnId(2), 0, 300);
+  auto up = lm.Acquire(res, LockMode::kX, TxnId(1), 100, 600);
+  EXPECT_EQ(up.granted_at, 300);  // Waits for the other reader only.
+}
+
+TEST(LockManager, ReleaseAllRemovesGrants) {
+  LockManager lm;
+  const auto res = LockResource::Record(PartitionId(1), 5);
+  lm.Acquire(res, LockMode::kX, TxnId(1), 0, 10000);
+  lm.ReleaseAll(TxnId(1));
+  auto g = lm.Acquire(res, LockMode::kX, TxnId(2), 0, 100);
+  EXPECT_EQ(g.waited_us, 0);
+  EXPECT_EQ(lm.GrantCount(), 1u);
+}
+
+TEST(LockManager, PruneDropsExpired) {
+  LockManager lm;
+  lm.Acquire(LockResource::Record(PartitionId(1), 1), LockMode::kS, TxnId(1),
+             0, 100);
+  lm.Acquire(LockResource::Record(PartitionId(1), 2), LockMode::kS, TxnId(2),
+             0, 900);
+  lm.Prune(500);
+  EXPECT_EQ(lm.GrantCount(), 1u);
+}
+
+// ------------------------------------------------------------ VersionStore
+
+Txn MakeTxn(uint64_t id, SimTime now = 0) {
+  Txn t;
+  t.id = TxnId(id);
+  t.begin_ts = id;
+  t.start_time = now;
+  t.now = now;
+  return t;
+}
+
+std::vector<uint8_t> Payload(uint8_t v) { return std::vector<uint8_t>(16, v); }
+
+TEST(VersionStore, BulkLoadedReadsFromPage) {
+  VersionStore vs;
+  auto view = vs.Read(TableId(1), 42, 100, TxnId(5));
+  EXPECT_EQ(view.source, VersionStore::ReadView::Source::kPage);
+}
+
+TEST(VersionStore, ProvisionalVisibleOnlyToWriter) {
+  VersionStore vs;
+  Txn w = MakeTxn(10);
+  ASSERT_TRUE(vs.Write(TableId(1), 42, w, Payload(1), Payload(2), false).ok());
+  // Writer sees its own provisional version (materialized in the page).
+  EXPECT_EQ(vs.Read(TableId(1), 42, 10, w.id).source,
+            VersionStore::ReadView::Source::kPage);
+  // A concurrent reader resolves to the pre-image from the chain.
+  auto other = vs.Read(TableId(1), 42, 9, TxnId(9));
+  EXPECT_EQ(other.source, VersionStore::ReadView::Source::kChain);
+  ASSERT_NE(other.payload, nullptr);
+  EXPECT_EQ((*other.payload)[0], 1);
+}
+
+TEST(VersionStore, CommitMakesVersionVisible) {
+  VersionStore vs;
+  Txn w = MakeTxn(10);
+  ASSERT_TRUE(vs.Write(TableId(1), 42, w, Payload(1), Payload(2), false).ok());
+  w.commit_ts = 20;
+  vs.Commit(w);
+  // Snapshot after commit reads the page (newest version).
+  EXPECT_EQ(vs.Read(TableId(1), 42, 25, TxnId(25)).source,
+            VersionStore::ReadView::Source::kPage);
+  // Snapshot before commit still reads the old version from the chain.
+  auto old_view = vs.Read(TableId(1), 42, 15, TxnId(15));
+  EXPECT_EQ(old_view.source, VersionStore::ReadView::Source::kChain);
+  EXPECT_EQ((*old_view.payload)[0], 1);
+}
+
+TEST(VersionStore, DeleteKeepsOldVersionForOldReaders) {
+  VersionStore vs;
+  Txn w = MakeTxn(10);
+  ASSERT_TRUE(
+      vs.Write(TableId(1), 42, w, Payload(1), std::nullopt, true).ok());
+  w.commit_ts = 20;
+  vs.Commit(w);
+  EXPECT_EQ(vs.Read(TableId(1), 42, 25, TxnId(25)).source,
+            VersionStore::ReadView::Source::kDeleted);
+  auto old_view = vs.Read(TableId(1), 42, 15, TxnId(15));
+  EXPECT_EQ(old_view.source, VersionStore::ReadView::Source::kChain);
+  EXPECT_EQ((*old_view.payload)[0], 1);
+}
+
+TEST(VersionStore, FreshInsertInvisibleToOlderSnapshots) {
+  VersionStore vs;
+  Txn w = MakeTxn(10);
+  ASSERT_TRUE(
+      vs.Write(TableId(1), 42, w, std::nullopt, Payload(3), false).ok());
+  w.commit_ts = 20;
+  vs.Commit(w);
+  EXPECT_EQ(vs.Read(TableId(1), 42, 15, TxnId(15)).source,
+            VersionStore::ReadView::Source::kInvisible);
+  EXPECT_EQ(vs.Read(TableId(1), 42, 21, TxnId(21)).source,
+            VersionStore::ReadView::Source::kPage);
+}
+
+TEST(VersionStore, WriteWriteConflictRejected) {
+  VersionStore vs;
+  Txn a = MakeTxn(10), b = MakeTxn(11);
+  ASSERT_TRUE(vs.Write(TableId(1), 42, a, Payload(1), Payload(2), false).ok());
+  EXPECT_TRUE(vs.Write(TableId(1), 42, b, std::nullopt, Payload(3), false)
+                  .IsBusy());
+  EXPECT_TRUE(vs.HasConflictingWriter(TableId(1), 42, b.id));
+  EXPECT_FALSE(vs.HasConflictingWriter(TableId(1), 42, a.id));
+}
+
+TEST(VersionStore, AbortRestoresPreImage) {
+  VersionStore vs;
+  Txn w = MakeTxn(10);
+  ASSERT_TRUE(vs.Write(TableId(1), 42, w, Payload(1), Payload(2), false).ok());
+  auto undo = vs.Abort(w);
+  ASSERT_EQ(undo.size(), 1u);
+  ASSERT_TRUE(undo[0].pre_image.has_value());
+  EXPECT_EQ((*undo[0].pre_image)[0], 1);
+  // Chain rolled back to the pre-image; new readers see the page again.
+  EXPECT_EQ(vs.Read(TableId(1), 42, 20, TxnId(20)).source,
+            VersionStore::ReadView::Source::kPage);
+}
+
+TEST(VersionStore, AbortOfInsertDemandsDeletion) {
+  VersionStore vs;
+  Txn w = MakeTxn(10);
+  ASSERT_TRUE(
+      vs.Write(TableId(1), 42, w, std::nullopt, Payload(2), false).ok());
+  auto undo = vs.Abort(w);
+  ASSERT_EQ(undo.size(), 1u);
+  EXPECT_FALSE(undo[0].pre_image.has_value());
+}
+
+TEST(VersionStore, GcReclaimsOldVersions) {
+  VersionStore vs;
+  for (uint64_t i = 0; i < 5; ++i) {
+    Txn w = MakeTxn(10 + i);
+    ASSERT_TRUE(vs.Write(TableId(1), 42, w, i == 0 ? std::make_optional(Payload(0)) : std::nullopt,
+                         Payload(static_cast<uint8_t>(i)), false)
+                    .ok());
+    w.commit_ts = 100 + i;
+    vs.Commit(w);
+  }
+  const size_t before = vs.OverheadBytes();
+  vs.Gc(/*min_active=*/1000);
+  EXPECT_LT(vs.OverheadBytes(), before);
+  EXPECT_EQ(vs.ChainCount(), 0u);  // Fully mirrored by the page.
+  EXPECT_EQ(vs.OverheadBytes(), 0u);
+}
+
+TEST(VersionStore, GcKeepsVersionsForActiveSnapshots) {
+  VersionStore vs;
+  Txn w = MakeTxn(10);
+  ASSERT_TRUE(vs.Write(TableId(1), 42, w, Payload(1), Payload(2), false).ok());
+  w.commit_ts = 20;
+  vs.Commit(w);
+  vs.Gc(/*min_active=*/15);  // A snapshot at 15 still needs the pre-image.
+  auto view = vs.Read(TableId(1), 42, 15, TxnId(15));
+  EXPECT_EQ(view.source, VersionStore::ReadView::Source::kChain);
+  EXPECT_EQ((*view.payload)[0], 1);
+}
+
+TEST(VersionStore, RangeResolution) {
+  VersionStore vs;
+  Txn w = MakeTxn(10);
+  ASSERT_TRUE(vs.Write(TableId(1), 5, w, Payload(1), std::nullopt, true).ok());
+  ASSERT_TRUE(vs.Write(TableId(1), 7, w, std::nullopt, Payload(2), false).ok());
+  ASSERT_TRUE(vs.Write(TableId(2), 6, w, std::nullopt, Payload(3), false).ok());
+  w.commit_ts = 20;
+  vs.Commit(w);
+  int seen = 0;
+  vs.ForEachResolvedInRange(TableId(1), 0, 10, 25, TxnId(25),
+                            [&](Key k, const VersionStore::ReadView& view) {
+                              ++seen;
+                              if (k == 5) {
+                                EXPECT_EQ(view.source,
+                                          VersionStore::ReadView::Source::kDeleted);
+                              }
+                            });
+  EXPECT_EQ(seen, 2);  // Table 2's chain not visited.
+}
+
+// -------------------------------------------------------------- LogManager
+
+struct LogRig {
+  hw::Network network;
+  hw::Disk disk{DiskId(0), NodeId(0), hw::DiskSpec::Hdd(), "wal"};
+  hw::Disk helper_disk{DiskId(1), NodeId(1), hw::DiskSpec::Hdd(), "helper"};
+  LogManager log{NodeId(0), &disk, &network};
+
+  LogRig() {
+    network.AddNode(NodeId(0));
+    network.AddNode(NodeId(1));
+  }
+};
+
+LogRecord MakeRecord(LogRecordType type, Key key = 1) {
+  LogRecord r;
+  r.type = type;
+  r.txn = TxnId(1);
+  r.table = TableId(1);
+  r.partition = PartitionId(1);
+  r.key = key;
+  r.after_image = {1, 2, 3};
+  return r;
+}
+
+TEST(LogManager, AppendsAssignLsnsAndTakeTime) {
+  LogRig rig;
+  const SimTime d1 = rig.log.Append(0, MakeRecord(LogRecordType::kInsert));
+  const SimTime d2 = rig.log.Append(d1, MakeRecord(LogRecordType::kCommit));
+  EXPECT_GT(d1, 0);
+  EXPECT_GT(d2, d1);
+  ASSERT_EQ(rig.log.records().size(), 2u);
+  EXPECT_EQ(rig.log.records()[0].lsn + 1, rig.log.records()[1].lsn);
+  EXPECT_GT(rig.log.bytes_written(), 0);
+}
+
+TEST(LogManager, HelperShipsOverNetwork) {
+  LogRig rig;
+  rig.log.AttachHelper(NodeId(1), &rig.helper_disk);
+  EXPECT_TRUE(rig.log.HasHelper());
+  rig.log.Append(0, MakeRecord(LogRecordType::kInsert));
+  EXPECT_GT(rig.network.messages_sent(), 0);
+  EXPECT_EQ(rig.disk.bytes_transferred(), 0);   // Local WAL disk untouched.
+  EXPECT_GT(rig.helper_disk.bytes_transferred(), 0);
+  rig.log.DetachHelper();
+  rig.log.Append(1000, MakeRecord(LogRecordType::kInsert));
+  EXPECT_GT(rig.disk.bytes_transferred(), 0);
+}
+
+TEST(LogManager, TailAndTruncate) {
+  LogRig rig;
+  for (int i = 0; i < 5; ++i) {
+    rig.log.Append(i, MakeRecord(LogRecordType::kInsert, i));
+  }
+  EXPECT_EQ(rig.log.Tail(2).size(), 3u);
+  rig.log.TruncateUpTo(3);
+  EXPECT_EQ(rig.log.records().size(), 2u);
+  EXPECT_EQ(rig.log.Tail(0).size(), 2u);
+}
+
+// ------------------------------------------------------ TransactionManager
+
+TEST(TransactionManager, BeginAssignsMonotoneTimestamps) {
+  TransactionManager tm;
+  Txn* a = tm.Begin(0);
+  Txn* b = tm.Begin(10);
+  EXPECT_LT(a->begin_ts, b->begin_ts);
+  EXPECT_EQ(tm.active_count(), 2u);
+}
+
+TEST(TransactionManager, CommitStampsAndCounts) {
+  TransactionManager tm;
+  Txn* t = tm.Begin(0);
+  t->AdvanceTo(500);
+  const Timestamp cts = tm.Commit(t);
+  EXPECT_GT(cts, t->begin_ts);
+  EXPECT_EQ(t->state, TxnState::kCommitted);
+  EXPECT_EQ(tm.committed(), 1);
+  tm.Release(t->id);
+  EXPECT_EQ(tm.active_count(), 0u);
+}
+
+TEST(TransactionManager, MinActiveIgnoresFinished) {
+  TransactionManager tm;
+  Txn* a = tm.Begin(0);
+  Txn* b = tm.Begin(0);
+  const Timestamp a_ts = a->begin_ts;
+  tm.Commit(a);
+  EXPECT_GT(tm.MinActiveTs(), a_ts);
+  EXPECT_EQ(tm.MinActiveTs(), b->begin_ts);
+  tm.Commit(b);
+  tm.Release(a->id);
+  tm.Release(b->id);
+}
+
+TEST(TransactionManager, AbortReturnsUndo) {
+  TransactionManager tm;
+  Txn* t = tm.Begin(0);
+  ASSERT_TRUE(tm.versions()
+                  .Write(TableId(1), 9, *t, Payload(1), Payload(2), false)
+                  .ok());
+  auto undo = tm.Abort(t);
+  EXPECT_EQ(undo.size(), 1u);
+  EXPECT_EQ(tm.aborted(), 1);
+}
+
+TEST(TransactionManager, VacuumShrinksVersionStore) {
+  TransactionManager tm;
+  for (int i = 0; i < 3; ++i) {
+    Txn* t = tm.Begin(0);
+    ASSERT_TRUE(tm.versions()
+                    .Write(TableId(1), 9, *t,
+                           i == 0 ? std::make_optional(Payload(0)) : std::nullopt,
+                           Payload(static_cast<uint8_t>(i)), false)
+                    .ok());
+    tm.Commit(t);
+    tm.Release(t->id);
+  }
+  EXPECT_GT(tm.versions().OverheadBytes(), 0u);
+  tm.Vacuum();
+  EXPECT_EQ(tm.versions().OverheadBytes(), 0u);
+}
+
+TEST(Txn, ComponentAccounting) {
+  Txn t = MakeTxn(1, 1000);
+  t.AdvanceTo(1500);
+  t.cpu_us = 100;
+  t.disk_us = 200;
+  EXPECT_EQ(t.Elapsed(), 500);
+  EXPECT_EQ(t.OtherUs(), 200);
+  t.AdvanceTo(1400);  // Monotone: no-op.
+  EXPECT_EQ(t.now, 1500);
+}
+
+}  // namespace
+}  // namespace wattdb::tx
