@@ -11,7 +11,6 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "partition/physiological.h"
 
 namespace wattdb::bench {
 namespace {
@@ -26,34 +25,27 @@ AblationResult RunWithChunk(size_t chunk_bytes, double cost_scale) {
   RebalanceSetup setup;
   setup.cost_scale = cost_scale;
   setup.clients = 40;
-  RebalanceRig rig = MakeRig(setup);
-  cluster::Cluster& c = *rig.cluster;
+  RebalanceRig rig =
+      MakeRig(setup, RigOptions(setup).WithCopyChunkBytes(chunk_bytes));
+  Db& db = *rig.db;
+  workload::ClientPool& pool = *rig.pool;
 
-  partition::MigrationConfig mc;
-  mc.cost_scale = setup.cost_scale;
-  mc.copy_chunk_bytes = chunk_bytes;
-  partition::PhysiologicalPartitioning scheme(&c, mc);
-  cluster::Master master(&c, &scheme);
+  pool.Start();
+  db.RunUntil(20 * kUsPerSec);
+  pool.ResetStats();
 
-  rig.pool->Start();
-  c.StartSampling(nullptr);
-  c.RunUntil(20 * kUsPerSec);
-  rig.pool->ResetStats();
-
-  bool done = false;
-  (void)master.TriggerRebalance({NodeId(2), NodeId(3)}, 0.5,
-                                [&]() { done = true; });
-  const SimTime t0 = c.Now();
-  while (!done && c.Now() < t0 + 900 * kUsPerSec) {
-    c.RunUntil(c.Now() + kUsPerSec);
+  const StatusOr<SimTime> window =
+      db.RebalanceAndWait({NodeId(2), NodeId(3)}, 0.5, 900 * kUsPerSec);
+  pool.Stop();
+  if (!window.ok()) {
+    std::fprintf(stderr, "rebalance: %s\n", window.status().ToString().c_str());
+    return {};
   }
-  const SimTime window = c.Now() - t0;
-  rig.pool->Stop();
 
   AblationResult out;
-  out.migration_secs = ToSeconds(window);
-  out.avg_qps_during = rig.pool->completed() / ToSeconds(window);
-  out.avg_ms_during = rig.pool->latencies().mean() / kUsPerMs;
+  out.migration_secs = ToSeconds(*window);
+  out.avg_qps_during = pool.completed() / ToSeconds(*window);
+  out.avg_ms_during = pool.latencies().mean() / kUsPerMs;
   return out;
 }
 

@@ -12,11 +12,9 @@
 namespace wattdb::bench {
 namespace {
 
-double Run(cluster::Cluster* c, catalog::Partition* part, const KeyRange& range,
+double Run(Db* db, catalog::Partition* part, const KeyRange& range,
            size_t vector_size, bool buffered) {
   const NodeId remote(1);
-  tx::Txn* txn = c->BeginTxn(true);
-  exec::ExecContext ctx{c, txn};
   auto scan = std::make_unique<exec::TableScanOp>(part, range, vector_size);
   std::unique_ptr<exec::Operator> shipped;
   if (buffered) {
@@ -25,13 +23,9 @@ double Run(cluster::Cluster* c, catalog::Partition* part, const KeyRange& range,
     shipped = std::make_unique<exec::ExchangeOp>(std::move(scan), remote);
   }
   exec::ProjectOp root(std::move(shipped), remote);
-  const SimTime t0 = txn->now;
-  const size_t n = exec::DrainPlan(&ctx, &root);
-  const SimTime elapsed = txn->now - t0;
-  c->tm().Commit(txn);
-  c->tm().Release(txn->id);
-  c->RunUntil(txn->now + kUsPerSec);
-  return elapsed > 0 ? n / ToSeconds(elapsed) : 0;
+  const PlanRunResult r = DrainPlanInTxn(db, &root);
+  db->RunUntil(r.done_at + kUsPerSec);
+  return r.elapsed_us > 0 ? r.records / ToSeconds(r.elapsed_us) : 0;
 }
 
 }  // namespace
@@ -48,21 +42,22 @@ int main() {
   setup.clients = 0;
   setup.buffer_pages = 8000;  // Operator figure: isolate CPU/network costs.
   RebalanceRig rig = MakeRig(setup);
-  cluster::Cluster& c = *rig.cluster;
+  Db& db = *rig.db;
+  cluster::Cluster& c = db.cluster();
 
-  const TableId customer = rig.db->table(workload::TpccTable::kCustomer);
+  const TableId customer = db.table(workload::TpccTable::kCustomer);
   const Key lo = workload::TpccKeys::Customer(1, 0, 0);
   const Key hi = workload::TpccKeys::Customer(2, 0, 0);
   catalog::Partition* part =
       c.catalog().GetPartition(c.catalog().Route(customer, lo + 1)->primary);
   const KeyRange range{lo, hi};
-  Run(&c, part, range, 64, false);  // Warm the buffer pool.
+  Run(&db, part, range, 64, false);  // Warm the buffer pool.
 
   std::printf("%12s %22s %22s\n", "vector_size", "exchange [rec/s]",
               "buffered [rec/s]");
   for (size_t vec : {1, 4, 16, 64, 256, 1024}) {
-    const double ex = Run(&c, part, range, vec, false);
-    const double buf = Run(&c, part, range, vec, true);
+    const double ex = Run(&db, part, range, vec, false);
+    const double buf = Run(&db, part, range, vec, true);
     std::printf("%12zu %22.0f %22.0f\n", vec, ex, buf);
   }
   std::printf(

@@ -26,18 +26,13 @@ struct RunResult {
   size_t records;
 };
 
-RunResult RunPlan(cluster::Cluster* c, std::unique_ptr<exec::Operator> root) {
-  tx::Txn* txn = c->BeginTxn(true);
-  exec::ExecContext ctx{c, txn};
-  const SimTime t0 = txn->now;
-  const size_t n = exec::DrainPlan(&ctx, root.get());
-  const SimTime elapsed = txn->now - t0;
-  c->tm().Commit(txn);
-  c->tm().Release(txn->id);
+RunResult RunPlan(Db* db, std::unique_ptr<exec::Operator> root) {
+  const PlanRunResult r = DrainPlanInTxn(db, root.get());
   // Advance the cluster clock past this run so successive configurations
   // do not share the same stretch of simulated hardware time.
-  c->RunUntil(txn->now + kUsPerSec);
-  return {elapsed > 0 ? n / ToSeconds(elapsed) : 0.0, n};
+  db->RunUntil(r.done_at + kUsPerSec);
+  return {r.elapsed_us > 0 ? r.records / ToSeconds(r.elapsed_us) : 0.0,
+          r.records};
 }
 
 }  // namespace
@@ -51,14 +46,15 @@ int main() {
   RebalanceSetup setup;
   setup.warehouses = 2;
   setup.fill = 0.5;
-  setup.clients = 0;
-  setup.buffer_pages = 8000;  // Operator figure: isolate CPU/network costs.  // No background workload.
+  setup.clients = 0;  // No background workload.
+  setup.buffer_pages = 8000;  // Operator figure: isolate CPU/network costs.
   RebalanceRig rig = MakeRig(setup);
-  cluster::Cluster& c = *rig.cluster;
+  Db& db = *rig.db;
+  cluster::Cluster& c = db.cluster();
 
   // Scan warehouse 1's CUSTOMER partition on its owner (node 0); the
   // "remote" consumer is node 1.
-  const TableId customer = rig.db->table(workload::TpccTable::kCustomer);
+  const TableId customer = db.table(workload::TpccTable::kCustomer);
   const Key lo = workload::TpccKeys::Customer(1, 0, 0);
   const Key hi = workload::TpccKeys::Customer(2, 0, 0);
   catalog::Partition* part = c.catalog().GetPartition(
@@ -73,7 +69,7 @@ int main() {
 
   // Warm the buffer so the figure isolates operator/network costs, as the
   // paper's repeated micro-benchmark runs do.
-  RunPlan(&c, scan(kVector));
+  RunPlan(&db, scan(kVector));
 
   struct Config {
     const char* label;
@@ -101,7 +97,7 @@ int main() {
 
   std::printf("%-40s %14s %10s\n", "configuration", "records/sec", "records");
   for (auto& cfg : configs) {
-    const RunResult r = RunPlan(&c, std::move(cfg.plan));
+    const RunResult r = RunPlan(&db, std::move(cfg.plan));
     std::printf("%-40s %14.0f %10zu\n", cfg.label, r.records_per_sec,
                 r.records);
   }

@@ -22,9 +22,10 @@ struct QueryStats {
 };
 
 /// Closed-loop query clients issuing scan+sort over random districts.
-void RunConcurrent(cluster::Cluster* c, workload::TpccDatabase* db,
-                   int concurrency, bool offload, SimTime duration,
+void RunConcurrent(Db* db, int concurrency, bool offload, SimTime duration,
                    QueryStats* stats) {
+  cluster::Cluster* c = &db->cluster();
+  workload::TpccDatabase* tpcc = db->tpcc();
   const TableId orders = db->table(workload::TpccTable::kOrders);
   // Offload target: an idle processing node holding no data, as in §3.3
   // (pure processing nodes attach cheaply). Queries scan node 0's
@@ -40,15 +41,13 @@ void RunConcurrent(cluster::Cluster* c, workload::TpccDatabase* db,
   const SimTime deadline = c->Now() + duration;
   *issue = [=]() {
     if (c->Now() >= deadline) return;
-    const int64_t w = rng->UniformInt(1, db->warehouses() / 2);  // Node 0.
+    const int64_t w = rng->UniformInt(1, tpcc->warehouses() / 2);  // Node 0.
     const int64_t d = rng->UniformInt(1, workload::kDistrictsPerWarehouse);
     const KeyRange range{workload::TpccKeys::Order(w, d, 0),
                          workload::TpccKeys::Order(w, d + 1, 0)};
     auto route = c->catalog().Route(orders, range.lo + 1);
     if (!route.has_value()) return;
     catalog::Partition* part = c->catalog().GetPartition(route->primary);
-    tx::Txn* txn = c->BeginTxn(true);
-    exec::ExecContext ctx{c, txn};
     auto scan = std::make_unique<exec::TableScanOp>(part, range, 64, costs);
     std::unique_ptr<exec::Operator> root;
     if (offload && part->owner() != remote) {
@@ -59,13 +58,10 @@ void RunConcurrent(cluster::Cluster* c, workload::TpccDatabase* db,
       root = std::make_unique<exec::SortOp>(std::move(scan), part->owner(), 64,
                                             costs);
     }
-    exec::DrainPlan(&ctx, root.get());
-    const SimTime done = txn->now;
-    c->tm().Commit(txn);
-    c->tm().Release(txn->id);
-    if (done < deadline) {
+    const PlanRunResult r = DrainPlanInTxn(db, root.get());
+    if (r.done_at < deadline) {
       ++stats->completed;
-      c->events().ScheduleAt(done, [=]() { (*issue)(); });
+      c->events().ScheduleAt(r.done_at, [=]() { (*issue)(); });
     }
   };
   for (int i = 0; i < concurrency; ++i) {
@@ -83,8 +79,7 @@ double Throughput(int concurrency, bool offload) {
   RebalanceRig rig = MakeRig(setup);
   constexpr SimTime kDuration = 60 * kUsPerSec;
   QueryStats stats;
-  RunConcurrent(rig.cluster.get(), rig.db.get(), concurrency, offload,
-                kDuration, &stats);
+  RunConcurrent(rig.db.get(), concurrency, offload, kDuration, &stats);
   return stats.completed / ToSeconds(kDuration);
 }
 

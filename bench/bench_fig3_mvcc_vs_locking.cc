@@ -12,8 +12,6 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "partition/logical.h"
-#include "workload/micro.h"
 
 namespace wattdb::bench {
 namespace {
@@ -24,23 +22,26 @@ struct MixResult {
 };
 
 MixResult RunOne(double update_ratio, tx::CcScheme cc) {
-  cluster::ClusterConfig cfg;
-  cfg.num_nodes = 2;
-  cfg.initially_active = 2;
-  cfg.buffer.capacity_pages = 2000;
-  cfg.cc = cc;
-
-  cluster::Cluster c(cfg);
   // MVCC keeps versions for concurrent snapshots; the paper's workload
   // always has readers in flight, so the reclamation horizon trails the
-  // move. MGL-RX blocks readers instead and reclaims immediately.
-  c.set_auto_vacuum(cc == tx::CcScheme::kMglRx);
-  workload::TpccLoadConfig load;
-  load.warehouses = 2;
-  load.fill = 0.15;
-  load.home_nodes = {NodeId(0)};
-  workload::TpccDatabase db(&c, load);
-  if (!db.Load().ok()) std::abort();
+  // move (manual lagged GC below). MGL-RX blocks readers instead and
+  // reclaims immediately (auto-vacuum on).
+  DbOptions options = DbOptions()
+                          .WithNodes(2)
+                          .WithActiveNodes(2)
+                          .WithBufferPages(2000)
+                          .WithCc(cc)
+                          .WithWarehouses(2)
+                          .WithFill(0.15)
+                          .WithHomeNodes({NodeId(0)})
+                          .WithScheme("logical")
+                          .WithLogicalBatchRecords(128)
+                          .WithMigrateOnly(workload::TpccTable::kCustomer)
+                          .WithAutoVacuum(cc == tx::CcScheme::kMglRx);
+  auto opened = Db::Open(options);
+  if (!opened.ok()) std::abort();
+  Db& db = **opened;
+  cluster::Cluster& c = db.cluster();
 
   // Storage baseline: the affected table's bytes (the paper plots the
   // space consumption of the workload's data while it moves).
@@ -56,32 +57,26 @@ MixResult RunOne(double update_ratio, tx::CcScheme cc) {
   mc.num_clients = 24;
   mc.update_ratio = update_ratio;
   mc.think_time = 2 * kUsPerMs;
-  workload::MicroWorkload micro(&db, mc);
+  workload::MicroWorkload& micro = db.AddMicroWorkload(mc);
   micro.Start();
-  c.StartSampling(nullptr);
-  c.RunUntil(5 * kUsPerSec);
+  db.RunUntil(5 * kUsPerSec);
   micro.ResetStats();
 
   // Move 50% of the records (logical record movement between partitions,
-  // as in the paper's micro-benchmark) while the workload runs.
-  partition::MigrationConfig pc;
-  pc.logical_batch_records = 128;
-  // Move only the CUSTOMER table — the paper's micro-benchmark measures the
-  // workload "while the affected partition is moved".
-  pc.only_table = db.table(workload::TpccTable::kCustomer);
-  partition::LogicalPartitioning mover(&c, pc);
+  // as in the paper's micro-benchmark — only the CUSTOMER table, see
+  // WithMigrateOnly above) while the workload runs.
   bool done = false;
-  if (!mover.StartRebalance({NodeId(1)}, 0.5, [&]() { done = true; }).ok()) {
+  if (!db.TriggerRebalance({NodeId(1)}, 0.5, [&]() { done = true; }).ok()) {
     std::abort();
   }
 
   size_t peak_overhead = 0;
-  const SimTime t0 = c.Now();
+  const SimTime t0 = db.Now();
   // MVCC version retention: snapshots up to ~1 s old stay readable (the
   // paper's workload always has readers in flight); GC trails by one tick.
   tx::Timestamp lagged_horizon = c.tm().MinActiveTs();
-  while (!done && c.Now() < t0 + 600 * kUsPerSec) {
-    c.RunUntil(c.Now() + kUsPerSec / 4);
+  while (!done && db.Now() < t0 + 600 * kUsPerSec) {
+    db.RunFor(kUsPerSec / 4);
     if (cc == tx::CcScheme::kMvcc) {
       c.tm().versions().Gc(lagged_horizon);
       lagged_horizon = c.tm().MinActiveTs();
@@ -91,7 +86,7 @@ MixResult RunOne(double update_ratio, tx::CcScheme cc) {
     peak_overhead =
         std::max(peak_overhead, c.tm().versions().OverheadBytes());
   }
-  const SimTime move_window = c.Now() - t0;
+  const SimTime move_window = db.Now() - t0;
   micro.Stop();
 
   MixResult out;

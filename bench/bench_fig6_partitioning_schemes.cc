@@ -12,12 +12,8 @@
 //  * power steps up when the two target nodes leave standby.
 
 #include <cstdio>
-#include <memory>
 
 #include "bench/bench_util.h"
-#include "partition/logical.h"
-#include "partition/physical.h"
-#include "partition/physiological.h"
 
 namespace wattdb::bench {
 namespace {
@@ -28,37 +24,25 @@ constexpr SimTime kBucket = 10 * kUsPerSec;
 
 metrics::TimeSeries RunScheme(const RebalanceSetup& setup,
                               const std::string& scheme_name) {
-  RebalanceRig rig = MakeRig(setup);
-  cluster::Cluster& c = *rig.cluster;
-
-  partition::MigrationConfig mc;
-  mc.cost_scale = setup.cost_scale;
-  std::unique_ptr<partition::MigrationManagerBase> scheme;
-  if (scheme_name == "physical") {
-    scheme = std::make_unique<partition::PhysicalPartitioning>(&c, mc);
-  } else if (scheme_name == "logical") {
-    scheme = std::make_unique<partition::LogicalPartitioning>(&c, mc);
-  } else {
-    scheme = std::make_unique<partition::PhysiologicalPartitioning>(&c, mc);
-  }
-  cluster::Master master(&c, scheme.get());
+  RebalanceRig rig = MakeRig(setup, scheme_name);
+  Db& db = *rig.db;
 
   metrics::TimeSeries series(kBucket);
   series.SetOrigin(kWarmup);  // t=0 on the axis = rebalance start.
-  c.StartSampling(&series);
+  db.cluster().StartSampling(&series);
   rig.pool->set_series(&series);
   rig.pool->Start();
 
   // Warm up, then trigger the Fig. 6 rebalance: 50% of the records to two
   // freshly booted nodes.
-  c.events().ScheduleAt(kWarmup, [&]() {
+  db.events().ScheduleAt(kWarmup, [&]() {
     const Status s =
-        master.TriggerRebalance({NodeId(2), NodeId(3)}, 0.5, nullptr);
+        db.TriggerRebalance({NodeId(2), NodeId(3)}, 0.5, nullptr);
     if (!s.ok()) {
       std::fprintf(stderr, "trigger failed: %s\n", s.ToString().c_str());
     }
   });
-  c.RunUntil(kWarmup + kRunAfter);
+  db.RunUntil(kWarmup + kRunAfter);
   rig.pool->Stop();
 
   std::fprintf(stderr,
@@ -67,10 +51,10 @@ metrics::TimeSeries RunScheme(const RebalanceSetup& setup,
                scheme_name.c_str(),
                static_cast<long long>(rig.pool->completed()),
                static_cast<long long>(rig.pool->aborted()),
-               static_cast<long long>(scheme->stats().segments_moved),
-               static_cast<long long>(scheme->stats().records_moved),
-               ToSeconds(scheme->stats().started_at - kWarmup),
-               ToSeconds(scheme->stats().finished_at - kWarmup));
+               static_cast<long long>(db.scheme().stats().segments_moved),
+               static_cast<long long>(db.scheme().stats().records_moved),
+               ToSeconds(db.scheme().stats().started_at - kWarmup),
+               ToSeconds(db.scheme().stats().finished_at - kWarmup));
   return series;
 }
 

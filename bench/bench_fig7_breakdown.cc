@@ -13,7 +13,6 @@
 
 #include "bench/bench_util.h"
 #include "metrics/breakdown.h"
-#include "partition/physiological.h"
 
 namespace wattdb::bench {
 namespace {
@@ -21,37 +20,30 @@ namespace {
 metrics::TimeBreakdown Measure(bool rebalancing, bool helpers) {
   RebalanceSetup setup;
   RebalanceRig rig = MakeRig(setup);
-  cluster::Cluster& c = *rig.cluster;
-
-  partition::MigrationConfig mc;
-  mc.cost_scale = setup.cost_scale;
-  partition::PhysiologicalPartitioning scheme(&c, mc);
-  cluster::Master master(&c, &scheme);
+  Db& db = *rig.db;
 
   metrics::TimeBreakdown bd;
   rig.pool->Start();
-  c.StartSampling(nullptr);
-  c.RunUntil(30 * kUsPerSec);  // Warm up.
+  db.RunUntil(30 * kUsPerSec);  // Warm up.
 
   if (rebalancing) {
     if (helpers) {
       // Fig. 8 improvement: two helper nodes assist the four data nodes.
-      if (!master
-               .AttachHelpers({NodeId(4), NodeId(5)},
-                              {NodeId(0), NodeId(1), NodeId(2), NodeId(3)},
-                              /*remote_buffer_pages=*/1500)
+      if (!db.AttachHelpers({NodeId(4), NodeId(5)},
+                            {NodeId(0), NodeId(1), NodeId(2), NodeId(3)},
+                            /*remote_buffer_pages=*/1500)
                .ok()) {
         std::abort();
       }
     }
-    if (!master.TriggerRebalance({NodeId(2), NodeId(3)}, 0.5, nullptr).ok()) {
+    if (!db.TriggerRebalance({NodeId(2), NodeId(3)}, 0.5, nullptr).ok()) {
       std::abort();
     }
-    c.RunUntil(40 * kUsPerSec);  // Boot + first copy streams under way.
+    db.RunUntil(40 * kUsPerSec);  // Boot + first copy streams under way.
   }
 
   rig.pool->set_breakdown(&bd);
-  c.RunUntil(c.Now() + 60 * kUsPerSec);
+  db.RunFor(60 * kUsPerSec);
   rig.pool->Stop();
   return bd;
 }

@@ -9,10 +9,8 @@
 // query performance").
 
 #include <cstdio>
-#include <memory>
 
 #include "bench/bench_util.h"
-#include "partition/physiological.h"
 
 namespace wattdb::bench {
 namespace {
@@ -24,38 +22,33 @@ constexpr SimTime kBucket = 10 * kUsPerSec;
 metrics::TimeSeries RunOne(bool helpers) {
   RebalanceSetup setup;
   RebalanceRig rig = MakeRig(setup);
-  cluster::Cluster& c = *rig.cluster;
-
-  partition::MigrationConfig mc;
-  mc.cost_scale = setup.cost_scale;
-  partition::PhysiologicalPartitioning scheme(&c, mc);
-  cluster::Master master(&c, &scheme);
+  Db& db = *rig.db;
 
   metrics::TimeSeries series(kBucket);
   series.SetOrigin(kWarmup);
-  c.StartSampling(&series);
+  db.cluster().StartSampling(&series);
   rig.pool->set_series(&series);
   rig.pool->Start();
 
-  c.events().ScheduleAt(kWarmup, [&]() {
+  db.events().ScheduleAt(kWarmup, [&]() {
     if (helpers) {
-      (void)master.AttachHelpers({NodeId(4), NodeId(5)},
-                                 {NodeId(0), NodeId(1), NodeId(2), NodeId(3)},
-                                 /*remote_buffer_pages=*/1500);
+      (void)db.AttachHelpers({NodeId(4), NodeId(5)},
+                             {NodeId(0), NodeId(1), NodeId(2), NodeId(3)},
+                             /*remote_buffer_pages=*/1500);
     }
-    (void)master.TriggerRebalance({NodeId(2), NodeId(3)}, 0.5, [&]() {
+    (void)db.TriggerRebalance({NodeId(2), NodeId(3)}, 0.5, [&]() {
       // Helpers are brought down again once rebalancing finished.
-      if (helpers) (void)master.DetachHelpers();
+      if (helpers) (void)db.DetachHelpers();
     });
   });
-  c.RunUntil(kWarmup + kRunAfter);
+  db.RunUntil(kWarmup + kRunAfter);
   rig.pool->Stop();
   std::fprintf(stderr, "[%s] completed=%lld migration end t=%+.0fs\n",
                helpers ? "physio+helper" : "physiological",
                static_cast<long long>(rig.pool->completed()),
-               scheme.stats().finished_at == 0
+               db.scheme().stats().finished_at == 0
                    ? -1.0
-                   : ToSeconds(scheme.stats().finished_at - kWarmup));
+                   : ToSeconds(db.scheme().stats().finished_at - kWarmup));
   return series;
 }
 

@@ -10,8 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
-#include "cluster/cluster.h"
 #include "common/constants.h"
+#include "hw/power.h"
 
 namespace wattdb {
 namespace {

@@ -4,16 +4,19 @@
 // Shared scaffolding for the paper-reproduction benches. Each bench binary
 // regenerates one table/figure of Schall & Härder, ICDE 2015; see
 // EXPERIMENTS.md for the mapping and the calibration rationale.
+//
+// All benches go through the wattdb::Db facade: the rig below is only the
+// paper's §5.1 testbed constants folded into DbOptions plus an attached
+// client pool.
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 
-#include "cluster/cluster.h"
-#include "cluster/master.h"
+#include "api/db.h"
+#include "exec/operators.h"
 #include "metrics/time_series.h"
-#include "workload/client.h"
-#include "workload/tpcc_loader.h"
 
 namespace wattdb::bench {
 
@@ -36,42 +39,80 @@ struct RebalanceSetup {
   uint64_t seed = 42;
 };
 
+/// The §5.1 testbed as facade options; tweak the returned object for
+/// per-bench deviations before Db::Open.
+inline DbOptions RigOptions(const RebalanceSetup& s,
+                            const std::string& scheme = "physiological",
+                            tx::CcScheme cc = tx::CcScheme::kMvcc) {
+  DbOptions options;
+  options.WithNodes(s.num_nodes)
+      .WithActiveNodes(2)
+      .WithBufferPages(s.buffer_pages)
+      .WithCc(cc)
+      .WithSeed(s.seed)
+      .WithWarehouses(s.warehouses)
+      .WithFill(s.fill)
+      .WithHomeNodes({NodeId(0), NodeId(1)})
+      .WithScheme(scheme)
+      .WithCostScale(s.cost_scale);
+  return options;
+}
+
 struct RebalanceRig {
-  std::unique_ptr<cluster::Cluster> cluster;
-  std::unique_ptr<workload::TpccDatabase> db;
-  std::unique_ptr<workload::ClientPool> pool;
+  std::unique_ptr<Db> db;
+  /// Attached closed-loop client pool (owned by `db`); null when the setup
+  /// asked for zero clients.
+  workload::ClientPool* pool = nullptr;
 };
 
-inline RebalanceRig MakeRig(const RebalanceSetup& s,
-                            tx::CcScheme cc = tx::CcScheme::kMvcc) {
-  cluster::ClusterConfig cfg;
-  cfg.num_nodes = s.num_nodes;
-  cfg.initially_active = 2;
-  cfg.buffer.capacity_pages = s.buffer_pages;
-  cfg.cc = cc;
-  cfg.seed = s.seed;
-
+/// Open `options` and attach the setup's client pool. Use this overload for
+/// per-bench option tweaks: `MakeRig(s, RigOptions(s).WithCopyChunkBytes(n))`.
+inline RebalanceRig MakeRig(const RebalanceSetup& s, const DbOptions& options) {
   RebalanceRig rig;
-  rig.cluster = std::make_unique<cluster::Cluster>(cfg);
-
-  workload::TpccLoadConfig load;
-  load.warehouses = s.warehouses;
-  load.fill = s.fill;
-  load.home_nodes = {NodeId(0), NodeId(1)};
-  load.seed = s.seed;
-  rig.db = std::make_unique<workload::TpccDatabase>(rig.cluster.get(), load);
-  const Status st = rig.db->Load();
-  if (!st.ok()) {
-    std::fprintf(stderr, "load failed: %s\n", st.ToString().c_str());
+  auto opened = Db::Open(options);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "Db::Open failed: %s\n",
+                 opened.status().ToString().c_str());
     std::abort();
   }
-
-  workload::ClientPoolConfig pool_cfg;
-  pool_cfg.num_clients = s.clients;
-  pool_cfg.think_time = s.think_time;
-  pool_cfg.seed = s.seed;
-  rig.pool = std::make_unique<workload::ClientPool>(rig.db.get(), pool_cfg);
+  rig.db = std::move(opened).value();
+  if (s.clients > 0) {
+    workload::ClientPoolConfig pool_cfg;
+    pool_cfg.num_clients = s.clients;
+    pool_cfg.think_time = s.think_time;
+    pool_cfg.seed = s.seed;
+    rig.pool = &rig.db->AddClientPool(pool_cfg);
+  }
   return rig;
+}
+
+inline RebalanceRig MakeRig(const RebalanceSetup& s,
+                            const std::string& scheme = "physiological",
+                            tx::CcScheme cc = tx::CcScheme::kMvcc) {
+  return MakeRig(s, RigOptions(s, scheme, cc));
+}
+
+struct PlanRunResult {
+  size_t records = 0;
+  SimTime elapsed_us = 0;
+  /// Completion time of the plan, captured before the commit record is
+  /// written (schedule follow-up work at this time, not after the commit).
+  SimTime done_at = 0;
+};
+
+/// Drain a volcano plan in a fresh read-only facade transaction — the
+/// operator-figure benches' shared choreography (Fig. 1, Fig. 2, E9).
+inline PlanRunResult DrainPlanInTxn(Db* db, exec::Operator* root) {
+  Session session = db->OpenSession();
+  TxnHandle txn = session.Begin(/*read_only=*/true);
+  exec::ExecContext ctx{&db->cluster(), txn.txn()};
+  const SimTime t0 = txn.txn()->now;
+  PlanRunResult r;
+  r.records = exec::DrainPlan(&ctx, root);
+  r.done_at = txn.txn()->now;
+  r.elapsed_us = r.done_at - t0;
+  (void)txn.Commit();
+  return r;
 }
 
 inline void PrintHeader(const char* figure, const char* what) {

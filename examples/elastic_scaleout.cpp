@@ -8,58 +8,53 @@
 
 #include <cstdio>
 
-#include "cluster/cluster.h"
-#include "cluster/master.h"
-#include "partition/physiological.h"
-#include "workload/client.h"
-#include "workload/tpcc_loader.h"
+#include "api/db.h"
 
 using namespace wattdb;
 
 int main() {
-  cluster::ClusterConfig config;
-  config.num_nodes = 4;
-  config.initially_active = 1;  // Everything starts centralized on the master.
-  config.buffer.capacity_pages = 600;
-  cluster::Cluster cluster(config);
-
-  workload::TpccLoadConfig load;
-  load.warehouses = 4;
-  load.fill = 0.25;
-  load.home_nodes = {NodeId(0)};
-  workload::TpccDatabase db(&cluster, load);
-  if (!db.Load().ok()) return 1;
-
-  partition::PhysiologicalPartitioning scheme(&cluster);
-  cluster::MasterPolicy policy;
   // The wimpy nodes are I/O-bound long before their CPUs saturate, so the
   // demo's thresholds sit low (the paper's 80% bound assumes CPU-heavy
   // plans; §3.4's disk-utilization rules would fire here first).
+  cluster::MasterPolicy policy;
   policy.cpu_upper = 0.10;
   policy.cpu_lower = 0.05;
   policy.check_period = 5 * kUsPerSec;
-  cluster::Master master(&cluster, &scheme, policy);
-  master.Start();
+
+  auto opened = Db::Open(DbOptions()
+                             .WithNodes(4)
+                             .WithActiveNodes(1)  // Centralized on the master.
+                             .WithBufferPages(600)
+                             .WithWarehouses(4)
+                             .WithFill(0.25)
+                             .WithHomeNodes({NodeId(0)})
+                             .WithScheme("physiological")
+                             .WithMasterLoop(policy));
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  Db& db = **opened;
 
   // Base load, surge, and cool-down phases via two client pools.
   workload::ClientPoolConfig base_cfg;
   base_cfg.num_clients = 20;
   base_cfg.think_time = 50 * kUsPerMs;
-  workload::ClientPool base(&db, base_cfg);
+  workload::ClientPool& base = db.AddClientPool(base_cfg);
 
   workload::ClientPoolConfig surge_cfg;
   surge_cfg.num_clients = 150;
   surge_cfg.think_time = 10 * kUsPerMs;
   surge_cfg.seed = 99;
-  workload::ClientPool surge(&db, surge_cfg);
+  workload::ClientPool& surge = db.AddClientPool(surge_cfg);
 
   base.Start();
-  cluster.StartSampling(nullptr);
-  cluster.events().ScheduleAt(60 * kUsPerSec, [&]() {
+  db.events().ScheduleAt(60 * kUsPerSec, [&]() {
     std::printf("-- t=60s: load surge begins --\n");
     surge.Start();
   });
-  cluster.events().ScheduleAt(240 * kUsPerSec, [&]() {
+  db.events().ScheduleAt(240 * kUsPerSec, [&]() {
     std::printf("-- t=240s: surge ends --\n");
     surge.Stop();
   });
@@ -68,21 +63,21 @@ int main() {
               "avg_ms", "watts", "scale_events");
   int64_t last_completed = 0;
   for (int t = 10; t <= 480; t += 10) {
-    cluster.RunUntil(static_cast<SimTime>(t) * kUsPerSec);
+    db.RunUntil(static_cast<SimTime>(t) * kUsPerSec);
     const int64_t done = base.completed() + surge.completed();
     const double qps = (done - last_completed) / 10.0;
     last_completed = done;
-    const SimTime now = cluster.Now();
+    const SimTime now = db.Now();
     std::printf("%8d %8d %8.1f %10.2f %10.1f %6d out,%3d in\n", t,
-                cluster.ActiveNodeCount(), qps,
+                db.ActiveNodeCount(), qps,
                 base.latencies().mean() / kUsPerMs,
-                cluster.WattsIn(now - 10 * kUsPerSec, now),
-                master.scale_out_events(), master.scale_in_events());
+                db.WattsIn(now - 10 * kUsPerSec, now),
+                db.master().scale_out_events(), db.master().scale_in_events());
   }
   base.Stop();
 
   std::printf("\nscale-out events: %d, scale-in events: %d\n",
-              master.scale_out_events(), master.scale_in_events());
-  std::printf("total energy: %.1f kJ\n", cluster.energy().joules() / 1000.0);
+              db.master().scale_out_events(), db.master().scale_in_events());
+  std::printf("total energy: %.1f kJ\n", db.energy().joules() / 1000.0);
   return 0;
 }

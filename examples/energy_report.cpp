@@ -10,9 +10,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "cluster/cluster.h"
-#include "workload/client.h"
-#include "workload/tpcc_loader.h"
+#include "api/db.h"
 
 using namespace wattdb;
 
@@ -25,39 +23,35 @@ struct RunResult {
 };
 
 RunResult RunAt(int clients, int active_nodes) {
-  cluster::ClusterConfig config;
-  config.num_nodes = 10;
-  config.initially_active = active_nodes;
-  config.buffer.capacity_pages = 600;
-  cluster::Cluster cluster(config);
-
-  workload::TpccLoadConfig load;
-  load.warehouses = active_nodes * 2;
-  load.fill = 0.15;
-  for (int i = 0; i < active_nodes; ++i) {
-    if (i > 0) load.home_nodes.push_back(NodeId(i));
-  }
-  workload::TpccDatabase db(&cluster, load);
-  if (!db.Load().ok()) return {};
+  std::vector<NodeId> home_nodes;
+  for (int i = 0; i < active_nodes; ++i) home_nodes.push_back(NodeId(i));
+  auto opened = Db::Open(DbOptions()
+                             .WithNodes(10)
+                             .WithActiveNodes(active_nodes)
+                             .WithBufferPages(600)
+                             .WithWarehouses(active_nodes * 2)
+                             .WithFill(0.15)
+                             .WithHomeNodes(home_nodes));
+  if (!opened.ok()) return {};
+  Db& db = **opened;
 
   workload::ClientPoolConfig pool_cfg;
   pool_cfg.num_clients = clients;
   pool_cfg.think_time = 80 * kUsPerMs;
-  workload::ClientPool pool(&db, pool_cfg);
+  workload::ClientPool& pool = db.AddClientPool(pool_cfg);
   pool.Start();
-  cluster.StartSampling(nullptr);
-  cluster.RunUntil(20 * kUsPerSec);  // Warm up.
+  db.RunFor(20 * kUsPerSec);  // Warm up.
   pool.ResetStats();
-  cluster.energy().Reset();
+  db.energy().Reset();
   constexpr SimTime kWindow = 60 * kUsPerSec;
-  cluster.RunUntil(cluster.Now() + kWindow);
+  db.RunFor(kWindow);
   pool.Stop();
 
   RunResult r;
   r.qps = pool.completed() / ToSeconds(kWindow);
-  r.watts = cluster.energy().joules() / ToSeconds(kWindow);
+  r.watts = db.energy().joules() / ToSeconds(kWindow);
   r.j_per_query = pool.completed() > 0
-                      ? cluster.energy().joules() / pool.completed()
+                      ? db.energy().joules() / pool.completed()
                       : 0.0;
   return r;
 }

@@ -2,22 +2,18 @@
 // a compact before/during/after summary — a minute-scale version of the
 // paper's Fig. 6 experiment.
 //
-//   $ ./examples/partition_comparison [physical|logical|physiological]
+//   $ ./examples/partition_comparison [physical|logical|physiological|<registered>]
 //
-// Without an argument, runs all three.
+// Without an argument, runs all three paper schemes. The scheme argument is
+// resolved through the SchemeRegistry, so any factory registered by linked
+// code works here too.
 
 #include <cstdio>
-#include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
-#include "cluster/cluster.h"
-#include "cluster/master.h"
-#include "partition/logical.h"
-#include "partition/physical.h"
-#include "partition/physiological.h"
-#include "workload/client.h"
-#include "workload/tpcc_loader.h"
+#include "api/db.h"
 
 using namespace wattdb;
 
@@ -28,73 +24,57 @@ struct PhaseStats {
   double avg_ms = 0;
 };
 
-PhaseStats Window(cluster::Cluster* c, workload::ClientPool* pool,
-                  SimTime duration) {
+PhaseStats Window(Db* db, workload::ClientPool* pool, SimTime duration) {
   pool->ResetStats();
-  c->RunUntil(c->Now() + duration);
+  db->RunFor(duration);
   PhaseStats s;
   s.qps = pool->completed() / ToSeconds(duration);
   s.avg_ms = pool->latencies().mean() / kUsPerMs;
   return s;
 }
 
-void RunScheme(const char* name) {
-  cluster::ClusterConfig config;
-  config.num_nodes = 6;
-  config.initially_active = 2;
-  config.buffer.capacity_pages = 500;
-  cluster::Cluster cluster(config);
-
-  workload::TpccLoadConfig load;
-  load.warehouses = 4;
-  load.fill = 0.25;
-  load.home_nodes = {NodeId(0), NodeId(1)};
-  workload::TpccDatabase db(&cluster, load);
-  if (!db.Load().ok()) return;
-
-  partition::MigrationConfig mc;
-  mc.cost_scale = 6.0;
-  std::unique_ptr<partition::MigrationManagerBase> scheme;
-  if (std::strcmp(name, "physical") == 0) {
-    scheme = std::make_unique<partition::PhysicalPartitioning>(&cluster, mc);
-  } else if (std::strcmp(name, "logical") == 0) {
-    scheme = std::make_unique<partition::LogicalPartitioning>(&cluster, mc);
-  } else {
-    scheme =
-        std::make_unique<partition::PhysiologicalPartitioning>(&cluster, mc);
+void RunScheme(const std::string& name) {
+  auto opened = Db::Open(DbOptions()
+                             .WithNodes(6)
+                             .WithActiveNodes(2)
+                             .WithBufferPages(500)
+                             .WithWarehouses(4)
+                             .WithFill(0.25)
+                             .WithHomeNodes({NodeId(0), NodeId(1)})
+                             .WithScheme(name)
+                             .WithCostScale(6.0));
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 opened.status().ToString().c_str());
+    return;
   }
-  cluster::Master master(&cluster, scheme.get());
+  Db& db = **opened;
 
   workload::ClientPoolConfig pool_cfg;
   pool_cfg.num_clients = 40;
   pool_cfg.think_time = 60 * kUsPerMs;
-  workload::ClientPool pool(&db, pool_cfg);
+  workload::ClientPool& pool = db.AddClientPool(pool_cfg);
   pool.Start();
-  cluster.StartSampling(nullptr);
 
-  const PhaseStats before = Window(&cluster, &pool, 30 * kUsPerSec);
-  bool done = false;
-  (void)master.TriggerRebalance({NodeId(2), NodeId(3)}, 0.5,
-                                [&]() { done = true; });
+  const PhaseStats before = Window(&db, &pool, 30 * kUsPerSec);
   pool.ResetStats();
-  const SimTime t0 = cluster.Now();
-  while (!done && cluster.Now() < t0 + 600 * kUsPerSec) {
-    cluster.RunUntil(cluster.Now() + kUsPerSec);
-  }
-  const double move_secs = ToSeconds(cluster.Now() - t0);
+  const StatusOr<SimTime> moved =
+      db.RebalanceAndWait({NodeId(2), NodeId(3)}, 0.5, 600 * kUsPerSec);
+  const double move_secs =
+      moved.ok() ? ToSeconds(*moved) : ToSeconds(600 * kUsPerSec);
   PhaseStats during;
   during.qps = pool.completed() / move_secs;
   during.avg_ms = pool.latencies().mean() / kUsPerMs;
-  const PhaseStats after = Window(&cluster, &pool, 30 * kUsPerSec);
+  const PhaseStats after = Window(&db, &pool, 30 * kUsPerSec);
   pool.Stop();
 
   std::printf(
       "%-14s | before %6.1f qps %7.2f ms | during %6.1f qps %7.2f ms "
       "(%5.1fs) | after %6.1f qps %7.2f ms | moved %lld segs / %lld recs\n",
-      scheme->name().c_str(), before.qps, before.avg_ms, during.qps,
+      db.scheme().name().c_str(), before.qps, before.avg_ms, during.qps,
       during.avg_ms, move_secs, after.qps, after.avg_ms,
-      static_cast<long long>(scheme->stats().segments_moved),
-      static_cast<long long>(scheme->stats().records_moved));
+      static_cast<long long>(db.scheme().stats().segments_moved),
+      static_cast<long long>(db.scheme().stats().records_moved));
 }
 
 }  // namespace

@@ -1,44 +1,41 @@
-// Quickstart: stand up a simulated WattDB cluster, load a small TPC-C
-// database, run a few transactions by hand, and inspect the catalog.
+// Quickstart: open a simulated WattDB cluster with a small TPC-C database
+// through the wattdb::Db facade, run transactions, and inspect routing.
 //
 //   $ ./examples/quickstart
 //
-// This walks the public API end to end: ClusterConfig -> Cluster ->
-// TpccDatabase -> transactions -> catalog/routing introspection.
+// The whole setup is one Db::Open call; data access goes through an RAII
+// Session, never through cluster internals.
 
 #include <cstdio>
 
-#include "cluster/cluster.h"
-#include "workload/tpcc_loader.h"
+#include "api/db.h"
 #include "workload/tpcc_txn.h"
 
 using namespace wattdb;
 
 int main() {
-  // 1. A four-node cluster; nodes 0 (master) and 1 start active, the rest
-  //    sleep in standby at ~2.5 W.
-  cluster::ClusterConfig config;
-  config.num_nodes = 4;
-  config.initially_active = 2;
-  config.buffer.capacity_pages = 2000;
-  cluster::Cluster cluster(config);
-
-  // 2. Load TPC-C at a small scale factor across the two active nodes.
-  workload::TpccLoadConfig load;
-  load.warehouses = 2;
-  load.fill = 0.1;  // 10% of the spec cardinalities keeps this instant.
-  load.home_nodes = {NodeId(0), NodeId(1)};
-  workload::TpccDatabase db(&cluster, load);
-  if (Status s = db.Load(); !s.ok()) {
-    std::fprintf(stderr, "load failed: %s\n", s.ToString().c_str());
+  // 1. A four-node cluster (node 0 is the master; nodes 0-1 start active,
+  //    the rest sleep in standby at ~2.5 W), TPC-C at a small scale factor
+  //    across the two active nodes, physiological partitioning ready.
+  auto opened = Db::Open(DbOptions()
+                             .WithNodes(4)
+                             .WithActiveNodes(2)
+                             .WithBufferPages(2000)
+                             .WithWarehouses(2)
+                             .WithFill(0.1)  // 10% cardinality: instant load.
+                             .WithHomeNodes({NodeId(0), NodeId(1)}));
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 opened.status().ToString().c_str());
     return 1;
   }
+  Db& db = **opened;
   std::printf("loaded %lld rows into %zu segments\n",
-              static_cast<long long>(db.rows_loaded()),
-              cluster.segments().size());
+              static_cast<long long>(db.tpcc()->rows_loaded()),
+              db.cluster().segments().size());
 
-  // 3. Run one of each TPC-C transaction through the master's router.
-  workload::TpccRunner runner(&db);
+  // 2. Run one of each TPC-C transaction through the master's router.
+  workload::TpccRunner runner(db.tpcc());
   Rng rng(7);
   for (auto type :
        {workload::TpccTxnType::kNewOrder, workload::TpccTxnType::kPayment,
@@ -51,42 +48,33 @@ int main() {
                 r.committed ? "committed" : "aborted",
                 r.latency_us / 1000.0, r.profile.disk_us / 1000.0,
                 r.profile.net_us / 1000.0, r.profile.lock_wait_us / 1000.0);
-    cluster.RunUntil(cluster.Now() + kUsPerSec);
+    db.RunFor(kUsPerSec);
   }
 
-  // 4. Point read through the routing layer.
-  tx::Txn* txn = cluster.BeginTxn(/*read_only=*/true);
+  // 3. Point read through an autocommit session: routing, the two-pointer
+  //    redirect protocol, and hop charging all happen behind Get().
+  Session session = db.OpenSession();
   const TableId customer = db.table(workload::TpccTable::kCustomer);
   const Key key = workload::TpccKeys::Customer(1, 1, 1);
-  catalog::Partition* part = cluster.Route(txn, customer, key);
-  storage::Record rec;
-  if (part != nullptr &&
-      cluster.node(part->owner())->Read(txn, part, key, &rec).ok()) {
-    std::printf("customer (w=1,d=1,c=1): %zu payload bytes, balance %.2f, "
-                "owner node %u\n",
-                rec.payload.size(),
-                workload::GetF64(rec.payload,
-                                 workload::CustomerFields::kBalance),
-                part->owner().value());
+  if (StatusOr<storage::Record> rec = session.Get(customer, key); rec.ok()) {
+    std::printf("customer (w=1,d=1,c=1): %zu payload bytes, balance %.2f\n",
+                rec->payload.size(),
+                workload::GetF64(rec->payload,
+                                 workload::CustomerFields::kBalance));
   }
-  cluster.tm().Commit(txn);
-  cluster.tm().Release(txn->id);
 
-  // 5. Catalog/routing introspection: who owns what.
+  // 4. Routing introspection: who serves which key range.
   std::printf("\nrouting entries for CUSTOMER:\n");
-  for (const auto& route : cluster.catalog().AllRoutes(customer)) {
-    const catalog::Partition* p =
-        cluster.catalog().GetPartition(route.primary);
+  for (const TableRoute& route : db.Routes(customer)) {
     std::printf("  %-28s -> partition %3u on node %u (%zu segments)\n",
-                route.range.ToString().c_str(), route.primary.value(),
-                p->owner().value(), p->segment_count());
+                route.range.ToString().c_str(), route.partition.value(),
+                route.owner.value(), route.segments);
   }
 
-  // 6. Power accounting per §3.1.
-  const SimTime now = cluster.Now();
+  // 5. Power accounting per §3.1.
+  const SimTime now = db.Now();
   std::printf("\ncluster draw over the last second: %.1f W (%d active "
               "nodes + switch)\n",
-              cluster.WattsIn(now - kUsPerSec, now),
-              cluster.ActiveNodeCount());
+              db.WattsIn(now - kUsPerSec, now), db.ActiveNodeCount());
   return 0;
 }

@@ -1,0 +1,122 @@
+#include "api/db.h"
+
+#include <utility>
+
+#include "api/scheme_registry.h"
+#include "common/logging.h"
+
+namespace wattdb {
+
+Db::Db(DbOptions options) : options_(std::move(options)) {}
+
+StatusOr<std::unique_ptr<Db>> Db::Open(DbOptions options) {
+  // Validate the scheme name before standing anything up.
+  WATTDB_RETURN_IF_ERROR(SchemeRegistry::Global().Validate(options.scheme));
+  if (options.load_tpcc && options.load.home_nodes.empty()) {
+    return Status::InvalidArgument("TPC-C load needs at least one home node");
+  }
+
+  std::unique_ptr<Db> db(new Db(std::move(options)));
+  const DbOptions& opts = db->options_;
+
+  db->cluster_ = std::make_unique<cluster::Cluster>(opts.cluster);
+  db->cluster_->set_auto_vacuum(opts.auto_vacuum);
+
+  if (opts.load_tpcc) {
+    db->tpcc_ =
+        std::make_unique<workload::TpccDatabase>(db->cluster_.get(), opts.load);
+    WATTDB_RETURN_IF_ERROR(db->tpcc_->Load());
+  }
+
+  // Table ids exist only after the load, so the migration restriction is
+  // resolved here rather than in DbOptions.
+  partition::MigrationConfig migration = opts.migration;
+  if (opts.migrate_only.has_value()) {
+    if (db->tpcc_ == nullptr) {
+      return Status::InvalidArgument(
+          "WithMigrateOnly requires the TPC-C load");
+    }
+    migration.only_table = db->tpcc_->table(*opts.migrate_only);
+  }
+
+  WATTDB_ASSIGN_OR_RETURN(
+      db->scheme_, SchemeRegistry::Global().Create(
+                       opts.scheme, db->cluster_.get(), migration));
+
+  db->master_ = std::make_unique<cluster::Master>(
+      db->cluster_.get(), db->scheme_.get(), opts.master);
+
+  if (opts.start_sampling) db->cluster_->StartSampling(nullptr);
+  if (opts.start_master) db->master_->Start();
+
+  return db;
+}
+
+Db::~Db() {
+  for (auto& pool : pools_) pool->Stop();
+  for (auto& micro : micro_workloads_) micro->Stop();
+  if (master_ != nullptr) master_->Stop();
+  if (cluster_ != nullptr) cluster_->StopSampling();
+}
+
+std::vector<TableRoute> Db::Routes(TableId table) const {
+  std::vector<TableRoute> out;
+  for (const auto& route : cluster_->catalog().AllRoutes(table)) {
+    const catalog::Partition* p = cluster_->catalog().GetPartition(route.primary);
+    if (p == nullptr) continue;
+    out.push_back(TableRoute{route.range, route.primary, p->owner(),
+                             p->segment_count()});
+  }
+  return out;
+}
+
+workload::ClientPool& Db::AddClientPool(
+    const workload::ClientPoolConfig& cfg) {
+  WATTDB_CHECK_MSG(tpcc_ != nullptr,
+                   "AddClientPool requires the TPC-C load (WithoutTpccLoad "
+                   "databases drive Sessions directly)");
+  pools_.push_back(std::make_unique<workload::ClientPool>(tpcc_.get(), cfg));
+  return *pools_.back();
+}
+
+workload::MicroWorkload& Db::AddMicroWorkload(
+    const workload::MicroConfig& cfg) {
+  WATTDB_CHECK_MSG(tpcc_ != nullptr,
+                   "AddMicroWorkload requires the TPC-C load");
+  micro_workloads_.push_back(
+      std::make_unique<workload::MicroWorkload>(tpcc_.get(), cfg));
+  return *micro_workloads_.back();
+}
+
+Status Db::TriggerRebalance(const std::vector<NodeId>& targets,
+                            double fraction, std::function<void()> done) {
+  return master_->TriggerRebalance(targets, fraction, std::move(done));
+}
+
+StatusOr<SimTime> Db::RebalanceAndWait(const std::vector<NodeId>& targets,
+                                       double fraction, SimTime max_wait) {
+  // Shared, not stack-captured: on timeout the scheme still holds the done
+  // callback and fires it whenever the move eventually completes.
+  auto done = std::make_shared<bool>(false);
+  WATTDB_RETURN_IF_ERROR(
+      master_->TriggerRebalance(targets, fraction, [done]() { *done = true; }));
+  const SimTime t0 = cluster_->Now();
+  while (!*done && cluster_->Now() < t0 + max_wait) {
+    cluster_->RunUntil(cluster_->Now() + kUsPerSec);
+  }
+  if (!*done) {
+    return Status::TimedOut("rebalance still running after " +
+                            std::to_string(ToSeconds(max_wait)) + " s");
+  }
+  return cluster_->Now() - t0;
+}
+
+Status Db::AttachHelpers(const std::vector<NodeId>& helpers,
+                         const std::vector<NodeId>& assisted,
+                         size_t remote_buffer_pages) {
+  return master_->AttachHelpers(helpers, assisted, remote_buffer_pages);
+}
+
+Status Db::DetachHelpers() { return master_->DetachHelpers(); }
+
+}  // namespace wattdb

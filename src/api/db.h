@@ -1,0 +1,131 @@
+#ifndef WATTDB_API_DB_H_
+#define WATTDB_API_DB_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/options.h"
+#include "api/session.h"
+#include "cluster/cluster.h"
+#include "cluster/master.h"
+#include "common/logging.h"
+#include "common/status.h"
+#include "workload/client.h"
+#include "workload/micro.h"
+#include "workload/tpcc_loader.h"
+
+namespace wattdb {
+
+/// One routing-table row as seen through the facade (who serves which key
+/// range) — introspection without handing out catalog::Partition pointers.
+struct TableRoute {
+  KeyRange range;
+  PartitionId partition;
+  NodeId owner;
+  size_t segments = 0;
+};
+
+/// The front door of the engine: owns the simulated cluster, the loaded
+/// TPC-C database, the repartitioning scheme selected by name from the
+/// SchemeRegistry, and the master's elasticity controller — everything the
+/// benches and examples previously wired together by hand (§3-§4 of the
+/// paper as one handle).
+///
+///   auto db = Db::Open(DbOptions().WithNodes(4).WithActiveNodes(2));
+///   Session s = (*db)->OpenSession();
+///   auto rec = s.Get(table, key);
+///
+/// Data access goes through OpenSession(); elasticity through
+/// TriggerRebalance()/AttachHelpers(); simulated time through RunFor().
+class Db {
+ public:
+  /// Builds and wires the whole system. Fails (without side effects) when
+  /// the scheme name is unregistered or the initial load fails.
+  static StatusOr<std::unique_ptr<Db>> Open(DbOptions options);
+
+  ~Db();
+  Db(const Db&) = delete;
+  Db& operator=(const Db&) = delete;
+
+  // --- Data access --------------------------------------------------------
+  /// A client connection; cheap, create one per simulated client.
+  Session OpenSession() { return Session(cluster_.get()); }
+
+  /// Table id of a TPC-C table (requires the TPC-C load).
+  TableId table(workload::TpccTable t) const {
+    WATTDB_CHECK_MSG(tpcc_ != nullptr, "table() requires the TPC-C load");
+    return tpcc_->table(t);
+  }
+
+  /// The routing table of `table`: key range -> partition -> owner node.
+  std::vector<TableRoute> Routes(TableId table) const;
+
+  // --- Workload drivers ---------------------------------------------------
+  /// Attach a closed-loop TPC-C client pool; owned by the Db. Call Start()
+  /// on the returned pool to begin issuing queries.
+  workload::ClientPool& AddClientPool(const workload::ClientPoolConfig& cfg);
+
+  /// Attach a Fig. 3-style read/update micro-workload; owned by the Db.
+  workload::MicroWorkload& AddMicroWorkload(const workload::MicroConfig& cfg);
+
+  // --- Elasticity ---------------------------------------------------------
+  /// Move `fraction` of the data onto `targets` (booting them first if
+  /// needed); `done` fires when every move completed. Runs online.
+  Status TriggerRebalance(const std::vector<NodeId>& targets, double fraction,
+                          std::function<void()> done = nullptr);
+
+  /// TriggerRebalance, then drive the simulation until the move completes.
+  /// Returns the simulated duration of the move; TimedOut when it is still
+  /// running after `max_wait`.
+  StatusOr<SimTime> RebalanceAndWait(const std::vector<NodeId>& targets,
+                                     double fraction,
+                                     SimTime max_wait = 900 * kUsPerSec);
+
+  /// Fig. 8: power up helper nodes for log shipping and remote buffers.
+  Status AttachHelpers(const std::vector<NodeId>& helpers,
+                       const std::vector<NodeId>& assisted,
+                       size_t remote_buffer_pages);
+  Status DetachHelpers();
+
+  // --- Simulated time -----------------------------------------------------
+  SimTime Now() const { return cluster_->Now(); }
+  void RunUntil(SimTime until) { cluster_->RunUntil(until); }
+  void RunFor(SimTime duration) { cluster_->RunUntil(Now() + duration); }
+  /// Schedule work on the simulation's event loop (phase changes, surges).
+  sim::EventQueue& events() { return cluster_->events(); }
+
+  // --- Power / energy (§3.1) ----------------------------------------------
+  int ActiveNodeCount() const { return cluster_->ActiveNodeCount(); }
+  double WattsIn(SimTime from, SimTime to) const {
+    return cluster_->WattsIn(from, to);
+  }
+  hw::EnergyMeter& energy() { return cluster_->energy(); }
+
+  // --- Components (read-mostly escape hatches) ----------------------------
+  cluster::Cluster& cluster() { return *cluster_; }
+  const cluster::Cluster& cluster() const { return *cluster_; }
+  cluster::Master& master() { return *master_; }
+  cluster::Monitor& monitor() { return master_->monitor(); }
+  cluster::LoadForecaster& forecaster() { return master_->forecaster(); }
+  cluster::Repartitioner& scheme() { return *scheme_; }
+  /// Loaded TPC-C database handle (null without the TPC-C load).
+  workload::TpccDatabase* tpcc() { return tpcc_.get(); }
+  const DbOptions& options() const { return options_; }
+
+ private:
+  explicit Db(DbOptions options);
+
+  DbOptions options_;
+  std::unique_ptr<cluster::Cluster> cluster_;
+  std::unique_ptr<workload::TpccDatabase> tpcc_;
+  std::unique_ptr<cluster::Repartitioner> scheme_;
+  std::unique_ptr<cluster::Master> master_;
+  std::vector<std::unique_ptr<workload::ClientPool>> pools_;
+  std::vector<std::unique_ptr<workload::MicroWorkload>> micro_workloads_;
+};
+
+}  // namespace wattdb
+
+#endif  // WATTDB_API_DB_H_

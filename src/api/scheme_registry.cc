@@ -1,0 +1,87 @@
+#include "api/scheme_registry.h"
+
+#include "partition/logical.h"
+#include "partition/physical.h"
+#include "partition/physiological.h"
+
+namespace wattdb {
+
+SchemeRegistry::SchemeRegistry() {
+  // The three schemes of §4 ship pre-registered; anything else arrives via
+  // Register() from outside this layer.
+  factories_["physical"] = [](cluster::Cluster* c,
+                              const partition::MigrationConfig& mc)
+      -> std::unique_ptr<cluster::Repartitioner> {
+    return std::make_unique<partition::PhysicalPartitioning>(c, mc);
+  };
+  factories_["logical"] = [](cluster::Cluster* c,
+                             const partition::MigrationConfig& mc)
+      -> std::unique_ptr<cluster::Repartitioner> {
+    return std::make_unique<partition::LogicalPartitioning>(c, mc);
+  };
+  factories_["physiological"] = [](cluster::Cluster* c,
+                                   const partition::MigrationConfig& mc)
+      -> std::unique_ptr<cluster::Repartitioner> {
+    return std::make_unique<partition::PhysiologicalPartitioning>(c, mc);
+  };
+}
+
+SchemeRegistry& SchemeRegistry::Global() {
+  static SchemeRegistry* registry = new SchemeRegistry();
+  return *registry;
+}
+
+Status SchemeRegistry::Register(const std::string& name,
+                                SchemeFactory factory) {
+  if (name.empty()) return Status::InvalidArgument("scheme name is empty");
+  if (factory == nullptr) {
+    return Status::InvalidArgument("scheme factory is null");
+  }
+  const auto [it, inserted] = factories_.emplace(name, std::move(factory));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("scheme '" + name + "' already registered");
+  }
+  return Status::OK();
+}
+
+Status SchemeRegistry::Validate(const std::string& name) const {
+  if (factories_.count(name) != 0) return Status::OK();
+  std::string known;
+  for (const auto& [n, f] : factories_) {
+    (void)f;
+    if (!known.empty()) known += ", ";
+    known += n;
+  }
+  return Status::NotFound("unknown partitioning scheme '" + name +
+                          "' (registered: " + known + ")");
+}
+
+StatusOr<std::unique_ptr<cluster::Repartitioner>> SchemeRegistry::Create(
+    const std::string& name, cluster::Cluster* cluster,
+    const partition::MigrationConfig& config) const {
+  WATTDB_RETURN_IF_ERROR(Validate(name));
+  std::unique_ptr<cluster::Repartitioner> scheme =
+      factories_.at(name)(cluster, config);
+  if (scheme == nullptr) {
+    return Status::Internal("factory for scheme '" + name +
+                            "' returned null");
+  }
+  return scheme;
+}
+
+bool SchemeRegistry::Contains(const std::string& name) const {
+  return factories_.count(name) != 0;
+}
+
+std::vector<std::string> SchemeRegistry::Names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) {
+    (void)factory;
+    out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace wattdb

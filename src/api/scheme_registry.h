@@ -1,0 +1,60 @@
+#ifndef WATTDB_API_SCHEME_REGISTRY_H_
+#define WATTDB_API_SCHEME_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/master.h"
+#include "common/status.h"
+#include "partition/migration.h"
+
+namespace wattdb {
+
+/// Builds a repartitioning scheme bound to `cluster` with `config`.
+using SchemeFactory =
+    std::function<std::unique_ptr<cluster::Repartitioner>(
+        cluster::Cluster* cluster, const partition::MigrationConfig& config)>;
+
+/// Name -> factory registry behind DbOptions::scheme. The three paper
+/// schemes ("physical", "logical", "physiological") are pre-registered;
+/// downstream code adds its own with Register() — no edit to src/api needed:
+///
+///   SchemeRegistry::Global().Register("mine", [](auto* c, const auto& mc) {
+///     return std::make_unique<MyScheme>(c, mc);
+///   });
+///   auto db = Db::Open(DbOptions().WithScheme("mine"));
+class SchemeRegistry {
+ public:
+  /// The process-wide registry used by Db::Open.
+  static SchemeRegistry& Global();
+
+  /// Registers `factory` under `name`. AlreadyExists when taken.
+  Status Register(const std::string& name, SchemeFactory factory);
+
+  /// OK when `name` is registered; NotFound listing the registered names
+  /// otherwise (the error Create would return, without instantiating).
+  Status Validate(const std::string& name) const;
+
+  /// Instantiates the scheme registered under `name`. NotFound (listing the
+  /// registered names) when unknown.
+  StatusOr<std::unique_ptr<cluster::Repartitioner>> Create(
+      const std::string& name, cluster::Cluster* cluster,
+      const partition::MigrationConfig& config) const;
+
+  bool Contains(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> Names() const;
+
+ private:
+  SchemeRegistry();
+
+  std::map<std::string, SchemeFactory> factories_;
+};
+
+}  // namespace wattdb
+
+#endif  // WATTDB_API_SCHEME_REGISTRY_H_

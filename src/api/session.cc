@@ -1,0 +1,123 @@
+#include "api/session.h"
+
+#include <utility>
+
+#include "cluster/node.h"
+#include "cluster/routed_ops.h"
+
+namespace wattdb {
+
+TxnHandle::TxnHandle(TxnHandle&& other) noexcept
+    : cluster_(other.cluster_), txn_(other.txn_) {
+  other.txn_ = nullptr;
+}
+
+TxnHandle& TxnHandle::operator=(TxnHandle&& other) noexcept {
+  if (this != &other) {
+    Abort();
+    cluster_ = other.cluster_;
+    txn_ = other.txn_;
+    other.txn_ = nullptr;
+  }
+  return *this;
+}
+
+TxnHandle::~TxnHandle() { Abort(); }
+
+StatusOr<storage::Record> TxnHandle::Get(TableId table, Key key) {
+  if (!active()) return Status::InvalidArgument("transaction not active");
+  storage::Record rec;
+  WATTDB_RETURN_IF_ERROR(cluster::RoutedRead(cluster_, txn_, table, key, &rec));
+  return rec;
+}
+
+Status TxnHandle::Put(TableId table, Key key,
+                      const std::vector<uint8_t>& payload) {
+  if (!active()) return Status::InvalidArgument("transaction not active");
+  Status s = cluster::RoutedUpdate(cluster_, txn_, table, key, payload);
+  if (s.IsNotFound()) {
+    s = cluster::RoutedInsert(cluster_, txn_, table, key, payload);
+  }
+  return s;
+}
+
+Status TxnHandle::Insert(TableId table, Key key,
+                         const std::vector<uint8_t>& payload) {
+  if (!active()) return Status::InvalidArgument("transaction not active");
+  return cluster::RoutedInsert(cluster_, txn_, table, key, payload);
+}
+
+Status TxnHandle::Update(TableId table, Key key,
+                         const std::vector<uint8_t>& payload) {
+  if (!active()) return Status::InvalidArgument("transaction not active");
+  return cluster::RoutedUpdate(cluster_, txn_, table, key, payload);
+}
+
+Status TxnHandle::Delete(TableId table, Key key) {
+  if (!active()) return Status::InvalidArgument("transaction not active");
+  return cluster::RoutedDelete(cluster_, txn_, table, key);
+}
+
+StatusOr<int64_t> TxnHandle::Scan(
+    TableId table, const KeyRange& range,
+    const std::function<bool(const storage::Record&)>& fn) {
+  if (!active()) return Status::InvalidArgument("transaction not active");
+  int64_t visited = 0;
+  WATTDB_RETURN_IF_ERROR(cluster::RoutedScan(
+      cluster_, txn_, table, range, [&](const storage::Record& r) {
+        ++visited;
+        return fn(r);
+      }));
+  return visited;
+}
+
+Status TxnHandle::Commit() {
+  if (!active()) return Status::InvalidArgument("transaction not active");
+  if (txn_->read_only) {
+    // Nothing to make durable: no WAL commit record for pure readers.
+    cluster_->tm().Commit(txn_);
+  } else {
+    cluster_->CommitTxn(cluster_->master(), txn_);
+  }
+  cluster_->tm().Release(txn_->id);
+  txn_ = nullptr;
+  return Status::OK();
+}
+
+void TxnHandle::Abort() {
+  if (!active()) return;
+  cluster_->AbortTxn(txn_);
+  cluster_->tm().Release(txn_->id);
+  txn_ = nullptr;
+}
+
+TxnHandle Session::Begin(bool read_only) {
+  return TxnHandle(cluster_, cluster_->BeginTxn(read_only));
+}
+
+StatusOr<storage::Record> Session::Get(TableId table, Key key) {
+  TxnHandle txn = Begin(/*read_only=*/true);
+  StatusOr<storage::Record> rec = txn.Get(table, key);
+  if (!rec.ok()) return rec;  // ~TxnHandle aborts.
+  WATTDB_RETURN_IF_ERROR(txn.Commit());
+  return rec;
+}
+
+Status Session::Put(TableId table, Key key,
+                    const std::vector<uint8_t>& payload) {
+  TxnHandle txn = Begin();
+  WATTDB_RETURN_IF_ERROR(txn.Put(table, key, payload));
+  return txn.Commit();
+}
+
+StatusOr<int64_t> Session::Scan(
+    TableId table, const KeyRange& range,
+    const std::function<bool(const storage::Record&)>& fn) {
+  TxnHandle txn = Begin(/*read_only=*/true);
+  StatusOr<int64_t> n = txn.Scan(table, range, fn);
+  if (!n.ok()) return n;
+  WATTDB_RETURN_IF_ERROR(txn.Commit());
+  return n;
+}
+
+}  // namespace wattdb

@@ -1,0 +1,104 @@
+#ifndef WATTDB_API_SESSION_H_
+#define WATTDB_API_SESSION_H_
+
+#include <functional>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/record.h"
+
+namespace wattdb {
+
+class Db;
+class Session;
+
+/// RAII handle on one open transaction. Obtained from Session::Begin();
+/// destroying an uncommitted handle aborts the transaction, so no code path
+/// can leak a txn slot. All record operations run through the master's
+/// routing layer with the §4.3 two-pointer retry and client-hop charging —
+/// callers never see catalog::Partition.
+class TxnHandle {
+ public:
+  TxnHandle(const TxnHandle&) = delete;
+  TxnHandle& operator=(const TxnHandle&) = delete;
+  TxnHandle(TxnHandle&& other) noexcept;
+  TxnHandle& operator=(TxnHandle&& other) noexcept;
+  ~TxnHandle();
+
+  /// False once the transaction committed or aborted.
+  bool active() const { return txn_ != nullptr; }
+
+  /// Point read of (table, key) under this transaction's snapshot/locks.
+  StatusOr<storage::Record> Get(TableId table, Key key);
+
+  /// Upsert: update (table, key), inserting when the key does not exist.
+  Status Put(TableId table, Key key, const std::vector<uint8_t>& payload);
+
+  /// Insert; AlreadyExists when the key is present.
+  Status Insert(TableId table, Key key, const std::vector<uint8_t>& payload);
+
+  /// Update; NotFound when the key is absent.
+  Status Update(TableId table, Key key, const std::vector<uint8_t>& payload);
+
+  /// Delete; NotFound when the key is absent.
+  Status Delete(TableId table, Key key);
+
+  /// Visit visible records with keys in `range` (may span partitions
+  /// mid-migration). Returning false from `fn` stops early. Returns the
+  /// number of records visited.
+  StatusOr<int64_t> Scan(TableId table, const KeyRange& range,
+                         const std::function<bool(const storage::Record&)>& fn);
+
+  /// Durably commit (commit record on the master, locks settled) and close.
+  Status Commit();
+
+  /// Roll back and close. Safe on an already-closed handle.
+  void Abort();
+
+  /// The underlying engine transaction — escape hatch for the volcano
+  /// operator plans (exec::ExecContext) that thread it through directly.
+  tx::Txn* txn() { return txn_; }
+
+ private:
+  friend class Session;
+  TxnHandle(cluster::Cluster* cluster, tx::Txn* txn)
+      : cluster_(cluster), txn_(txn) {}
+
+  cluster::Cluster* cluster_ = nullptr;
+  tx::Txn* txn_ = nullptr;
+};
+
+/// A client connection to the database. Cheap to create; hand one to each
+/// simulated client. Transactions begin at the cluster's current simulated
+/// time. The one-shot Get/Put/Scan helpers run an autocommit transaction.
+class Session {
+ public:
+  Session(Session&&) noexcept = default;
+  Session& operator=(Session&&) noexcept = default;
+
+  /// Start a transaction (read_only transactions skip write locks and can
+  /// read old snapshots under MVCC).
+  TxnHandle Begin(bool read_only = false);
+
+  /// Autocommit point read.
+  StatusOr<storage::Record> Get(TableId table, Key key);
+
+  /// Autocommit upsert.
+  Status Put(TableId table, Key key, const std::vector<uint8_t>& payload);
+
+  /// Autocommit range scan; returns the number of records visited.
+  StatusOr<int64_t> Scan(TableId table, const KeyRange& range,
+                         const std::function<bool(const storage::Record&)>& fn);
+
+ private:
+  friend class Db;
+  explicit Session(cluster::Cluster* cluster) : cluster_(cluster) {}
+
+  cluster::Cluster* cluster_;
+};
+
+}  // namespace wattdb
+
+#endif  // WATTDB_API_SESSION_H_

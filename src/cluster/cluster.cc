@@ -70,11 +70,23 @@ Status Cluster::PowerOff(NodeId id) {
   Node* n = node(id);
   if (n == nullptr) return Status::NotFound("no such node");
   if (n->IsMaster()) return Status::InvalidArgument("master never sleeps");
-  if (!segments_.SegmentsOn(id).empty()) {
-    return Status::Busy("node still holds segment data");
+  const std::vector<storage::Segment*> resident = segments_.SegmentsOn(id);
+  if (!resident.empty()) {
+    // "Nodes still having data on disk must not shut down" (§4): name the
+    // offender so the caller can see what still needs draining.
+    const storage::Segment* seg = resident.front();
+    return Status::Busy(
+        "node " + std::to_string(id.value()) + " still holds " +
+        std::to_string(resident.size()) + " segment(s); e.g. segment " +
+        std::to_string(seg->id().value()) + " with " +
+        std::to_string(seg->DiskBytes()) + " bytes on disk");
   }
-  if (!catalog_.PartitionsOwnedBy(id).empty()) {
-    return Status::Busy("node still owns partitions");
+  const auto owned = catalog_.PartitionsOwnedBy(id);
+  if (!owned.empty()) {
+    return Status::Busy("node " + std::to_string(id.value()) +
+                        " still owns " + std::to_string(owned.size()) +
+                        " partition(s); e.g. partition " +
+                        std::to_string(owned.front()->id().value()));
   }
   n->hardware().set_power_state(hw::PowerState::kStandby);
   return Status::OK();

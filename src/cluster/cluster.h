@@ -56,7 +56,11 @@ class Cluster {
   Rng& rng() { return rng_; }
   const ClusterConfig& config() const { return config_; }
 
-  Node* node(NodeId id) { return nodes_[id.value()].get(); }
+  /// The node with `id`, or nullptr when `id` is invalid or out of range.
+  Node* node(NodeId id) {
+    if (!id.valid() || id.value() >= nodes_.size()) return nullptr;
+    return nodes_[id.value()].get();
+  }
   Node* master() { return nodes_[0].get(); }
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
   std::vector<Node*> ActiveNodes();

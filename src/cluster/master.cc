@@ -118,26 +118,34 @@ Status Master::TriggerRebalance(const std::vector<NodeId>& targets,
   if (repartitioner_->InProgress()) {
     return Status::Busy("rebalance already running");
   }
+  // Validate what can be validated before booting anything: once targets
+  // are booting, a late StartRebalance failure can only be logged.
+  if (targets.empty() || fraction <= 0.0 || fraction > 1.0) {
+    return Status::InvalidArgument("bad rebalance parameters");
+  }
   // Boot any standby targets first; start when all are active.
   auto pending = std::make_shared<int>(0);
-  auto start = [this, targets, fraction, done]() {
-    const Status s = repartitioner_->StartRebalance(targets, fraction, done);
-    if (!s.ok()) {
-      WATTDB_WARN("rebalance failed to start: " << s.ToString());
-    }
+  auto start = [this, targets, fraction, done]() -> Status {
+    return repartitioner_->StartRebalance(targets, fraction, done);
   };
   std::vector<NodeId> to_boot;
   for (NodeId t : targets) {
-    if (!cluster_->node(t)->IsActive()) to_boot.push_back(t);
+    Node* n = cluster_->node(t);
+    if (n == nullptr) {
+      return Status::NotFound("no such target node " +
+                              std::to_string(t.value()));
+    }
+    if (!n->IsActive()) to_boot.push_back(t);
   }
-  if (to_boot.empty()) {
-    start();
-    return Status::OK();
-  }
+  if (to_boot.empty()) return start();
   *pending = static_cast<int>(to_boot.size());
   for (NodeId t : to_boot) {
     WATTDB_RETURN_IF_ERROR(cluster_->PowerOn(t, [pending, start]() {
-      if (--*pending == 0) start();
+      if (--*pending > 0) return;
+      // Deferred start after boot: failures can only be logged here.
+      if (const Status s = start(); !s.ok()) {
+        WATTDB_WARN("rebalance failed to start: " << s.ToString());
+      }
     }));
   }
   return Status::OK();
@@ -149,6 +157,18 @@ Status Master::AttachHelpers(const std::vector<NodeId>& helpers,
   if (!active_helpers_.empty()) return Status::Busy("helpers already attached");
   if (helpers.empty() || assisted.empty()) {
     return Status::InvalidArgument("need helpers and assisted nodes");
+  }
+  for (NodeId id : helpers) {
+    if (cluster_->node(id) == nullptr) {
+      return Status::NotFound("no such helper node " +
+                              std::to_string(id.value()));
+    }
+  }
+  for (NodeId id : assisted) {
+    if (cluster_->node(id) == nullptr) {
+      return Status::NotFound("no such assisted node " +
+                              std::to_string(id.value()));
+    }
   }
   active_helpers_ = helpers;
   assisted_nodes_ = assisted;

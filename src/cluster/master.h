@@ -13,13 +13,29 @@
 
 namespace wattdb::cluster {
 
+/// Progress counters every repartitioning scheme maintains; exposed on the
+/// Repartitioner interface so facade users can watch a move without knowing
+/// the concrete scheme.
+struct RebalanceStats {
+  int64_t segments_moved = 0;
+  int64_t records_moved = 0;
+  int64_t bytes_shipped = 0;
+  SimTime started_at = 0;
+  SimTime finished_at = 0;
+  bool running = false;
+};
+
 /// Abstract repartitioning engine the master drives. Implemented by the
-/// three schemes in src/partition (physical, logical, physiological).
+/// three schemes in src/partition (physical, logical, physiological) and
+/// extensible through the scheme registry in src/api.
 class Repartitioner {
  public:
   virtual ~Repartitioner() = default;
 
   virtual std::string name() const = 0;
+
+  /// Progress of the current (or last) rebalance.
+  virtual const RebalanceStats& stats() const = 0;
 
   /// Move `fraction` of every table's data from its current owners onto
   /// `targets` (which must be active). `done` fires when all moves have

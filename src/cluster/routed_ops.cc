@@ -1,0 +1,89 @@
+#include "cluster/routed_ops.h"
+
+#include <algorithm>
+
+#include "cluster/node.h"
+
+namespace wattdb::cluster {
+
+Status RoutedRead(Cluster* c, tx::Txn* txn, TableId table, Key key,
+                  storage::Record* out) {
+  auto [part, second] = c->RouteBoth(txn, table, key);
+  if (part == nullptr) return Status::NotFound("no route");
+  Status s = c->node(part->owner())->Read(txn, part, key, out);
+  c->ChargeClientHop(txn, part->owner(), 96,
+                     32 + (s.ok() ? out->StoredSize() : 0));
+  if (s.IsNotFound() && second != nullptr) {
+    // Two-pointer protocol (§4.3): mid-move the record may already live at
+    // the other location; visit it.
+    s = c->node(second->owner())->Read(txn, second, key, out);
+    c->ChargeClientHop(txn, second->owner(), 96,
+                       32 + (s.ok() ? out->StoredSize() : 0));
+  }
+  return s;
+}
+
+Status RoutedUpdate(Cluster* c, tx::Txn* txn, TableId table, Key key,
+                    const std::vector<uint8_t>& payload) {
+  auto [part, second] = c->RouteBoth(txn, table, key);
+  if (part == nullptr) return Status::NotFound("no route");
+  c->ChargeClientHop(txn, part->owner(), 96 + payload.size(), 32);
+  Status s = c->node(part->owner())->Update(txn, part, key, payload);
+  if (s.IsNotFound() && second != nullptr) {
+    c->ChargeClientHop(txn, second->owner(), 96 + payload.size(), 32);
+    s = c->node(second->owner())->Update(txn, second, key, payload);
+  }
+  return s;
+}
+
+Status RoutedInsert(Cluster* c, tx::Txn* txn, TableId table, Key key,
+                    const std::vector<uint8_t>& payload) {
+  catalog::Partition* part = c->Route(txn, table, key);
+  if (part == nullptr) return Status::NotFound("no route");
+  c->ChargeClientHop(txn, part->owner(), 96 + payload.size(), 32);
+  return c->node(part->owner())->Insert(txn, part, key, payload);
+}
+
+Status RoutedDelete(Cluster* c, tx::Txn* txn, TableId table, Key key) {
+  auto [part, second] = c->RouteBoth(txn, table, key);
+  if (part == nullptr) return Status::NotFound("no route");
+  c->ChargeClientHop(txn, part->owner(), 96, 32);
+  Status s = c->node(part->owner())->Delete(txn, part, key);
+  if (s.IsNotFound() && second != nullptr) {
+    c->ChargeClientHop(txn, second->owner(), 96, 32);
+    s = c->node(second->owner())->Delete(txn, second, key);
+  }
+  return s;
+}
+
+Status RoutedScan(Cluster* c, tx::Txn* txn, TableId table,
+                  const KeyRange& range,
+                  const std::function<bool(const storage::Record&)>& fn) {
+  // A range may span several partitions mid-migration: visit each route.
+  // ScanRange returns OK for both completion and an early stop, so the
+  // callback's verdict is tracked here to stop the cross-route loop too.
+  bool stopped = false;
+  for (const auto& route : c->catalog().RoutesInRange(table, range)) {
+    catalog::Partition* part =
+        c->Route(txn, table, std::max(range.lo, route.range.lo));
+    if (part == nullptr) continue;
+    const KeyRange sub{std::max(range.lo, route.range.lo),
+                       std::min(range.hi, route.range.hi)};
+    if (sub.Empty()) continue;
+    // Response sized by this route's records only (the historical scan
+    // charged a running total across routes, double-billing earlier ones).
+    size_t shipped = 0;
+    Status s = c->node(part->owner())
+                   ->ScanRange(txn, part, sub, [&](const storage::Record& r) {
+                     shipped += r.StoredSize();
+                     stopped = !fn(r);
+                     return !stopped;
+                   });
+    if (!s.ok()) return s;
+    c->ChargeClientHop(txn, part->owner(), 96, 32 + shipped);
+    if (stopped) break;
+  }
+  return Status::OK();
+}
+
+}  // namespace wattdb::cluster

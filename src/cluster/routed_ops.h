@@ -1,0 +1,44 @@
+#ifndef WATTDB_CLUSTER_ROUTED_OPS_H_
+#define WATTDB_CLUSTER_ROUTED_OPS_H_
+
+#include <functional>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/record.h"
+
+namespace wattdb::cluster {
+
+/// Client-side record operations through the master's routing layer: resolve
+/// (table, key) with the two-pointer protocol, charge the master<->owner
+/// network hop, run the operation on the owner node, and — for reads,
+/// updates, and deletes — retry on the secondary location while a move is in
+/// flight ("queries are advised to visit both", §4.3). These are the only
+/// sanctioned way for workload drivers and the facade API to touch records;
+/// they keep catalog::Partition handles out of caller code.
+///
+/// Read responses are billed by the record actually shipped (32-byte
+/// header + StoredSize; header only on a miss).
+Status RoutedRead(Cluster* c, tx::Txn* txn, TableId table, Key key,
+                  storage::Record* out);
+
+Status RoutedUpdate(Cluster* c, tx::Txn* txn, TableId table, Key key,
+                    const std::vector<uint8_t>& payload);
+
+Status RoutedInsert(Cluster* c, tx::Txn* txn, TableId table, Key key,
+                    const std::vector<uint8_t>& payload);
+
+Status RoutedDelete(Cluster* c, tx::Txn* txn, TableId table, Key key);
+
+/// Visit visible records with keys in `range`. A range may span several
+/// partitions mid-migration: every route overlapping the range is visited.
+/// Returning false from `fn` stops the scan early.
+Status RoutedScan(Cluster* c, tx::Txn* txn, TableId table,
+                  const KeyRange& range,
+                  const std::function<bool(const storage::Record&)>& fn);
+
+}  // namespace wattdb::cluster
+
+#endif  // WATTDB_CLUSTER_ROUTED_OPS_H_

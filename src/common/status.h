@@ -101,25 +101,34 @@ class Status {
   std::string msg_;
 };
 
-/// Value-or-error wrapper. Access `value()` only after checking `ok()`.
+/// Value-or-error wrapper (the facade API's return type). Access `value()`
+/// only after checking `ok()`.
 template <typename T>
-class Result {
+class StatusOr {
  public:
-  /// Implicit from value: `return 42;` in a `Result<int>` function.
-  Result(T value) : var_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from value: `return 42;` in a `StatusOr<int>` function.
+  StatusOr(T value) : var_(std::move(value)) {}  // NOLINT(runtime/explicit)
   /// Implicit from error status. Constructing from an OK status is a bug and
   /// is converted into an internal error.
-  Result(Status status) : var_(std::move(status)) {  // NOLINT(runtime/explicit)
+  StatusOr(Status status)  // NOLINT(runtime/explicit)
+      : var_(std::move(status)) {
     if (std::get<Status>(var_).ok()) {
-      var_ = Status::Internal("Result constructed from OK status");
+      var_ = Status::Internal("StatusOr constructed from OK status");
     }
   }
 
   bool ok() const { return std::holds_alternative<T>(var_); }
+  bool has_value() const { return ok(); }
 
   const T& value() const& { return std::get<T>(var_); }
   T& value() & { return std::get<T>(var_); }
   T&& value() && { return std::get<T>(std::move(var_)); }
+
+  /// The held value, or `fallback` when holding an error.
+  template <typename U>
+  T value_or(U&& fallback) const& {
+    return ok() ? value() : static_cast<T>(std::forward<U>(fallback));
+  }
 
   /// OK() when holding a value, the error otherwise.
   Status status() const {
@@ -134,6 +143,10 @@ class Result {
  private:
   std::variant<T, Status> var_;
 };
+
+/// Historical name for StatusOr, kept for the storage/migration internals.
+template <typename T>
+using Result = StatusOr<T>;
 
 const char* StatusCodeName(StatusCode code);
 

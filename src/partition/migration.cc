@@ -114,7 +114,12 @@ Status MigrationManagerBase::StartRebalance(const std::vector<NodeId>& targets,
     return Status::InvalidArgument("bad rebalance parameters");
   }
   for (NodeId t : targets) {
-    if (!cluster_->node(t)->IsActive()) {
+    cluster::Node* n = cluster_->node(t);
+    if (n == nullptr) {
+      return Status::NotFound("no such target node " +
+                              std::to_string(t.value()));
+    }
+    if (!n->IsActive()) {
       return Status::Unavailable("target node not active");
     }
   }

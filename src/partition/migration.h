@@ -43,15 +43,10 @@ struct MigrationConfig {
   TableId only_table;
 };
 
-/// Progress counters exposed to benches and tests.
-struct MigrationStats {
-  int64_t segments_moved = 0;
-  int64_t records_moved = 0;
-  int64_t bytes_shipped = 0;
-  SimTime started_at = 0;
-  SimTime finished_at = 0;
-  bool running = false;
-};
+/// Progress counters exposed to benches and tests. The struct itself lives
+/// on the Repartitioner interface (cluster::RebalanceStats) so that callers
+/// holding only the abstract scheme can still read progress.
+using MigrationStats = cluster::RebalanceStats;
 
 /// Base class of the three schemes: owns the task queue, the chunked copy
 /// machinery, and the plan that selects which segments/ranges leave which
@@ -65,7 +60,7 @@ class MigrationManagerBase : public cluster::Repartitioner {
   Status Drain(NodeId victim, std::function<void()> done) override;
   bool InProgress() const override { return stats_.running; }
 
-  const MigrationStats& stats() const { return stats_; }
+  const MigrationStats& stats() const override { return stats_; }
   const MigrationConfig& config() const { return config_; }
 
  protected:

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "cluster/routed_ops.h"
 #include "common/logging.h"
 
 namespace wattdb::workload {
@@ -37,78 +38,28 @@ TpccTxnType TpccMix::Pick(Rng* rng) const {
 
 Status TpccRunner::DoRead(tx::Txn* txn, TpccTable table, Key key,
                           storage::Record* out) {
-  cluster::Cluster* c = db_->cluster();
-  auto [part, second] = c->RouteBoth(txn, db_->table(table), key);
-  if (part == nullptr) return Status::NotFound("no route");
-  c->ChargeClientHop(txn, part->owner(), 96, 32 + TpccRecordBytes(table));
-  Status s = c->node(part->owner())->Read(txn, part, key, out);
-  if (s.IsNotFound() && second != nullptr) {
-    // Two-pointer protocol (§4.3): mid-move the record may already live at
-    // the other location; visit it.
-    c->ChargeClientHop(txn, second->owner(), 96, 32 + TpccRecordBytes(table));
-    s = c->node(second->owner())->Read(txn, second, key, out);
-  }
-  return s;
+  return cluster::RoutedRead(db_->cluster(), txn, db_->table(table), key, out);
 }
 
 Status TpccRunner::DoUpdate(tx::Txn* txn, TpccTable table, Key key,
                             const std::vector<uint8_t>& payload) {
-  cluster::Cluster* c = db_->cluster();
-  auto [part, second] = c->RouteBoth(txn, db_->table(table), key);
-  if (part == nullptr) return Status::NotFound("no route");
-  c->ChargeClientHop(txn, part->owner(), 96 + payload.size(), 32);
-  Status s = c->node(part->owner())->Update(txn, part, key, payload);
-  if (s.IsNotFound() && second != nullptr) {
-    c->ChargeClientHop(txn, second->owner(), 96 + payload.size(), 32);
-    s = c->node(second->owner())->Update(txn, second, key, payload);
-  }
-  return s;
+  return cluster::RoutedUpdate(db_->cluster(), txn, db_->table(table), key,
+                               payload);
 }
 
 Status TpccRunner::DoInsert(tx::Txn* txn, TpccTable table, Key key,
                             const std::vector<uint8_t>& payload) {
-  cluster::Cluster* c = db_->cluster();
-  catalog::Partition* part = c->Route(txn, db_->table(table), key);
-  if (part == nullptr) return Status::NotFound("no route");
-  c->ChargeClientHop(txn, part->owner(), 96 + payload.size(), 32);
-  return c->node(part->owner())->Insert(txn, part, key, payload);
+  return cluster::RoutedInsert(db_->cluster(), txn, db_->table(table), key,
+                               payload);
 }
 
 Status TpccRunner::DoDelete(tx::Txn* txn, TpccTable table, Key key) {
-  cluster::Cluster* c = db_->cluster();
-  auto [part, second] = c->RouteBoth(txn, db_->table(table), key);
-  if (part == nullptr) return Status::NotFound("no route");
-  c->ChargeClientHop(txn, part->owner(), 96, 32);
-  Status s = c->node(part->owner())->Delete(txn, part, key);
-  if (s.IsNotFound() && second != nullptr) {
-    c->ChargeClientHop(txn, second->owner(), 96, 32);
-    s = c->node(second->owner())->Delete(txn, second, key);
-  }
-  return s;
+  return cluster::RoutedDelete(db_->cluster(), txn, db_->table(table), key);
 }
 
 Status TpccRunner::DoScan(tx::Txn* txn, TpccTable table, const KeyRange& range,
                           const std::function<bool(const storage::Record&)>& fn) {
-  cluster::Cluster* c = db_->cluster();
-  // A range may span several partitions mid-migration: visit each route.
-  size_t shipped = 0;
-  for (const auto& route :
-       c->catalog().RoutesInRange(db_->table(table), range)) {
-    catalog::Partition* part = c->Route(txn, db_->table(table),
-                                        std::max(range.lo, route.range.lo));
-    if (part == nullptr) continue;
-    const KeyRange sub{std::max(range.lo, route.range.lo),
-                       std::min(range.hi, route.range.hi)};
-    if (sub.Empty()) continue;
-    Status s = c->node(part->owner())
-                   ->ScanRange(txn, part, sub, [&](const storage::Record& r) {
-                     shipped += r.StoredSize();
-                     return fn(r);
-                   });
-    if (!s.ok()) return s;
-    c->ChargeClientHop(txn, part->owner(), 96, 32 + shipped);
-  }
-  return Status::OK();
+  return cluster::RoutedScan(db_->cluster(), txn, db_->table(table), range, fn);
 }
 
 TpccTxnResult TpccRunner::Run(TpccTxnType type, Rng* rng) {

@@ -1,0 +1,327 @@
+// Tests for the wattdb::Db facade: construction per registered scheme,
+// the unknown-scheme error path, registry extensibility, the RAII
+// Session/TxnHandle commit/abort semantics, and reads landing mid-migration
+// that succeed via the §4.3 two-pointer retry.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/db.h"
+#include "api/scheme_registry.h"
+#include "workload/tpcc_schema.h"
+
+namespace wattdb {
+namespace {
+
+DbOptions SmallOptions() {
+  return DbOptions()
+      .WithNodes(4)
+      .WithActiveNodes(2)
+      .WithBufferPages(2000)
+      .WithWarehouses(2)
+      .WithFill(0.05)
+      .WithHomeNodes({NodeId(0), NodeId(1)});
+}
+
+TEST(SchemeRegistry, BuiltinsAreRegistered) {
+  auto& reg = SchemeRegistry::Global();
+  EXPECT_TRUE(reg.Contains("physical"));
+  EXPECT_TRUE(reg.Contains("logical"));
+  EXPECT_TRUE(reg.Contains("physiological"));
+  EXPECT_FALSE(reg.Contains("hyper-graph"));
+  EXPECT_GE(reg.Names().size(), 3u);
+}
+
+TEST(SchemeRegistry, RejectsDuplicatesAndNulls) {
+  auto& reg = SchemeRegistry::Global();
+  EXPECT_TRUE(reg.Register("physiological", nullptr).IsInvalidArgument());
+  const Status dup = reg.Register(
+      "physiological",
+      [](cluster::Cluster* c, const partition::MigrationConfig& mc)
+          -> std::unique_ptr<cluster::Repartitioner> {
+        (void)c;
+        (void)mc;
+        return nullptr;
+      });
+  EXPECT_TRUE(dup.IsAlreadyExists());
+}
+
+TEST(Db, OpensWithEachBuiltinScheme) {
+  for (const std::string name : {"physical", "logical", "physiological"}) {
+    auto db = Db::Open(SmallOptions().WithScheme(name));
+    ASSERT_TRUE(db.ok()) << name << ": " << db.status().ToString();
+    EXPECT_EQ((*db)->scheme().name(), name);
+    EXPECT_GT((*db)->tpcc()->rows_loaded(), 1000);
+    EXPECT_TRUE((*db)->cluster().catalog().CheckInvariants());
+  }
+}
+
+TEST(Db, UnknownSchemeFailsWithRegisteredNames) {
+  auto db = Db::Open(SmallOptions().WithScheme("hash-ring"));
+  ASSERT_FALSE(db.ok());
+  EXPECT_TRUE(db.status().IsNotFound());
+  // The error teaches the caller what would have worked.
+  EXPECT_NE(db.status().message().find("hash-ring"), std::string::npos);
+  EXPECT_NE(db.status().message().find("physiological"), std::string::npos);
+}
+
+/// A scheme added from *outside* src/api, exactly as downstream code would:
+/// subclass the abstract Repartitioner and register a factory.
+class NoopScheme : public cluster::Repartitioner {
+ public:
+  std::string name() const override { return "noop"; }
+  const cluster::RebalanceStats& stats() const override { return stats_; }
+  Status StartRebalance(const std::vector<NodeId>& targets, double fraction,
+                        std::function<void()> done) override {
+    (void)targets;
+    (void)fraction;
+    ++starts_;
+    if (done) done();
+    return Status::OK();
+  }
+  Status Drain(NodeId victim, std::function<void()> done) override {
+    (void)victim;
+    if (done) done();
+    return Status::OK();
+  }
+  bool InProgress() const override { return false; }
+
+  int starts_ = 0;
+
+ private:
+  cluster::RebalanceStats stats_;
+};
+
+TEST(Db, CustomSchemeViaRegistry) {
+  static NoopScheme* last_created = nullptr;
+  const Status reg = SchemeRegistry::Global().Register(
+      "noop", [](cluster::Cluster* c, const partition::MigrationConfig& mc)
+                  -> std::unique_ptr<cluster::Repartitioner> {
+        (void)c;
+        (void)mc;
+        auto scheme = std::make_unique<NoopScheme>();
+        last_created = scheme.get();
+        return scheme;
+      });
+  // A second test-process-wide registration attempt is AlreadyExists; the
+  // first must succeed.
+  ASSERT_TRUE(reg.ok() || reg.IsAlreadyExists());
+
+  auto db = Db::Open(SmallOptions().WithScheme("noop"));
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ((*db)->scheme().name(), "noop");
+  ASSERT_NE(last_created, nullptr);
+  bool done = false;
+  EXPECT_TRUE(
+      (*db)->TriggerRebalance({NodeId(1)}, 0.5, [&]() { done = true; }).ok());
+  EXPECT_TRUE(done);
+  EXPECT_EQ(last_created->starts_, 1);
+}
+
+TEST(Session, CommitMakesWritesVisible) {
+  auto opened = Db::Open(SmallOptions());
+  ASSERT_TRUE(opened.ok());
+  Db& db = **opened;
+  Session session = db.OpenSession();
+  const TableId customer = db.table(workload::TpccTable::kCustomer);
+  const Key key = workload::TpccKeys::Customer(1, 1, 1);
+
+  StatusOr<storage::Record> before = session.Get(customer, key);
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+
+  std::vector<uint8_t> payload = before->payload;
+  workload::PutF64(&payload, workload::CustomerFields::kBalance, 4242.5);
+  {
+    TxnHandle txn = session.Begin();
+    ASSERT_TRUE(txn.active());
+    ASSERT_TRUE(txn.Update(customer, key, payload).ok());
+    ASSERT_TRUE(txn.Commit().ok());
+    EXPECT_FALSE(txn.active());
+    // Double-commit is an error, not a crash.
+    EXPECT_TRUE(txn.Commit().IsInvalidArgument());
+  }
+
+  StatusOr<storage::Record> after = session.Get(customer, key);
+  ASSERT_TRUE(after.ok());
+  EXPECT_DOUBLE_EQ(
+      workload::GetF64(after->payload, workload::CustomerFields::kBalance),
+      4242.5);
+}
+
+TEST(Session, AbortAndRaiiRollBack) {
+  auto opened = Db::Open(SmallOptions());
+  ASSERT_TRUE(opened.ok());
+  Db& db = **opened;
+  Session session = db.OpenSession();
+  const TableId customer = db.table(workload::TpccTable::kCustomer);
+  const Key key = workload::TpccKeys::Customer(1, 1, 2);
+
+  const double original = workload::GetF64(
+      session.Get(customer, key)->payload, workload::CustomerFields::kBalance);
+
+  std::vector<uint8_t> payload = session.Get(customer, key)->payload;
+  workload::PutF64(&payload, workload::CustomerFields::kBalance, -1.0);
+
+  {  // Explicit abort.
+    TxnHandle txn = session.Begin();
+    ASSERT_TRUE(txn.Update(customer, key, payload).ok());
+    txn.Abort();
+    EXPECT_FALSE(txn.active());
+  }
+  {  // Dropped without commit: the destructor must abort.
+    TxnHandle txn = session.Begin();
+    ASSERT_TRUE(txn.Update(customer, key, payload).ok());
+  }
+  EXPECT_DOUBLE_EQ(
+      workload::GetF64(session.Get(customer, key)->payload,
+                       workload::CustomerFields::kBalance),
+      original);
+}
+
+TEST(Session, InsertScanDelete) {
+  auto opened = Db::Open(SmallOptions());
+  ASSERT_TRUE(opened.ok());
+  Db& db = **opened;
+  Session session = db.OpenSession();
+  const TableId customer = db.table(workload::TpccTable::kCustomer);
+  // A key above every loaded customer of (w=1, d=1): fill=0.05 materializes
+  // far fewer than 3000 customers per district.
+  const Key fresh = workload::TpccKeys::Customer(1, 1, 2999);
+
+  EXPECT_TRUE(session.Get(customer, fresh).status().IsNotFound());
+
+  TxnHandle txn = session.Begin();
+  const std::vector<uint8_t> payload(64, 0xAB);
+  ASSERT_TRUE(txn.Insert(customer, fresh, payload).ok());
+  EXPECT_TRUE(txn.Insert(customer, fresh, payload).IsAlreadyExists());
+  ASSERT_TRUE(txn.Commit().ok());
+
+  StatusOr<storage::Record> rec = session.Get(customer, fresh);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->payload, payload);
+
+  // The inserted key is visible to a range scan.
+  bool seen = false;
+  const StatusOr<int64_t> visited = session.Scan(
+      customer, KeyRange{fresh, fresh + 1}, [&](const storage::Record& r) {
+        seen = r.key == fresh;
+        return true;
+      });
+  ASSERT_TRUE(visited.ok());
+  EXPECT_EQ(*visited, 1);
+  EXPECT_TRUE(seen);
+
+  TxnHandle del = session.Begin();
+  ASSERT_TRUE(del.Delete(customer, fresh).ok());
+  ASSERT_TRUE(del.Commit().ok());
+  EXPECT_TRUE(session.Get(customer, fresh).status().IsNotFound());
+}
+
+TEST(Session, ScanEarlyStopHaltsAcrossRoutes) {
+  auto opened = Db::Open(SmallOptions());
+  ASSERT_TRUE(opened.ok());
+  Db& db = **opened;
+  Session session = db.OpenSession();
+  const TableId customer = db.table(workload::TpccTable::kCustomer);
+  // CUSTOMER spans two routes (warehouse 1 on node 0, warehouse 2 on
+  // node 1); a callback stopping after the first record must halt the
+  // whole scan, not just the first route.
+  ASSERT_GE(db.Routes(customer).size(), 2u);
+  const StatusOr<int64_t> visited =
+      session.Scan(customer, KeyRange{kMinKey, kMaxKey},
+                   [](const storage::Record&) { return false; });
+  ASSERT_TRUE(visited.ok());
+  EXPECT_EQ(*visited, 1);
+}
+
+TEST(Session, GetSucceedsMidMigrationViaTwoPointerRetry) {
+  // Logical moves delete records at the source and re-insert them at the
+  // target batch by batch — the window where only the two-pointer retry
+  // finds a moving record (§4.3).
+  auto opened = Db::Open(SmallOptions()
+                             .WithScheme("logical")
+                             .WithLogicalBatchRecords(64)
+                             .WithMigrateOnly(workload::TpccTable::kCustomer));
+  ASSERT_TRUE(opened.ok());
+  Db& db = **opened;
+  Session session = db.OpenSession();
+  const TableId customer = db.table(workload::TpccTable::kCustomer);
+  const int64_t per_district = db.tpcc()->customers_per_district();
+
+  bool done = false;
+  ASSERT_TRUE(
+      db.TriggerRebalance({NodeId(2), NodeId(3)}, 0.5, [&]() { done = true; })
+          .ok());
+
+  // Probe every customer of warehouse 1 / district 1 repeatedly while the
+  // move is in flight. Every read must succeed: primary, forwarded, or
+  // secondary location.
+  int64_t reads = 0;
+  const SimTime t0 = db.Now();
+  while (!done && db.Now() < t0 + 600 * kUsPerSec) {
+    db.RunFor(kUsPerSec / 2);
+    for (int64_t c = 1; c <= per_district; ++c) {
+      const Key key = workload::TpccKeys::Customer(1, 1, c);
+      const StatusOr<storage::Record> rec = session.Get(customer, key);
+      ASSERT_TRUE(rec.ok()) << "customer " << c << " unreadable mid-move: "
+                            << rec.status().ToString();
+      ++reads;
+    }
+  }
+  EXPECT_TRUE(done) << "migration did not finish";
+  EXPECT_GT(db.scheme().stats().records_moved, 0);
+  EXPECT_GT(reads, 0);
+  EXPECT_TRUE(db.cluster().catalog().CheckInvariants());
+
+  // After the move the same keys still resolve (ownership transferred).
+  for (int64_t c = 1; c <= per_district; ++c) {
+    EXPECT_TRUE(
+        session.Get(customer, workload::TpccKeys::Customer(1, 1, c)).ok());
+  }
+}
+
+TEST(Db, RebalanceAndWaitReportsDuration) {
+  auto opened = Db::Open(SmallOptions());
+  ASSERT_TRUE(opened.ok());
+  Db& db = **opened;
+  const StatusOr<SimTime> elapsed =
+      db.RebalanceAndWait({NodeId(2), NodeId(3)}, 0.5, 600 * kUsPerSec);
+  ASSERT_TRUE(elapsed.ok()) << elapsed.status().ToString();
+  EXPECT_GT(*elapsed, 0);
+  EXPECT_GT(db.scheme().stats().segments_moved, 0);
+  EXPECT_FALSE(db.cluster().catalog().PartitionsOwnedBy(NodeId(2)).empty());
+}
+
+TEST(Db, RebalanceRejectsBadArgumentsSynchronously) {
+  auto opened = Db::Open(SmallOptions());
+  ASSERT_TRUE(opened.ok());
+  Db& db = **opened;
+  // An out-of-range target is a clean error, not a crash.
+  EXPECT_TRUE(db.TriggerRebalance({NodeId(99)}, 0.5).IsNotFound());
+  // A bad fraction surfaces the validation error immediately instead of a
+  // TimedOut after max_wait of simulation — even when the target is in
+  // standby and would otherwise boot before the scheme ever checked it.
+  const StatusOr<SimTime> r = db.RebalanceAndWait({NodeId(2)}, 1.5);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument()) << r.status().ToString();
+  EXPECT_TRUE(db.AttachHelpers({NodeId(42)}, {NodeId(0)}, 100).IsNotFound());
+}
+
+TEST(Db, RoutesExposeOwnership) {
+  auto opened = Db::Open(SmallOptions());
+  ASSERT_TRUE(opened.ok());
+  Db& db = **opened;
+  const auto routes = db.Routes(db.table(workload::TpccTable::kCustomer));
+  ASSERT_FALSE(routes.empty());
+  for (const TableRoute& r : routes) {
+    EXPECT_TRUE(r.partition.valid());
+    EXPECT_TRUE(r.owner.valid());
+    EXPECT_GT(r.segments, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace wattdb

@@ -53,6 +53,28 @@ TEST(Cluster, PowerOffGuards) {
   EXPECT_TRUE(c.PowerOff(NodeId(1)).IsBusy());
 }
 
+TEST(Cluster, PowerOffErrorNamesTheResidentSegment) {
+  Cluster c(SmallConfig());
+  storage::Segment* seg = c.segments().Create(NodeId(1), DiskId(3));
+  const Status s = c.PowerOff(NodeId(1));
+  ASSERT_TRUE(s.IsBusy());
+  // The message identifies the node and the segment that still holds bytes.
+  EXPECT_NE(s.message().find("node 1"), std::string::npos) << s.ToString();
+  EXPECT_NE(s.message().find("segment " + std::to_string(seg->id().value())),
+            std::string::npos)
+      << s.ToString();
+}
+
+TEST(Cluster, NodeLookupIsBoundsChecked) {
+  Cluster c(SmallConfig(4, 2));
+  EXPECT_NE(c.node(NodeId(3)), nullptr);
+  EXPECT_EQ(c.node(NodeId(4)), nullptr) << "one past the end";
+  EXPECT_EQ(c.node(NodeId(1000)), nullptr);
+  EXPECT_EQ(c.node(NodeId::Invalid()), nullptr);
+  EXPECT_TRUE(c.PowerOn(NodeId(99)).IsNotFound());
+  EXPECT_TRUE(c.PowerOff(NodeId(99)).IsNotFound());
+}
+
 TEST(Cluster, WattsMatchPaperEnvelope) {
   Cluster c(SmallConfig(10, 1));
   // 1 active idle node + 9 standby + switch ~ 65 W.

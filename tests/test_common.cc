@@ -274,5 +274,41 @@ TEST(Histogram, ResetClears) {
   EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);
 }
 
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.has_value());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(-1), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(StatusOr, HoldsError) {
+  StatusOr<int> r = Status::NotFound("no such key");
+  ASSERT_FALSE(r.ok());
+  EXPECT_FALSE(r.has_value());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.status().message(), "no such key");
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(StatusOr, OkStatusIsAnInternalError) {
+  StatusOr<int> r = Status::OK();
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInternal());
+}
+
+TEST(StatusOr, MoveOutValue) {
+  StatusOr<std::string> r = std::string("payload");
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(StatusOr, MemberAccessThroughArrow) {
+  StatusOr<std::pair<int, int>> r = std::make_pair(1, 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->second, 2);
+}
+
 }  // namespace
 }  // namespace wattdb
