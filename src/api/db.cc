@@ -1,5 +1,7 @@
 #include "api/db.h"
 
+#include <algorithm>
+#include <string>
 #include <utility>
 
 #include "api/scheme_registry.h"
@@ -10,10 +12,41 @@ namespace wattdb {
 Db::Db(DbOptions options) : options_(std::move(options)) {}
 
 StatusOr<std::unique_ptr<Db>> Db::Open(DbOptions options) {
-  // Validate the scheme name before standing anything up.
+  // Validate topology and scheme before standing anything up — a bad option
+  // must fail here with a message naming it, not deep in cluster wiring.
+  if (options.scheme.empty()) {
+    return Status::InvalidArgument(
+        "scheme name is empty; pick one of SchemeRegistry::Global().Names()");
+  }
+  if (options.cluster.num_nodes <= 0) {
+    return Status::InvalidArgument(
+        "cluster needs at least one node, got WithNodes(" +
+        std::to_string(options.cluster.num_nodes) + ")");
+  }
+  if (options.cluster.initially_active <= 0) {
+    return Status::InvalidArgument(
+        "at least the master must start active, got WithActiveNodes(" +
+        std::to_string(options.cluster.initially_active) + ")");
+  }
+  if (options.cluster.initially_active > options.cluster.num_nodes) {
+    return Status::InvalidArgument(
+        "WithActiveNodes(" + std::to_string(options.cluster.initially_active) +
+        ") exceeds WithNodes(" + std::to_string(options.cluster.num_nodes) +
+        ")");
+  }
   WATTDB_RETURN_IF_ERROR(SchemeRegistry::Global().Validate(options.scheme));
   if (options.load_tpcc && options.load.home_nodes.empty()) {
     return Status::InvalidArgument("TPC-C load needs at least one home node");
+  }
+  for (const NodeId home : options.load.home_nodes) {
+    if (options.load_tpcc &&
+        (!home.valid() ||
+         home.value() >= static_cast<uint32_t>(options.cluster.num_nodes))) {
+      return Status::InvalidArgument(
+          "TPC-C home node " + std::to_string(home.value()) +
+          " is outside the cluster of " +
+          std::to_string(options.cluster.num_nodes) + " nodes");
+    }
   }
 
   std::unique_ptr<Db> db(new Db(std::move(options)));
@@ -53,8 +86,7 @@ StatusOr<std::unique_ptr<Db>> Db::Open(DbOptions options) {
 }
 
 Db::~Db() {
-  for (auto& pool : pools_) pool->Stop();
-  for (auto& micro : micro_workloads_) micro->Stop();
+  for (auto& driver : drivers_) driver->Stop();
   if (master_ != nullptr) master_->Stop();
   if (cluster_ != nullptr) cluster_->StopSampling();
 }
@@ -70,22 +102,87 @@ std::vector<TableRoute> Db::Routes(TableId table) const {
   return out;
 }
 
+StatusOr<TableId> Db::CreateKvTable(const std::string& name, size_t value_bytes,
+                                    Key max_key) {
+  if (name.empty()) {
+    return Status::InvalidArgument("KV table needs a non-empty name");
+  }
+  if (value_bytes == 0 || max_key == 0) {
+    return Status::InvalidArgument(
+        "KV table needs value_bytes > 0 and a non-empty key space");
+  }
+  if (cluster_->catalog().GetSchemaByName(name) != nullptr) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  catalog::TableSchema schema;
+  schema.name = name;
+  schema.columns = {
+      {"value", catalog::ColumnType::kString,
+       static_cast<uint32_t>(value_bytes)}};
+  const TableId table = cluster_->catalog().CreateTable(std::move(schema));
+
+  // Range-partition [0, max_key) evenly across the active nodes, one
+  // partition per node; segments materialize lazily on first insert.
+  const std::vector<cluster::Node*> actives = cluster_->ActiveNodes();
+  const Key span = std::max<Key>(1, max_key / actives.size());
+  for (size_t i = 0; i < actives.size(); ++i) {
+    const Key lo = static_cast<Key>(i) * span;
+    if (lo >= max_key) break;
+    const Key hi = (i + 1 == actives.size()) ? max_key : std::min(max_key, lo + span);
+    catalog::Partition* part =
+        cluster_->catalog().CreatePartition(table, actives[i]->id());
+    WATTDB_RETURN_IF_ERROR(
+        cluster_->catalog().AssignRange(table, KeyRange{lo, hi}, part->id()));
+  }
+  return table;
+}
+
+workload::WorkloadDriver& Db::AttachWorkload(
+    std::unique_ptr<workload::WorkloadDriver> driver) {
+  WATTDB_CHECK_MSG(driver != nullptr, "AttachWorkload needs a driver");
+  drivers_.push_back(std::move(driver));
+  return *drivers_.back();
+}
+
 workload::ClientPool& Db::AddClientPool(
     const workload::ClientPoolConfig& cfg) {
   WATTDB_CHECK_MSG(tpcc_ != nullptr,
                    "AddClientPool requires the TPC-C load (WithoutTpccLoad "
                    "databases drive Sessions directly)");
-  pools_.push_back(std::make_unique<workload::ClientPool>(tpcc_.get(), cfg));
-  return *pools_.back();
+  auto pool = std::make_unique<workload::ClientPool>(tpcc_.get(), cfg);
+  workload::ClientPool* raw = pool.get();
+  AttachWorkload(std::move(pool));
+  return *raw;
 }
 
 workload::MicroWorkload& Db::AddMicroWorkload(
     const workload::MicroConfig& cfg) {
   WATTDB_CHECK_MSG(tpcc_ != nullptr,
                    "AddMicroWorkload requires the TPC-C load");
-  micro_workloads_.push_back(
-      std::make_unique<workload::MicroWorkload>(tpcc_.get(), cfg));
-  return *micro_workloads_.back();
+  auto micro = std::make_unique<workload::MicroWorkload>(tpcc_.get(), cfg);
+  workload::MicroWorkload* raw = micro.get();
+  AttachWorkload(std::move(micro));
+  return *raw;
+}
+
+StatusOr<workload::KvWorkload*> Db::AddKvWorkload(
+    const workload::KvConfig& cfg) {
+  if (cfg.num_clients <= 0 || cfg.batch_size <= 0 || cfg.num_keys <= 0) {
+    return Status::InvalidArgument(
+        "KvConfig needs positive num_clients, batch_size, and num_keys");
+  }
+  // One table per attached driver so several KV workloads can coexist.
+  const std::string table_name = "kv-" + std::to_string(drivers_.size());
+  WATTDB_ASSIGN_OR_RETURN(
+      const TableId table,
+      CreateKvTable(table_name, cfg.value_bytes,
+                    static_cast<Key>(cfg.num_keys)));
+  auto kv = std::make_unique<workload::KvWorkload>(OpenSession(), table, cfg,
+                                                   &cluster_->events());
+  WATTDB_RETURN_IF_ERROR(kv->Load());
+  workload::KvWorkload* raw = kv.get();
+  AttachWorkload(std::move(kv));
+  return raw;
 }
 
 Status Db::TriggerRebalance(const std::vector<NodeId>& targets,

@@ -13,6 +13,8 @@
 #include "common/logging.h"
 #include "common/status.h"
 #include "workload/client.h"
+#include "workload/driver.h"
+#include "workload/kv.h"
 #include "workload/micro.h"
 #include "workload/tpcc_loader.h"
 
@@ -62,13 +64,36 @@ class Db {
   /// The routing table of `table`: key range -> partition -> owner node.
   std::vector<TableRoute> Routes(TableId table) const;
 
+  /// Create a generic single-column KV table whose key space [0, max_key)
+  /// is range-partitioned evenly across the currently active nodes. The
+  /// entry point for non-TPC-C scenarios driven through Session.
+  StatusOr<TableId> CreateKvTable(const std::string& name, size_t value_bytes,
+                                  Key max_key);
+
   // --- Workload drivers ---------------------------------------------------
+  /// Take ownership of any workload generator implementing WorkloadDriver
+  /// (stopped on Db destruction). Call Start() on the returned driver to
+  /// begin issuing queries.
+  workload::WorkloadDriver& AttachWorkload(
+      std::unique_ptr<workload::WorkloadDriver> driver);
+
+  /// Attached drivers, in attach order.
+  const std::vector<std::unique_ptr<workload::WorkloadDriver>>& workloads()
+      const {
+    return drivers_;
+  }
+
   /// Attach a closed-loop TPC-C client pool; owned by the Db. Call Start()
   /// on the returned pool to begin issuing queries.
   workload::ClientPool& AddClientPool(const workload::ClientPoolConfig& cfg);
 
   /// Attach a Fig. 3-style read/update micro-workload; owned by the Db.
   workload::MicroWorkload& AddMicroWorkload(const workload::MicroConfig& cfg);
+
+  /// Create the driver's KV table (named `<name>-<n>` per attach), load its
+  /// key space, and attach a YCSB-style driver running on the batched
+  /// Session API. Works with or without the TPC-C load.
+  StatusOr<workload::KvWorkload*> AddKvWorkload(const workload::KvConfig& cfg);
 
   // --- Elasticity ---------------------------------------------------------
   /// Move `fraction` of the data onto `targets` (booting them first if
@@ -122,8 +147,8 @@ class Db {
   std::unique_ptr<workload::TpccDatabase> tpcc_;
   std::unique_ptr<cluster::Repartitioner> scheme_;
   std::unique_ptr<cluster::Master> master_;
-  std::vector<std::unique_ptr<workload::ClientPool>> pools_;
-  std::vector<std::unique_ptr<workload::MicroWorkload>> micro_workloads_;
+  /// All attached workload generators, owned through the common interface.
+  std::vector<std::unique_ptr<workload::WorkloadDriver>> drivers_;
 };
 
 }  // namespace wattdb

@@ -56,6 +56,142 @@ Status RoutedDelete(Cluster* c, tx::Txn* txn, TableId table, Key key) {
   return s;
 }
 
+namespace {
+
+/// Candidate locations of one batch key under the two-pointer protocol.
+struct KeyRoute {
+  catalog::Partition* part = nullptr;
+  catalog::Partition* second = nullptr;
+};
+
+/// Key indexes grouped by the owner of their primary route, in first-
+/// appearance order so charging is deterministic.
+std::vector<std::pair<NodeId, std::vector<size_t>>> GroupByOwner(
+    const std::vector<KeyRoute>& routes) {
+  std::vector<std::pair<NodeId, std::vector<size_t>>> groups;
+  for (size_t i = 0; i < routes.size(); ++i) {
+    if (routes[i].part == nullptr) continue;
+    const NodeId owner = routes[i].part->owner();
+    auto it = std::find_if(groups.begin(), groups.end(),
+                           [owner](const auto& g) { return g.first == owner; });
+    if (it == groups.end()) {
+      groups.emplace_back(owner, std::vector<size_t>{i});
+    } else {
+      it->second.push_back(i);
+    }
+  }
+  return groups;
+}
+
+}  // namespace
+
+Status RoutedMultiRead(Cluster* c, tx::Txn* txn, TableId table,
+                       const std::vector<Key>& keys,
+                       std::vector<StatusOr<storage::Record>>* out,
+                       BatchStats* stats) {
+  if (c == nullptr || txn == nullptr || out == nullptr) {
+    return Status::InvalidArgument("RoutedMultiRead needs cluster/txn/out");
+  }
+  BatchStats local;
+  out->assign(keys.size(),
+              StatusOr<storage::Record>(Status::NotFound("no route")));
+
+  std::vector<KeyRoute> routes(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    auto [part, second] = c->RouteBoth(txn, table, keys[i]);
+    routes[i] = KeyRoute{part, second};
+  }
+
+  const NodeId master_id = c->master()->id();
+  for (const auto& [owner, idxs] : GroupByOwner(routes)) {
+    // One request listing the group's keys, one response carrying its
+    // records: the whole group rides a single round trip.
+    size_t resp_bytes = 32;
+    for (size_t i : idxs) {
+      storage::Record rec;
+      Status s = c->node(owner)->Read(txn, routes[i].part, keys[i], &rec);
+      resp_bytes += s.ok() ? 32 + rec.StoredSize() : 8;
+      (*out)[i] = s.ok() ? StatusOr<storage::Record>(std::move(rec))
+                         : StatusOr<storage::Record>(s);
+    }
+    c->ChargeClientHop(txn, owner, 96 + 8 * idxs.size(), resp_bytes);
+    if (owner != master_id) ++local.owner_round_trips;
+  }
+
+  // Two-pointer protocol (§4.3): mid-move a record may already live at the
+  // other location. Stragglers are retried one by one — they missed the
+  // batch and pay their own hop.
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (routes[i].second == nullptr || !(*out)[i].status().IsNotFound()) {
+      continue;
+    }
+    storage::Record rec;
+    const NodeId owner = routes[i].second->owner();
+    Status s = c->node(owner)->Read(txn, routes[i].second, keys[i], &rec);
+    c->ChargeClientHop(txn, owner, 96, 32 + (s.ok() ? rec.StoredSize() : 0));
+    ++local.straggler_retries;
+    if (s.ok()) (*out)[i] = std::move(rec);
+  }
+
+  if (stats != nullptr) stats->Add(local);
+  return Status::OK();
+}
+
+Status RoutedMultiWrite(Cluster* c, tx::Txn* txn, TableId table,
+                        const std::vector<KeyValue>& kvs,
+                        std::vector<Status>* out, BatchStats* stats) {
+  if (c == nullptr || txn == nullptr || out == nullptr) {
+    return Status::InvalidArgument("RoutedMultiWrite needs cluster/txn/out");
+  }
+  BatchStats local;
+  out->assign(kvs.size(), Status::NotFound("no route"));
+
+  std::vector<KeyRoute> routes(kvs.size());
+  for (size_t i = 0; i < kvs.size(); ++i) {
+    auto [part, second] = c->RouteBoth(txn, table, kvs[i].key);
+    routes[i] = KeyRoute{part, second};
+  }
+
+  const NodeId master_id = c->master()->id();
+  for (const auto& [owner, idxs] : GroupByOwner(routes)) {
+    // The request ships every payload of the group at once (mirroring the
+    // per-op order: charge, then write).
+    size_t req_bytes = 96;
+    for (size_t i : idxs) req_bytes += 8 + kvs[i].payload.size();
+    c->ChargeClientHop(txn, owner, req_bytes, 32);
+    if (owner != master_id) ++local.owner_round_trips;
+
+    for (size_t i : idxs) {
+      const Key key = kvs[i].key;
+      const std::vector<uint8_t>& payload = kvs[i].payload;
+      Status s = c->node(owner)->Update(txn, routes[i].part, key, payload);
+      if (s.IsNotFound() && routes[i].second != nullptr) {
+        // §4.3 straggler: the record already moved; re-ship the payload.
+        const NodeId second_owner = routes[i].second->owner();
+        c->ChargeClientHop(txn, second_owner, 96 + payload.size(), 32);
+        ++local.straggler_retries;
+        s = c->node(second_owner)->Update(txn, routes[i].second, key, payload);
+      }
+      if (s.IsNotFound()) {
+        // Upsert tail: insert at the currently-routed location (which may
+        // have shifted under the batch mid-move).
+        catalog::Partition* ins = c->Route(txn, table, key);
+        if (ins != nullptr) {
+          if (ins->owner() != owner) {
+            c->ChargeClientHop(txn, ins->owner(), 96 + payload.size(), 32);
+          }
+          s = c->node(ins->owner())->Insert(txn, ins, key, payload);
+          ++local.inserts;
+        }
+      }
+      (*out)[i] = s;
+    }
+  }
+
+  if (stats != nullptr) stats->Add(local);
+  return Status::OK();
+}
+
 Status RoutedScan(Cluster* c, tx::Txn* txn, TableId table,
                   const KeyRange& range,
                   const std::function<bool(const storage::Record&)>& fn) {

@@ -39,6 +39,53 @@ Status RoutedScan(Cluster* c, tx::Txn* txn, TableId table,
                   const KeyRange& range,
                   const std::function<bool(const storage::Record&)>& fn);
 
+// --- Owner-grouped batches -------------------------------------------------
+
+/// One key->payload pair of a batched write.
+struct KeyValue {
+  Key key;
+  std::vector<uint8_t> payload;
+};
+
+/// Accounting of one batched operation, for tests and benches: a batch
+/// charges one master<->owner round trip per *owner node* it touches (plus
+/// one per straggler key that needed the §4.3 second-location retry),
+/// instead of one per key.
+struct BatchStats {
+  int owner_round_trips = 0;  ///< Hops charged to non-master owner groups.
+  int straggler_retries = 0;  ///< Per-key second-location visits (§4.3).
+  int inserts = 0;            ///< MultiWrite keys that fell through to insert.
+
+  void Add(const BatchStats& other) {
+    owner_round_trips += other.owner_round_trips;
+    straggler_retries += other.straggler_retries;
+    inserts += other.inserts;
+  }
+};
+
+/// Batched point reads. Keys are grouped by the owner of their primary
+/// route; each owner group ships as ONE request message listing its keys
+/// and ONE response carrying the found records, so a batch pays one
+/// master<->owner round trip per owner node rather than per key. Keys that
+/// miss at the primary while a move is in flight are retried individually
+/// at their secondary location, charged per straggler ("queries are advised
+/// to visit both", §4.3). `out` is parallel to `keys`; the returned Status
+/// is non-OK only for malformed calls — per-key misses land in `out`.
+Status RoutedMultiRead(Cluster* c, tx::Txn* txn, TableId table,
+                       const std::vector<Key>& keys,
+                       std::vector<StatusOr<storage::Record>>* out,
+                       BatchStats* stats = nullptr);
+
+/// Batched upserts with the same owner-grouped hop charging: one request
+/// per owner group carrying all of the group's payloads, one response.
+/// Each key updates its primary location, retries the secondary mid-move
+/// (re-shipping the payload, charged per straggler), and finally falls back
+/// to an insert at the currently-routed partition. `out` is parallel to
+/// `kvs`.
+Status RoutedMultiWrite(Cluster* c, tx::Txn* txn, TableId table,
+                        const std::vector<KeyValue>& kvs,
+                        std::vector<Status>* out, BatchStats* stats = nullptr);
+
 }  // namespace wattdb::cluster
 
 #endif  // WATTDB_CLUSTER_ROUTED_OPS_H_

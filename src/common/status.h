@@ -23,7 +23,8 @@ enum class StatusCode {
   kNotSupported,
   kResourceExhausted,
   kInternal,
-  kUnavailable,     ///< Node offline or partition mid-migration.
+  kUnavailable,         ///< Node offline or partition mid-migration.
+  kFailedPrecondition,  ///< Handle in the wrong state (moved-from, closed).
 };
 
 /// Result of a fallible operation. `Status::OK()` is the success value;
@@ -69,6 +70,9 @@ class Status {
   static Status Unavailable(std::string msg = "") {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status FailedPrecondition(std::string msg = "") {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -85,6 +89,9 @@ class Status {
   }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return msg_; }

@@ -202,7 +202,11 @@ void MigrationManagerBase::StreamBytes(
 
   auto remaining = std::make_shared<size_t>(scaled);
   auto step = std::make_shared<std::function<void()>>();
-  *step = [this, remaining, step, src, dst, src_disk, dst_disk, src_node,
+  // The closure captures itself only weakly; the strong reference lives in
+  // the scheduled event. Otherwise step -> closure -> step never frees and
+  // every stream leaks its captures (ASan).
+  std::weak_ptr<std::function<void()>> weak_step = step;
+  *step = [this, remaining, weak_step, src, dst, src_disk, dst_disk, src_node,
            dst_node, done = std::move(done)]() {
     if (*remaining == 0) {
       src_node->buffer().ReleaseMaintenancePins(config_.pin_pages_per_stream);
@@ -218,7 +222,9 @@ void MigrationManagerBase::StreamBytes(
     const SimTime shipped =
         cluster_->network().Transfer(read_done, src, dst, chunk);
     const SimTime written = dst_disk->AccessSequential(shipped, chunk);
-    cluster_->events().ScheduleAt(written, [step]() { (*step)(); });
+    cluster_->events().ScheduleAt(written, [step = weak_step.lock()]() {
+      if (step != nullptr) (*step)();
+    });
   };
   (*step)();
 }

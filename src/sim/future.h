@@ -1,0 +1,138 @@
+#ifndef WATTDB_SIM_FUTURE_H_
+#define WATTDB_SIM_FUTURE_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/types.h"
+#include "sim/event_queue.h"
+
+namespace wattdb::sim {
+
+/// Future/Promise pair resolved on the simulation's event loop.
+///
+/// The simulator executes operations eagerly in wall-clock time while
+/// charging their cost to a transaction's private clock, so a "pending"
+/// asynchronous operation already knows its value — what the future models
+/// is *when in simulated time* that value becomes available. Resolving a
+/// promise records the value together with its completion time `ready_at`;
+/// continuations attached with Then() are delivered through the EventQueue
+/// at that time, which means callbacks across independent futures fire in
+/// sim-time order (ties broken by scheduling order), not in issue order.
+///
+///   Promise<int> p(&events);
+///   Future<int> f = p.future();
+///   f.Then([](const int& v) { ... });   // runs when the loop reaches t
+///   p.ResolveAt(t, 42);
+///   events.RunUntil(horizon);
+///
+/// Futures are cheap shared handles; copying one shares the same state.
+template <typename T>
+class Future;
+
+namespace detail {
+
+template <typename T>
+struct FutureState {
+  EventQueue* events = nullptr;  ///< Null only for MakeReady futures.
+  bool resolved = false;
+  SimTime ready_at = 0;
+  std::optional<T> value;
+  std::vector<std::function<void(const T&)>> pending;
+};
+
+/// Hand `cb` the resolved value through the event loop (inline when the
+/// state has no loop — the MakeReady error path).
+template <typename T>
+void Deliver(const std::shared_ptr<FutureState<T>>& state,
+             std::function<void(const T&)> cb) {
+  if (state->events == nullptr) {
+    cb(*state->value);
+    return;
+  }
+  // ScheduleAt clamps past times to "now", so late subscribers still get
+  // called — just at the current simulated time instead of ready_at.
+  state->events->ScheduleAt(state->ready_at,
+                            [state, cb = std::move(cb)]() { cb(*state->value); });
+}
+
+}  // namespace detail
+
+template <typename T>
+class Promise {
+ public:
+  /// A promise resolving on `events`; pass null only via Future::MakeReady.
+  explicit Promise(EventQueue* events)
+      : state_(std::make_shared<detail::FutureState<T>>()) {
+    state_->events = events;
+  }
+
+  Future<T> future() const { return Future<T>(state_); }
+
+  /// Record the value and its simulated completion time; schedules every
+  /// continuation attached so far. A promise resolves exactly once.
+  void ResolveAt(SimTime when, T value) {
+    WATTDB_CHECK_MSG(!state_->resolved, "promise resolved twice");
+    state_->resolved = true;
+    state_->ready_at = when;
+    state_->value.emplace(std::move(value));
+    std::vector<std::function<void(const T&)>> pending;
+    pending.swap(state_->pending);
+    for (auto& cb : pending) detail::Deliver(state_, std::move(cb));
+  }
+
+ private:
+  std::shared_ptr<detail::FutureState<T>> state_;
+};
+
+template <typename T>
+class Future {
+ public:
+  /// An already-resolved future with no event loop: its continuations run
+  /// inline. Used for error results of async calls on dead handles.
+  static Future<T> MakeReady(T value, SimTime at = 0) {
+    Promise<T> p(nullptr);
+    p.ResolveAt(at, std::move(value));
+    return p.future();
+  }
+
+  /// The producer has resolved the future (the value exists; continuations
+  /// may still be in flight on the event loop until `ready_at`).
+  bool resolved() const { return state_->resolved; }
+
+  /// Simulated time the value became available. Valid once resolved().
+  SimTime ready_at() const {
+    WATTDB_CHECK_MSG(state_->resolved, "ready_at() on unresolved future");
+    return state_->ready_at;
+  }
+
+  const T& value() const {
+    WATTDB_CHECK_MSG(state_->resolved, "value() on unresolved future");
+    return *state_->value;
+  }
+
+  /// Attach a continuation delivered through the event loop at ready_at
+  /// (or at the current simulated time when attached after the fact).
+  void Then(std::function<void(const T&)> cb) {
+    if (state_->resolved) {
+      detail::Deliver(state_, std::move(cb));
+    } else {
+      state_->pending.push_back(std::move(cb));
+    }
+  }
+
+ private:
+  friend class Promise<T>;
+  explicit Future(std::shared_ptr<detail::FutureState<T>> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<detail::FutureState<T>> state_;
+};
+
+}  // namespace wattdb::sim
+
+#endif  // WATTDB_SIM_FUTURE_H_

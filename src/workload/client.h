@@ -9,6 +9,7 @@
 #include "common/stats.h"
 #include "metrics/breakdown.h"
 #include "metrics/time_series.h"
+#include "workload/driver.h"
 #include "workload/tpcc_txn.h"
 
 namespace wattdb::workload {
@@ -26,13 +27,15 @@ struct ClientPoolConfig {
   uint64_t seed = 1234;
 };
 
-class ClientPool {
+class ClientPool : public WorkloadDriver {
  public:
   ClientPool(TpccDatabase* db, ClientPoolConfig config);
 
+  std::string name() const override { return "tpcc"; }
+
   /// Begin issuing queries now; clients run until Stop().
-  void Start();
-  void Stop() { running_ = false; }
+  void Start() override;
+  void Stop() override { running_ = false; }
 
   /// Attach sinks: completions are recorded into `series` (may be null) and
   /// component times into `breakdown` (may be null; switched atomically so
@@ -41,9 +44,10 @@ class ClientPool {
   void set_breakdown(metrics::TimeBreakdown* bd) { breakdown_ = bd; }
 
   int64_t completed() const { return completed_; }
-  int64_t aborted() const { return aborted_; }
-  const Histogram& latencies() const { return latencies_; }
-  void ResetStats() {
+  int64_t committed() const override { return completed_; }
+  int64_t aborted() const override { return aborted_; }
+  const Histogram& latencies() const override { return latencies_; }
+  void ResetStats() override {
     completed_ = 0;
     aborted_ = 0;
     latencies_.Reset();

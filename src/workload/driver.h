@@ -1,0 +1,36 @@
+#ifndef WATTDB_WORKLOAD_DRIVER_H_
+#define WATTDB_WORKLOAD_DRIVER_H_
+
+#include <string>
+
+#include "common/stats.h"
+
+namespace wattdb::workload {
+
+/// Common face of every closed-loop workload generator (TPC-C client pool,
+/// Fig. 3 micro read/update mix, YCSB-style KV, ...). Drivers schedule
+/// their client loops on the cluster's simulated event queue; Start() arms
+/// them, Stop() lets in-flight loops drain. `Db::AttachWorkload` owns
+/// drivers through this interface, so benches and scenario scripts can mix
+/// workloads without knowing their concrete types.
+class WorkloadDriver {
+ public:
+  virtual ~WorkloadDriver() = default;
+
+  /// Short stable identifier ("tpcc", "micro", "kv", ...).
+  virtual std::string name() const = 0;
+
+  /// Begin issuing queries now; clients run until Stop(). Idempotent.
+  virtual void Start() = 0;
+  virtual void Stop() = 0;
+
+  /// Committed transactions since the last ResetStats().
+  virtual int64_t committed() const = 0;
+  virtual int64_t aborted() const = 0;
+  virtual const Histogram& latencies() const = 0;
+  virtual void ResetStats() = 0;
+};
+
+}  // namespace wattdb::workload
+
+#endif  // WATTDB_WORKLOAD_DRIVER_H_

@@ -1,0 +1,104 @@
+#ifndef WATTDB_WORKLOAD_KV_H_
+#define WATTDB_WORKLOAD_KV_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/session.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "sim/event_queue.h"
+#include "workload/driver.h"
+
+namespace wattdb::workload {
+
+/// YCSB-style key/value workload: closed-loop clients reading and upserting
+/// uniform or Zipf-distributed keys of one generic table — the first
+/// scenario that runs purely on the facade's Session API with no TPC-C
+/// schema knowledge. Each client submits `batch_size` keys per transaction,
+/// either as one owner-grouped MultiGet/MultiPut (one master<->owner round
+/// trip per owner node per batch) or, with `batched = false`, as the
+/// equivalent per-key Get/Put loop — the baseline the batch pipeline is
+/// benchmarked against.
+struct KvConfig {
+  int num_clients = 16;
+  /// Mean think time between a completion and the next submission.
+  SimTime think_time = 5 * kUsPerMs;
+  /// Fraction of transactions that are read batches (YCSB-B ~ 0.95).
+  double read_ratio = 0.95;
+  /// Keys per transaction.
+  int batch_size = 8;
+  /// false: issue the batch as per-key Get/Put ops (the pre-batching data
+  /// plane); true: one MultiGet/MultiPut per transaction.
+  bool batched = true;
+  /// Key space [0, num_keys), fully loaded before the clients start.
+  int64_t num_keys = 4096;
+  size_t value_bytes = 100;
+  /// 0 = uniform key choice; otherwise Zipf skew over the key space.
+  double zipf_theta = 0.0;
+  uint64_t seed = 2024;
+};
+
+class KvWorkload : public WorkloadDriver {
+ public:
+  /// `events` must be the event queue of the cluster behind `session`.
+  /// Call Load() once before Start() to materialize the key space.
+  KvWorkload(Session session, TableId table, KvConfig config,
+             sim::EventQueue* events);
+
+  /// Upsert all `num_keys` keys in large MultiPut batches (client-side, no
+  /// simulated time passes on the global clock).
+  Status Load();
+
+  std::string name() const override { return "kv"; }
+
+  void Start() override;
+  void Stop() override { running_ = false; }
+
+  int64_t committed() const override { return committed_; }
+  int64_t aborted() const override { return aborted_; }
+  const Histogram& latencies() const override { return latencies_; }
+  void ResetStats() override {
+    committed_ = 0;
+    aborted_ = 0;
+    key_ops_ = 0;
+    owner_round_trips_ = 0;
+    straggler_retries_ = 0;
+    latencies_.Reset();
+  }
+
+  /// Per-key operations inside committed transactions (committed() counts
+  /// transactions; a batch of 8 keys counts 8 key ops).
+  int64_t key_ops() const { return key_ops_; }
+  /// Master<->owner round trips charged by batched ops so far.
+  int64_t owner_round_trips() const { return owner_round_trips_; }
+  /// §4.3 second-location retries batches had to take mid-move.
+  int64_t straggler_retries() const { return straggler_retries_; }
+  TableId table() const { return table_; }
+  const KvConfig& config() const { return config_; }
+
+ private:
+  void ClientLoop(int idx);
+  Key NextKey(Rng* rng) const;
+  std::vector<uint8_t> MakeValue(Rng* rng) const;
+
+  Session session_;
+  TableId table_;
+  KvConfig config_;
+  sim::EventQueue* events_;
+  std::vector<std::unique_ptr<Rng>> rngs_;
+  bool running_ = false;
+  bool loaded_ = false;
+
+  int64_t committed_ = 0;
+  int64_t aborted_ = 0;
+  int64_t key_ops_ = 0;
+  int64_t owner_round_trips_ = 0;
+  int64_t straggler_retries_ = 0;
+  Histogram latencies_;
+};
+
+}  // namespace wattdb::workload
+
+#endif  // WATTDB_WORKLOAD_KV_H_

@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "common/stats.h"
+#include "workload/driver.h"
 #include "workload/tpcc_loader.h"
 
 namespace wattdb::workload {
@@ -24,17 +25,19 @@ struct MicroConfig {
   uint64_t seed = 99;
 };
 
-class MicroWorkload {
+class MicroWorkload : public WorkloadDriver {
  public:
   MicroWorkload(TpccDatabase* db, MicroConfig config);
 
-  void Start();
-  void Stop() { running_ = false; }
+  std::string name() const override { return "micro"; }
 
-  int64_t committed() const { return committed_; }
-  int64_t aborted() const { return aborted_; }
-  const Histogram& latencies() const { return latencies_; }
-  void ResetStats() {
+  void Start() override;
+  void Stop() override { running_ = false; }
+
+  int64_t committed() const override { return committed_; }
+  int64_t aborted() const override { return aborted_; }
+  const Histogram& latencies() const override { return latencies_; }
+  void ResetStats() override {
     committed_ = 0;
     aborted_ = 0;
     latencies_.Reset();

@@ -42,8 +42,10 @@ TEST(Catalog, PartitionLifecycle) {
   EXPECT_EQ(cat.PartitionsOf(t).size(), 1u);
   EXPECT_EQ(cat.PartitionsOwnedBy(NodeId(1)).size(), 1u);
   EXPECT_TRUE(cat.PartitionsOwnedBy(NodeId(2)).empty());
-  ASSERT_TRUE(cat.DropPartition(p->id()).ok());
-  EXPECT_EQ(cat.GetPartition(p->id()), nullptr);
+  // Save the id: DropPartition frees the object `p` points at.
+  const PartitionId pid = p->id();
+  ASSERT_TRUE(cat.DropPartition(pid).ok());
+  EXPECT_EQ(cat.GetPartition(pid), nullptr);
 }
 
 TEST(Catalog, DropRefusesRoutedPartition) {

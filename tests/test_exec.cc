@@ -70,7 +70,9 @@ TEST_F(ExecTest, ScanReturnsAllRecordsInOrder) {
   bool first = true;
   while (scan->Next(&ctx, &b)) {
     for (const auto& r : b) {
-      if (!first) EXPECT_GT(r.key, prev);
+      if (!first) {
+        EXPECT_GT(r.key, prev);
+      }
       prev = r.key;
       first = false;
       ++n;
@@ -111,7 +113,9 @@ TEST_F(ExecTest, SortProducesSortedOutput) {
   size_t n = 0;
   while (sort.Next(&ctx, &b)) {
     for (const auto& r : b) {
-      if (!first) EXPECT_GE(r.key, prev);
+      if (!first) {
+        EXPECT_GE(r.key, prev);
+      }
       prev = r.key;
       first = false;
       ++n;

@@ -238,6 +238,8 @@ TEST_F(NodeOpsTest, WalRecordsWrittenInOrder) {
   ASSERT_TRUE(n->Update(w, part_, 1, Payload(2)).ok());
   ASSERT_TRUE(n->Delete(w, part_, 1).ok());
   cluster_.CommitTxn(n, w);
+  // Read the txn's accounting before Release frees the descriptor.
+  const SimTime log_us = w->log_us;
   cluster_.tm().Release(w->id);
 
   const auto& records = n->log().records();
@@ -246,7 +248,7 @@ TEST_F(NodeOpsTest, WalRecordsWrittenInOrder) {
   EXPECT_EQ(records[1].type, tx::LogRecordType::kUpdate);
   EXPECT_EQ(records[2].type, tx::LogRecordType::kDelete);
   EXPECT_EQ(records.back().type, tx::LogRecordType::kCommit);
-  EXPECT_GT(w->log_us, 0);
+  EXPECT_GT(log_us, 0);
 }
 
 TEST_F(NodeOpsTest, RedoRebuildsPartition) {

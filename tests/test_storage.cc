@@ -246,9 +246,11 @@ TEST(SegmentManager, CreateGetDrop) {
   EXPECT_NE(a->id(), b->id());
   EXPECT_EQ(mgr.Get(a->id()), a);
   EXPECT_EQ(mgr.size(), 2u);
-  ASSERT_TRUE(mgr.Drop(a->id()).ok());
-  EXPECT_EQ(mgr.Get(a->id()), nullptr);
-  EXPECT_TRUE(mgr.Drop(a->id()).IsNotFound());
+  // Save the id: Drop frees the segment `a` points at.
+  const SegmentId a_id = a->id();
+  ASSERT_TRUE(mgr.Drop(a_id).ok());
+  EXPECT_EQ(mgr.Get(a_id), nullptr);
+  EXPECT_TRUE(mgr.Drop(a_id).IsNotFound());
 }
 
 TEST(SegmentManager, SegmentsOnFiltersByNode) {
