@@ -1,6 +1,7 @@
 #include "api/db.h"
 
 #include <algorithm>
+#include <optional>
 #include <string>
 #include <utility>
 
@@ -35,6 +36,28 @@ StatusOr<std::unique_ptr<Db>> Db::Open(DbOptions options) {
         ")");
   }
   WATTDB_RETURN_IF_ERROR(SchemeRegistry::Global().Validate(options.scheme));
+  for (const fault::FaultPlan::Crash& crash : options.fault_plan.crashes) {
+    if (!crash.node.valid() ||
+        crash.node.value() >= static_cast<uint32_t>(options.cluster.num_nodes)) {
+      return Status::InvalidArgument(
+          "fault plan crashes node " + std::to_string(crash.node.value()) +
+          " outside the cluster of " +
+          std::to_string(options.cluster.num_nodes) + " nodes");
+    }
+    if (crash.node.value() == 0) {
+      return Status::InvalidArgument(
+          "fault plan cannot crash the master (node 0)");
+    }
+    // -1 is the "not a progress trigger" sentinel; anything else must be a
+    // real fraction, or a typo'd trigger would degrade to a crash at t=0.
+    if (crash.at_migration_progress != -1.0 &&
+        (crash.at_migration_progress < 0.0 ||
+         crash.at_migration_progress > 1.0)) {
+      return Status::InvalidArgument(
+          "fault plan migration-progress trigger must be in [0, 1], got " +
+          std::to_string(crash.at_migration_progress));
+    }
+  }
   if (options.load_tpcc && options.load.home_nodes.empty()) {
     return Status::InvalidArgument("TPC-C load needs at least one home node");
   }
@@ -78,6 +101,12 @@ StatusOr<std::unique_ptr<Db>> Db::Open(DbOptions options) {
 
   db->master_ = std::make_unique<cluster::Master>(
       db->cluster_.get(), db->scheme_.get(), opts.master);
+
+  db->recovery_ = std::make_unique<fault::RecoveryManager>(db->cluster_.get(),
+                                                           db->scheme_.get());
+  db->fault_ = std::make_unique<fault::FaultInjector>(
+      db->cluster_.get(), db->recovery_.get(), db->scheme_.get());
+  if (!opts.fault_plan.empty()) db->fault_->Arm(opts.fault_plan);
 
   if (opts.start_sampling) db->cluster_->StartSampling(nullptr);
   if (opts.start_master) db->master_->Start();
@@ -215,5 +244,32 @@ Status Db::AttachHelpers(const std::vector<NodeId>& helpers,
 }
 
 Status Db::DetachHelpers() { return master_->DetachHelpers(); }
+
+Status Db::CrashNode(NodeId node) { return recovery_->Crash(node); }
+
+Status Db::RestartNode(
+    NodeId node,
+    std::function<void(const fault::RecoveryReport&)> on_recovered) {
+  return recovery_->Restart(node, std::move(on_recovered));
+}
+
+StatusOr<fault::RecoveryReport> Db::RestartNodeAndWait(NodeId node,
+                                                       SimTime max_wait) {
+  // Shared, not stack-captured: on timeout the recovery callback is still
+  // pending on the event loop and fires whenever recovery completes.
+  auto report = std::make_shared<std::optional<fault::RecoveryReport>>();
+  WATTDB_RETURN_IF_ERROR(recovery_->Restart(
+      node, [report](const fault::RecoveryReport& r) { *report = r; }));
+  const SimTime t0 = cluster_->Now();
+  while (!report->has_value() && cluster_->Now() < t0 + max_wait) {
+    cluster_->RunUntil(cluster_->Now() + kUsPerSec / 10);
+  }
+  if (!report->has_value()) {
+    return Status::TimedOut("node " + std::to_string(node.value()) +
+                            " still recovering after " +
+                            std::to_string(ToSeconds(max_wait)) + " s");
+  }
+  return **report;
+}
 
 }  // namespace wattdb

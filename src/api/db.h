@@ -12,6 +12,8 @@
 #include "cluster/master.h"
 #include "common/logging.h"
 #include "common/status.h"
+#include "fault/fault_injector.h"
+#include "fault/recovery_manager.h"
 #include "workload/client.h"
 #include "workload/driver.h"
 #include "workload/kv.h"
@@ -114,6 +116,33 @@ class Db {
                        size_t remote_buffer_pages);
   Status DetachHelpers();
 
+  // --- Faults & recovery --------------------------------------------------
+  /// Abrupt failure of `node`: its volatile state is lost (buffered pages
+  /// and unflushed post-checkpoint inserts), routed operations on its data
+  /// return Unavailable, queued migration tasks touching it are abandoned,
+  /// and in-flight copies abort. Never the master (InvalidArgument).
+  Status CrashNode(NodeId node);
+
+  /// Boot a crashed (or powered-off) node and redo-replay its log tails
+  /// (LogManager::TailAfter + Node::RedoInto, honoring kCheckpoint
+  /// records). `on_recovered` fires on the event loop at the simulated
+  /// time recovery completes.
+  Status RestartNode(NodeId node,
+                     std::function<void(const fault::RecoveryReport&)>
+                         on_recovered = nullptr);
+
+  /// RestartNode, then drive the simulation until recovery completes.
+  /// Returns the recovery report; TimedOut if still recovering after
+  /// `max_wait`.
+  StatusOr<fault::RecoveryReport> RestartNodeAndWait(
+      NodeId node, SimTime max_wait = 60 * kUsPerSec);
+
+  /// The crash scheduler (armed from DbOptions::WithFaultPlan; scenarios
+  /// can Schedule more, e.g. "crash the target at 50% progress").
+  fault::FaultInjector& fault() { return *fault_; }
+  /// Crash/redo bookkeeping: per-node down state and recovery reports.
+  fault::RecoveryManager& recovery() { return *recovery_; }
+
   // --- Simulated time -----------------------------------------------------
   SimTime Now() const { return cluster_->Now(); }
   void RunUntil(SimTime until) { cluster_->RunUntil(until); }
@@ -147,6 +176,8 @@ class Db {
   std::unique_ptr<workload::TpccDatabase> tpcc_;
   std::unique_ptr<cluster::Repartitioner> scheme_;
   std::unique_ptr<cluster::Master> master_;
+  std::unique_ptr<fault::RecoveryManager> recovery_;
+  std::unique_ptr<fault::FaultInjector> fault_;
   /// All attached workload generators, owned through the common interface.
   std::vector<std::unique_ptr<workload::WorkloadDriver>> drivers_;
 };

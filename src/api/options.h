@@ -8,6 +8,7 @@
 
 #include "cluster/cluster.h"
 #include "cluster/master.h"
+#include "fault/fault_injector.h"
 #include "partition/migration.h"
 #include "workload/tpcc_loader.h"
 
@@ -48,6 +49,9 @@ struct DbOptions {
   /// Restrict rebalancing to one TPC-C table; resolved into
   /// `migration.only_table` once table ids exist after loading.
   std::optional<workload::TpccTable> migrate_only;
+  /// Crash schedule armed on the fault injector at Open (validated there:
+  /// nodes must exist, never the master, progress fractions in [0, 1]).
+  fault::FaultPlan fault_plan;
 
   // --- Cluster ------------------------------------------------------------
   DbOptions& WithNodes(int n) {
@@ -114,6 +118,12 @@ struct DbOptions {
   DbOptions& WithMasterLoop(cluster::MasterPolicy policy) {
     master = policy;
     start_master = true;
+    return *this;
+  }
+
+  // --- Faults -------------------------------------------------------------
+  DbOptions& WithFaultPlan(fault::FaultPlan plan) {
+    fault_plan = std::move(plan);
     return *this;
   }
 

@@ -165,6 +165,22 @@ Status GlobalPartitionTable::CompleteMove(TableId table, const KeyRange& range,
   return Status::OK();
 }
 
+Status GlobalPartitionTable::AbortMove(TableId table, const KeyRange& range,
+                                       PartitionId to) {
+  auto rit = routes_.find(table);
+  if (rit == routes_.end()) return Status::NotFound("unknown table");
+  RangeMap& rm = rit->second;
+  SplitAt(&rm, range.lo);
+  SplitAt(&rm, range.hi);
+  for (auto it = rm.lower_bound(range.lo);
+       it != rm.end() && it->second.range.lo < range.hi; ++it) {
+    if (it->second.secondary == to) {
+      it->second.secondary = PartitionId::Invalid();
+    }
+  }
+  return Status::OK();
+}
+
 std::optional<RouteEntry> GlobalPartitionTable::Route(TableId table,
                                                       Key key) const {
   auto rit = routes_.find(table);

@@ -64,6 +64,11 @@ class GlobalPartitionTable {
   /// cleared.
   Status CompleteMove(TableId table, const KeyRange& range, PartitionId to);
 
+  /// Abort a move registered with BeginMove: covered entries drop `to` as
+  /// their secondary, the primary keeps owning the range (crash recovery:
+  /// the copy never installed, the data never left the source).
+  Status AbortMove(TableId table, const KeyRange& range, PartitionId to);
+
   /// Routing entry covering `key`, if any.
   std::optional<RouteEntry> Route(TableId table, Key key) const;
 

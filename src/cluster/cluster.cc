@@ -169,6 +169,23 @@ void Cluster::AbortTxn(tx::Txn* txn) {
     std::vector<tx::VersionStore::UndoEntry> one;
     one.push_back(e);
     owner->ApplyUndo(one, resolve);
+    // Compensation log record (ARIES CLR): the rollback itself is logged so
+    // that crash-recovery redo of the whole tail reproduces the abort
+    // instead of resurrecting the aborted write (src/fault replays tails
+    // without knowing transaction outcomes — owner logs carry no commit
+    // records, those live on the coordinator).
+    tx::LogRecord clr;
+    clr.txn = txn->id;
+    clr.table = e.table;
+    clr.partition = part->id();
+    clr.key = e.key;
+    if (e.pre_image.has_value()) {
+      clr.type = tx::LogRecordType::kUpdate;
+      clr.after_image = *e.pre_image;
+    } else {
+      clr.type = tx::LogRecordType::kDelete;
+    }
+    owner->log().Append(clock_.Now(), clr);
   }
 }
 

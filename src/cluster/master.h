@@ -20,9 +20,21 @@ struct RebalanceStats {
   int64_t segments_moved = 0;
   int64_t records_moved = 0;
   int64_t bytes_shipped = 0;
+  /// Move tasks planned by the current (or last) rebalance/drain.
+  int64_t tasks_planned = 0;
+  /// Tasks abandoned because their source or target node failed.
+  int64_t tasks_failed = 0;
   SimTime started_at = 0;
   SimTime finished_at = 0;
   bool running = false;
+
+  /// Fraction of planned tasks resolved (moved or failed) — the trigger
+  /// metric for "crash node X at migration progress p%" fault injection.
+  double progress() const {
+    if (tasks_planned <= 0) return running ? 0.0 : 1.0;
+    return static_cast<double>(segments_moved + tasks_failed) /
+           static_cast<double>(tasks_planned);
+  }
 };
 
 /// Abstract repartitioning engine the master drives. Implemented by the
@@ -49,6 +61,11 @@ class Repartitioner {
   virtual Status Drain(NodeId victim, std::function<void()> done) = 0;
 
   virtual bool InProgress() const = 0;
+
+  /// Notification that `down` crashed. Implementations abandon queued move
+  /// tasks whose source or target died and let in-flight copies abort
+  /// instead of installing onto (or from) a dead node. Default: no-op.
+  virtual void OnNodeFailure(NodeId down) { (void)down; }
 };
 
 /// Thresholds and cadence of the master's control loop (§3.4).

@@ -416,14 +416,23 @@ Status Node::RedoInto(catalog::Partition* part,
       case tx::LogRecordType::kUpdate: {
         const SegmentId sid = part->SegmentFor(rec.key);
         if (!sid.valid()) return Status::Corruption("redo: no segment");
-        WATTDB_RETURN_IF_ERROR(
-            segments_->Get(sid)->Update(rec.key, rec.after_image));
+        // Upsert: the after-image fully determines the record, and the tail
+        // may legally update a key a preceding record deleted (an abort's
+        // compensation record restoring the pre-image of a deleted row).
+        Status up = segments_->Get(sid)->Update(rec.key, rec.after_image);
+        if (up.IsNotFound()) {
+          up = segments_->Get(sid)->Insert(rec.key, rec.after_image).status();
+        }
+        WATTDB_RETURN_IF_ERROR(up);
         break;
       }
       case tx::LogRecordType::kDelete: {
         const SegmentId sid = part->SegmentFor(rec.key);
         if (!sid.valid()) return Status::Corruption("redo: no segment");
-        WATTDB_RETURN_IF_ERROR(segments_->Get(sid)->Delete(rec.key));
+        // Idempotent: the delete may have reached the page before the
+        // crash, in which case replaying it is a no-op.
+        const Status del = segments_->Get(sid)->Delete(rec.key);
+        if (!del.ok() && !del.IsNotFound()) return del;
         break;
       }
       default:

@@ -13,12 +13,17 @@ Status RoutedRead(Cluster* c, tx::Txn* txn, TableId table, Key key,
   Status s = c->node(part->owner())->Read(txn, part, key, out);
   c->ChargeClientHop(txn, part->owner(), 96,
                      32 + (s.ok() ? out->StoredSize() : 0));
-  if (s.IsNotFound() && second != nullptr) {
+  if ((s.IsNotFound() || s.IsUnavailable()) && second != nullptr) {
     // Two-pointer protocol (§4.3): mid-move the record may already live at
-    // the other location; visit it.
-    s = c->node(second->owner())->Read(txn, second, key, out);
+    // the other location; visit it. A down owner (crashed node) is treated
+    // like a miss — the secondary may hold the data, and once recovery
+    // remaps the range the retry succeeds there.
+    const Status retry = c->node(second->owner())->Read(txn, second, key, out);
     c->ChargeClientHop(txn, second->owner(), 96,
-                       32 + (s.ok() ? out->StoredSize() : 0));
+                       32 + (retry.ok() ? out->StoredSize() : 0));
+    // A dead primary and a missing secondary is "unreachable", not
+    // "absent": the key may well exist on the downed node.
+    if (!(s.IsUnavailable() && retry.IsNotFound())) s = retry;
   }
   return s;
 }
@@ -29,9 +34,10 @@ Status RoutedUpdate(Cluster* c, tx::Txn* txn, TableId table, Key key,
   if (part == nullptr) return Status::NotFound("no route");
   c->ChargeClientHop(txn, part->owner(), 96 + payload.size(), 32);
   Status s = c->node(part->owner())->Update(txn, part, key, payload);
-  if (s.IsNotFound() && second != nullptr) {
+  if ((s.IsNotFound() || s.IsUnavailable()) && second != nullptr) {
     c->ChargeClientHop(txn, second->owner(), 96 + payload.size(), 32);
-    s = c->node(second->owner())->Update(txn, second, key, payload);
+    const Status retry = c->node(second->owner())->Update(txn, second, key, payload);
+    if (!(s.IsUnavailable() && retry.IsNotFound())) s = retry;
   }
   return s;
 }
@@ -49,9 +55,10 @@ Status RoutedDelete(Cluster* c, tx::Txn* txn, TableId table, Key key) {
   if (part == nullptr) return Status::NotFound("no route");
   c->ChargeClientHop(txn, part->owner(), 96, 32);
   Status s = c->node(part->owner())->Delete(txn, part, key);
-  if (s.IsNotFound() && second != nullptr) {
+  if ((s.IsNotFound() || s.IsUnavailable()) && second != nullptr) {
     c->ChargeClientHop(txn, second->owner(), 96, 32);
-    s = c->node(second->owner())->Delete(txn, second, key);
+    const Status retry = c->node(second->owner())->Delete(txn, second, key);
+    if (!(s.IsUnavailable() && retry.IsNotFound())) s = retry;
   }
   return s;
 }
@@ -122,7 +129,9 @@ Status RoutedMultiRead(Cluster* c, tx::Txn* txn, TableId table,
   // other location. Stragglers are retried one by one — they missed the
   // batch and pay their own hop.
   for (size_t i = 0; i < keys.size(); ++i) {
-    if (routes[i].second == nullptr || !(*out)[i].status().IsNotFound()) {
+    const Status primary_status = (*out)[i].status();
+    if (routes[i].second == nullptr ||
+        !(primary_status.IsNotFound() || primary_status.IsUnavailable())) {
       continue;
     }
     storage::Record rec;
@@ -165,12 +174,17 @@ Status RoutedMultiWrite(Cluster* c, tx::Txn* txn, TableId table,
       const Key key = kvs[i].key;
       const std::vector<uint8_t>& payload = kvs[i].payload;
       Status s = c->node(owner)->Update(txn, routes[i].part, key, payload);
-      if (s.IsNotFound() && routes[i].second != nullptr) {
+      if ((s.IsNotFound() || s.IsUnavailable()) &&
+          routes[i].second != nullptr) {
         // §4.3 straggler: the record already moved; re-ship the payload.
         const NodeId second_owner = routes[i].second->owner();
         c->ChargeClientHop(txn, second_owner, 96 + payload.size(), 32);
         ++local.straggler_retries;
-        s = c->node(second_owner)->Update(txn, routes[i].second, key, payload);
+        const Status retry =
+            c->node(second_owner)->Update(txn, routes[i].second, key, payload);
+        // An unreachable primary stays Unavailable (never NotFound, which
+        // would fall through to the insert tail and shadow the dead copy).
+        if (!(s.IsUnavailable() && retry.IsNotFound())) s = retry;
       }
       if (s.IsNotFound()) {
         // Upsert tail: insert at the currently-routed location (which may

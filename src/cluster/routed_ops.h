@@ -15,7 +15,11 @@ namespace wattdb::cluster {
 /// (table, key) with the two-pointer protocol, charge the master<->owner
 /// network hop, run the operation on the owner node, and — for reads,
 /// updates, and deletes — retry on the secondary location while a move is in
-/// flight ("queries are advised to visit both", §4.3). These are the only
+/// flight ("queries are advised to visit both", §4.3). A crashed owner
+/// surfaces as Unavailable: the secondary is tried first (mid-move the data
+/// may already live there), and Unavailable is returned only when no live
+/// location holds the key — callers retry after the master remaps or the
+/// node recovers (src/fault). These are the only
 /// sanctioned way for workload drivers and the facade API to touch records;
 /// they keep catalog::Partition handles out of caller code.
 ///

@@ -1,0 +1,119 @@
+#ifndef WATTDB_FAULT_FAULT_INJECTOR_H_
+#define WATTDB_FAULT_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/master.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "fault/recovery_manager.h"
+
+namespace wattdb::fault {
+
+/// A declarative crash schedule, built fluently and handed to
+/// DbOptions::WithFaultPlan (or armed directly on the injector):
+///
+///   fault::FaultPlan()
+///       .CrashAt(NodeId(1), 20 * kUsPerSec, /*restart_after=*/5 * kUsPerSec)
+///       .CrashEvery(NodeId(2), 60 * kUsPerSec, 5 * kUsPerSec)
+///       .CrashAtMigrationProgress(NodeId(3), 0.5, 10 * kUsPerSec);
+struct FaultPlan {
+  struct Crash {
+    NodeId node;
+    /// Absolute simulated crash time (the first one when periodic).
+    SimTime at = 0;
+    /// > 0: re-crash every `period` after the first crash.
+    SimTime period = 0;
+    /// In [0, 1]: ignore `at` and crash when the active rebalance's task
+    /// progress first reaches this fraction ("crash node X at migration
+    /// progress p%"); < 0 disables the trigger.
+    double at_migration_progress = -1.0;
+    /// > 0: automatically restart (and redo-recover) this long after each
+    /// crash; 0 leaves the node down until Db::RestartNode.
+    SimTime restart_after = 0;
+  };
+
+  std::vector<Crash> crashes;
+
+  FaultPlan& CrashAt(NodeId node, SimTime at, SimTime restart_after = 0) {
+    Crash c;
+    c.node = node;
+    c.at = at;
+    c.restart_after = restart_after;
+    crashes.push_back(c);
+    return *this;
+  }
+  FaultPlan& CrashEvery(NodeId node, SimTime period, SimTime restart_after) {
+    Crash c;
+    c.node = node;
+    c.at = period;
+    c.period = period;
+    c.restart_after = restart_after;
+    crashes.push_back(c);
+    return *this;
+  }
+  FaultPlan& CrashAtMigrationProgress(NodeId node, double fraction,
+                                      SimTime restart_after = 0) {
+    Crash c;
+    c.node = node;
+    c.at_migration_progress = fraction;
+    c.restart_after = restart_after;
+    crashes.push_back(c);
+    return *this;
+  }
+
+  bool empty() const { return crashes.empty(); }
+};
+
+/// Schedules node failures on the simulated event loop and hands them to
+/// the RecoveryManager: one-shot crashes, periodic crash/restart churn, and
+/// migration-progress triggers that poll the active scheme's RebalanceStats
+/// and fire the moment task progress crosses the requested fraction.
+class FaultInjector {
+ public:
+  /// `scheme` may be null; progress triggers then never fire.
+  FaultInjector(cluster::Cluster* cluster, RecoveryManager* recovery,
+                cluster::Repartitioner* scheme);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Schedule every crash of `plan`. Validate with FaultPlan checks in
+  /// Db::Open first — Arm trusts its input.
+  void Arm(const FaultPlan& plan);
+
+  /// Schedule one crash spec.
+  void Schedule(const FaultPlan::Crash& spec);
+
+  /// Cancel all pending injections (already-crashed nodes stay down; their
+  /// pending auto-restarts still run so the cluster is not left wedged).
+  void Disarm() { ++generation_; }
+
+  /// Callback invoked after every injected restart finishes recovery.
+  void set_on_recovered(std::function<void(const RecoveryReport&)> cb) {
+    on_recovered_ = std::move(cb);
+  }
+
+  int crashes_injected() const { return crashes_injected_; }
+  int restarts_injected() const { return restarts_injected_; }
+
+ private:
+  void Fire(FaultPlan::Crash spec, uint64_t generation);
+  void PollProgress(FaultPlan::Crash spec, uint64_t generation);
+
+  cluster::Cluster* cluster_;
+  RecoveryManager* recovery_;
+  cluster::Repartitioner* scheme_;
+  std::function<void(const RecoveryReport&)> on_recovered_;
+  /// Bumped by Disarm(); events from older generations become no-ops.
+  uint64_t generation_ = 0;
+  int crashes_injected_ = 0;
+  int restarts_injected_ = 0;
+};
+
+}  // namespace wattdb::fault
+
+#endif  // WATTDB_FAULT_FAULT_INJECTOR_H_

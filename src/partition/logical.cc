@@ -31,6 +31,21 @@ void LogicalPartitioning::MoveBatch(const MoveTask& task, PartitionId dst_id,
   cluster::Node* dst_node = cluster_->node(task.dst_node);
   WATTDB_CHECK(src != nullptr && dst != nullptr);
 
+  // A batch runs to completion inside one event, so a crash can only land
+  // between batches: check endpoint liveness here and abandon the task if
+  // either node died. The records moved by earlier batches stay reachable
+  // through the BeginMove two-pointer entry, which is deliberately kept —
+  // after the dead node restarts, reads resolve at the secondary again.
+  if (!src_node->IsActive() || !dst_node->IsActive()) {
+    ++stats_.tasks_failed;
+    WATTDB_INFO("migration: logical move of range [" << task.range.lo << ", "
+                                                     << task.range.hi
+                                                     << ") abandoned "
+                                                        "(endpoint crashed)");
+    next();
+    return;
+  }
+
   // One system transaction per batch: scan, delete at source, re-insert at
   // target. Records are locked X while moving — MVCC readers keep reading
   // old versions, MGL-RX readers block (the Fig. 3 contrast).
@@ -38,12 +53,22 @@ void LogicalPartitioning::MoveBatch(const MoveTask& task, PartitionId dst_id,
                                       /*system=*/true);
   std::vector<storage::Record> batch;
   batch.reserve(config_.logical_batch_records);
-  (void)src_node->ScanRange(sys, src, KeyRange{cursor, task.range.hi},
-                            [&](const storage::Record& rec) {
-                              batch.push_back(rec);
-                              return batch.size() <
-                                     config_.logical_batch_records;
-                            });
+  const Status scanned =
+      src_node->ScanRange(sys, src, KeyRange{cursor, task.range.hi},
+                          [&](const storage::Record& rec) {
+                            batch.push_back(rec);
+                            return batch.size() <
+                                   config_.logical_batch_records;
+                          });
+  if (!scanned.ok()) {
+    // Defensive: an unreadable source must abandon the task, never
+    // finalize it (finalizing would flip routing away from unmoved data).
+    cluster_->AbortTxn(sys);
+    cluster_->tm().Release(sys->id);
+    ++stats_.tasks_failed;
+    next();
+    return;
+  }
   if (batch.empty()) {
     cluster_->tm().Commit(sys);
     cluster_->tm().Release(sys->id);
@@ -69,7 +94,17 @@ void LogicalPartitioning::MoveBatch(const MoveTask& task, PartitionId dst_id,
     sys->net_us += shipped - sys->now;
     sys->AdvanceTo(shipped);
     const Status ins = dst_node->Insert(sys, dst, rec.key, rec.payload);
-    WATTDB_CHECK_MSG(ins.ok(), "re-insert failed: " << ins.ToString());
+    if (!ins.ok()) {
+      // Target unreachable (or refused) mid-batch: roll the whole batch
+      // back — the deletes at the source and the inserts already applied at
+      // the target are undone — and abandon the task.
+      cluster_->AbortTxn(sys);
+      cluster_->tm().Release(sys->id);
+      ++stats_.tasks_failed;
+      WATTDB_INFO("migration: logical batch rolled back: " << ins.ToString());
+      next();
+      return;
+    }
     ++stats_.records_moved;
   }
   stats_.bytes_shipped += static_cast<int64_t>(batch_bytes);

@@ -154,10 +154,29 @@ void MigrationManagerBase::StartTasks(std::vector<MoveTask> tasks,
   stats_ = MigrationStats{};
   stats_.running = true;
   stats_.started_at = cluster_->Now();
+  stats_.tasks_planned = static_cast<int64_t>(tasks.size());
   done_ = std::move(done);
   queue_.assign(tasks.begin(), tasks.end());
   WATTDB_INFO("migration: " << queue_.size() << " move tasks planned");
   RunNextTask();
+}
+
+void MigrationManagerBase::OnNodeFailure(NodeId down) {
+  if (!stats_.running) return;
+  const size_t before = queue_.size();
+  queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
+                              [down](const MoveTask& t) {
+                                return t.src_node == down || t.dst_node == down;
+                              }),
+               queue_.end());
+  const size_t dropped = before - queue_.size();
+  stats_.tasks_failed += static_cast<int64_t>(dropped);
+  if (dropped > 0) {
+    WATTDB_INFO("migration: node " << down.value() << " failed, abandoning "
+                                   << dropped << " queued task(s)");
+  }
+  // The in-flight task (if any) aborts itself at the next chunk boundary
+  // and pulls the next task, which keeps the queue draining to FinishAll.
 }
 
 void MigrationManagerBase::RunNextTask() {
@@ -208,6 +227,15 @@ void MigrationManagerBase::StreamBytes(
   std::weak_ptr<std::function<void()>> weak_step = step;
   *step = [this, remaining, weak_step, src, dst, src_disk, dst_disk, src_node,
            dst_node, done = std::move(done)]() {
+    if (!src_node->IsActive() || !dst_node->IsActive()) {
+      // An endpoint crashed mid-copy: abandon the stream. The chunks
+      // already shipped are wasted work (they stay in bytes_shipped); the
+      // caller sees nullptr and must leave the segment at the source.
+      src_node->buffer().ReleaseMaintenancePins(config_.pin_pages_per_stream);
+      dst_node->buffer().ReleaseMaintenancePins(config_.pin_pages_per_stream);
+      done(nullptr);
+      return;
+    }
     if (*remaining == 0) {
       src_node->buffer().ReleaseMaintenancePins(config_.pin_pages_per_stream);
       dst_node->buffer().ReleaseMaintenancePins(config_.pin_pages_per_stream);

@@ -60,6 +60,13 @@ class MigrationManagerBase : public cluster::Repartitioner {
   Status Drain(NodeId victim, std::function<void()> done) override;
   bool InProgress() const override { return stats_.running; }
 
+  /// Crash notification: queued tasks whose source or target is `down` are
+  /// abandoned (counted in stats().tasks_failed); the in-flight copy, if
+  /// any, aborts at its next chunk boundary via the liveness check in
+  /// StreamBytes. The rebalance still completes (and fires `done`) with
+  /// whatever tasks survived.
+  void OnNodeFailure(NodeId down) override;
+
   const MigrationStats& stats() const override { return stats_; }
   const MigrationConfig& config() const { return config_; }
 
@@ -100,7 +107,9 @@ class MigrationManagerBase : public cluster::Repartitioner {
   /// Chunked byte shipping: schedules events that stream
   /// `bytes * cost_scale` from src disk through the network to a dst disk,
   /// then invokes `done` at the completion time. Maintenance pins are held
-  /// on both buffer managers while streaming.
+  /// on both buffer managers while streaming. If either endpoint crashes
+  /// mid-stream, the copy aborts at the next chunk boundary and `done`
+  /// receives nullptr — the caller must not install the move.
   void StreamBytes(SegmentId seg, NodeId src, NodeId dst, size_t bytes,
                    std::function<void(hw::Disk* dst_disk)> done);
 

@@ -16,6 +16,13 @@ void PhysicalPartitioning::ExecuteTask(const MoveTask& task,
   // The maintenance pins inside StreamBytes model that latch pressure.
   StreamBytes(task.segment, task.src_node, task.dst_node, seg->DiskBytes(),
               [this, task, next = std::move(next)](hw::Disk* dst_disk) {
+                if (dst_disk == nullptr) {
+                  // An endpoint crashed mid-copy; the bytes stay where they
+                  // were and the task is abandoned.
+                  ++stats_.tasks_failed;
+                  next();
+                  return;
+                }
                 storage::Segment* seg = cluster_->segments().Get(task.segment);
                 WATTDB_CHECK(seg != nullptr);
                 // Bytes now live on the target node; the owner is unchanged

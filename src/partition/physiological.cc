@@ -29,6 +29,14 @@ void PhysiologicalPartitioning::ExecuteTask(const MoveTask& task,
     next();
     return;
   }
+  if (!cluster_->node(task.src_node)->IsActive() ||
+      !cluster_->node(task.dst_node)->IsActive()) {
+    // An endpoint died between planning and execution: abandon before
+    // registering anything with the master.
+    ++stats_.tasks_failed;
+    next();
+    return;
+  }
   const PartitionId dst_id = DstPartitionFor(task.table, task.dst_node, task.range.lo);
   catalog::Partition* dst = cat.GetPartition(dst_id);
   WATTDB_CHECK(dst != nullptr);
@@ -76,6 +84,26 @@ void PhysiologicalPartitioning::ExecuteTask(const MoveTask& task,
                   catalog::Partition* dst = cat.GetPartition(dst_id);
                   storage::Segment* seg = cluster_->segments().Get(task.segment);
                   const SimTime now = cluster_->Now();
+
+                  if (dst_disk == nullptr) {
+                    // Source or target crashed mid-copy. Nothing installed:
+                    // the segment (and every committed record in it) is
+                    // still wholly at the source, so the move is simply
+                    // rolled off the master's books (§4.3 two-pointer entry
+                    // removed) and the source partition reopens to writers.
+                    WATTDB_CHECK(
+                        cat.AbortMove(task.table, task.range, dst_id).ok());
+                    if (src != nullptr) {
+                      src->set_forward_to(PartitionId::Invalid());
+                      src->set_state(catalog::PartitionState::kNormal);
+                    }
+                    ++stats_.tasks_failed;
+                    WATTDB_INFO("migration: move of segment "
+                                << task.segment.value()
+                                << " aborted (endpoint crashed)");
+                    next();
+                    return;
+                  }
 
                   // (4) Install: only the two top indexes change (§4.3 —
                   // "moving a segment ... does not invalidate the

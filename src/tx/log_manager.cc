@@ -62,6 +62,35 @@ std::vector<LogRecord> LogManager::Tail(uint64_t from_lsn) const {
   return out;
 }
 
+uint64_t LogManager::LastCheckpointLsn(PartitionId partition) const {
+  uint64_t lsn = 0;
+  for (const LogRecord& r : records_) {
+    if (r.type == LogRecordType::kCheckpoint && r.partition == partition) {
+      lsn = r.lsn;
+    }
+  }
+  return lsn;
+}
+
+std::vector<LogRecord> LogManager::TailAfter(PartitionId partition) const {
+  const uint64_t from_lsn = LastCheckpointLsn(partition);
+  std::vector<LogRecord> out;
+  for (const LogRecord& r : records_) {
+    if (r.lsn > from_lsn && r.partition == partition) out.push_back(r);
+  }
+  return out;
+}
+
+SimTime LogManager::ChargeReplayRead(SimTime now, size_t bytes) {
+  if (bytes == 0) return now;
+  if (helper_node_.valid() && helper_disk_ != nullptr) {
+    // The log lives at the helper: read it there and ship it back.
+    const SimTime read_done = helper_disk_->AccessSequential(now, bytes);
+    return network_->Transfer(read_done, helper_node_, node_, bytes);
+  }
+  return log_disk_->AccessSequential(now, bytes);
+}
+
 void LogManager::TruncateUpTo(uint64_t lsn) {
   records_.erase(std::remove_if(records_.begin(), records_.end(),
                                 [&](const LogRecord& r) { return r.lsn <= lsn; }),

@@ -70,6 +70,23 @@ class LogManager {
 
   /// Records with lsn > `from_lsn`, for recovery and tests.
   std::vector<LogRecord> Tail(uint64_t from_lsn) const;
+
+  /// The redo tail of one partition: its records with lsn greater than its
+  /// last `kCheckpoint` record (a completed partition move acts as a
+  /// checkpoint, §4.3 — everything before it is already durable in the
+  /// moved segments). The whole log when no checkpoint names the partition;
+  /// empty when nothing was logged after the checkpoint.
+  std::vector<LogRecord> TailAfter(PartitionId partition) const;
+
+  /// LSN of the last `kCheckpoint` record naming `partition` (0 if none) —
+  /// the redo lower bound used by TailAfter.
+  uint64_t LastCheckpointLsn(PartitionId partition) const;
+
+  /// Charge a sequential read of `bytes` from wherever the log lives (the
+  /// local log disk, or the helper's disk while shipping): the I/O cost of
+  /// scanning the tail during crash recovery.
+  SimTime ChargeReplayRead(SimTime now, size_t bytes);
+
   const std::vector<LogRecord>& records() const { return records_; }
 
   /// Truncate everything up to `lsn` (checkpointing after a partition move

@@ -59,6 +59,11 @@ void KvWorkload::Start() {
   if (running_) return;
   WATTDB_CHECK_MSG(loaded_, "KvWorkload::Start() before Load()");
   running_ = true;
+  if (config_.arrival_qps > 0.0) {
+    // Open loop: one Poisson arrival process, paced by the qps knob alone.
+    ArrivalLoop();
+    return;
+  }
   for (int i = 0; i < config_.num_clients; ++i) {
     // Stagger initial arrivals across one think interval so the pool does
     // not thunder in lock-step.
@@ -68,14 +73,13 @@ void KvWorkload::Start() {
   }
 }
 
-void KvWorkload::ClientLoop(int idx) {
-  if (!running_) return;
-  Rng* rng = rngs_[idx].get();
+SimTime KvWorkload::RunOnce(Rng* rng) {
   const bool updater = rng->UniformDouble() >= config_.read_ratio;
 
   std::vector<Key> keys(static_cast<size_t>(config_.batch_size));
   for (Key& k : keys) k = NextKey(rng);
 
+  ++issued_;
   TxnHandle txn = session_.Begin(/*read_only=*/!updater);
   Status status;
   int64_t ops = 0;
@@ -90,6 +94,14 @@ void KvWorkload::ClientLoop(int idx) {
         ops = r->oks();
         owner_round_trips_ += r->stats.owner_round_trips;
         straggler_retries_ += r->stats.straggler_retries;
+        // An owner down mid-batch fails its keys with Unavailable; treat
+        // the transaction as aborted so the dip shows in committed().
+        for (const Status& s : r->statuses) {
+          if (!s.ok() && !s.IsNotFound()) {
+            status = s;
+            break;
+          }
+        }
       }
     } else {
       for (const KeyValue& kv : kvs) {
@@ -106,6 +118,12 @@ void KvWorkload::ClientLoop(int idx) {
         ops = r->hits();
         owner_round_trips_ += r->stats.owner_round_trips;
         straggler_retries_ += r->stats.straggler_retries;
+        for (const auto& rec : r->records) {
+          if (!rec.ok() && !rec.status().IsNotFound()) {
+            status = rec.status();
+            break;
+          }
+        }
       }
     } else {
       for (Key k : keys) {
@@ -123,7 +141,6 @@ void KvWorkload::ClientLoop(int idx) {
 
   if (status.ok()) status = txn.Commit();
   if (!status.ok()) txn.Abort();
-  const SimTime completed_at = txn.completed_at();
   if (status.ok()) {
     ++committed_;
     key_ops_ += ops;
@@ -131,10 +148,29 @@ void KvWorkload::ClientLoop(int idx) {
   } else {
     ++aborted_;
   }
+  return txn.completed_at();
+}
 
+void KvWorkload::ClientLoop(int idx) {
+  if (!running_) return;
+  Rng* rng = rngs_[idx].get();
+  const SimTime completed_at = RunOnce(rng);
   const SimTime think = static_cast<SimTime>(
       rng->Exponential(static_cast<double>(config_.think_time)));
   events_->ScheduleAt(completed_at + think, [this, idx]() { ClientLoop(idx); });
+}
+
+void KvWorkload::ArrivalLoop() {
+  if (!running_) return;
+  Rng* rng = rngs_[0].get();
+  // Schedule the next arrival *before* running this one: the offered rate
+  // must not depend on how long the transaction takes.
+  const SimTime gap = std::max<SimTime>(
+      1, static_cast<SimTime>(
+             rng->Exponential(static_cast<double>(kUsPerSec) /
+                              config_.arrival_qps)));
+  events_->ScheduleAfter(gap, [this]() { ArrivalLoop(); });
+  (void)RunOnce(rng);
 }
 
 }  // namespace wattdb::workload

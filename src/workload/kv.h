@@ -37,6 +37,11 @@ struct KvConfig {
   size_t value_bytes = 100;
   /// 0 = uniform key choice; otherwise Zipf skew over the key space.
   double zipf_theta = 0.0;
+  /// > 0: open-loop mode — transactions arrive as a Poisson process at this
+  /// rate regardless of completions (fixed *offered* load; the crash benches
+  /// use it to measure the committed-throughput dip during an outage).
+  /// 0 = closed loop: `num_clients` clients separated by `think_time`.
+  double arrival_qps = 0.0;
   uint64_t seed = 2024;
 };
 
@@ -62,6 +67,7 @@ class KvWorkload : public WorkloadDriver {
   void ResetStats() override {
     committed_ = 0;
     aborted_ = 0;
+    issued_ = 0;
     key_ops_ = 0;
     owner_round_trips_ = 0;
     straggler_retries_ = 0;
@@ -71,6 +77,9 @@ class KvWorkload : public WorkloadDriver {
   /// Per-key operations inside committed transactions (committed() counts
   /// transactions; a batch of 8 keys counts 8 key ops).
   int64_t key_ops() const { return key_ops_; }
+  /// Transactions issued since the last ResetStats() — in open-loop mode
+  /// the offered load, vs. committed()+aborted() actually finished.
+  int64_t issued() const { return issued_; }
   /// Master<->owner round trips charged by batched ops so far.
   int64_t owner_round_trips() const { return owner_round_trips_; }
   /// §4.3 second-location retries batches had to take mid-move.
@@ -80,6 +89,10 @@ class KvWorkload : public WorkloadDriver {
 
  private:
   void ClientLoop(int idx);
+  void ArrivalLoop();
+  /// One transaction (read or update batch per `config_`); returns its
+  /// completion time on the submitting client's private clock.
+  SimTime RunOnce(Rng* rng);
   Key NextKey(Rng* rng) const;
   std::vector<uint8_t> MakeValue(Rng* rng) const;
 
@@ -93,6 +106,7 @@ class KvWorkload : public WorkloadDriver {
 
   int64_t committed_ = 0;
   int64_t aborted_ = 0;
+  int64_t issued_ = 0;
   int64_t key_ops_ = 0;
   int64_t owner_round_trips_ = 0;
   int64_t straggler_retries_ = 0;

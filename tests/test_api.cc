@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -560,6 +561,250 @@ TEST(Session, MultiGetMidMigrationReturnsEveryKeyExactlyOnce) {
   // move, or the move finished without a batch landing mid-window; both are
   // legal, but record the count so regressions in retry charging show up.
   EXPECT_GE(stragglers, 0);
+}
+
+TEST(Fault, CrashAndRestartValidateArguments) {
+  auto opened = Db::Open(SmallOptions());
+  ASSERT_TRUE(opened.ok());
+  Db& db = **opened;
+
+  EXPECT_TRUE(db.CrashNode(NodeId(0)).IsInvalidArgument());  // The master.
+  EXPECT_TRUE(db.CrashNode(NodeId(99)).IsNotFound());
+  EXPECT_TRUE(db.CrashNode(NodeId(2)).IsFailedPrecondition());  // Standby.
+  EXPECT_TRUE(db.RestartNode(NodeId(1)).IsFailedPrecondition());  // Active.
+
+  ASSERT_TRUE(db.CrashNode(NodeId(1)).ok());
+  EXPECT_TRUE(db.recovery().IsDown(NodeId(1)));
+  EXPECT_TRUE(db.CrashNode(NodeId(1)).IsFailedPrecondition());  // Down.
+
+  const StatusOr<fault::RecoveryReport> report =
+      db.RestartNodeAndWait(NodeId(1));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(db.recovery().IsDown(NodeId(1)));
+  EXPECT_EQ(db.recovery().crashes(), 1);
+  EXPECT_EQ(db.recovery().recoveries(), 1);
+}
+
+TEST(DbOptions, ValidatesFaultPlan) {
+  // A crash target outside the cluster fails Open up front.
+  auto bad_node = Db::Open(SmallOptions().WithFaultPlan(
+      fault::FaultPlan().CrashAt(NodeId(9), kUsPerSec)));
+  ASSERT_FALSE(bad_node.ok());
+  EXPECT_TRUE(bad_node.status().IsInvalidArgument());
+
+  // The master is never a legal crash target.
+  auto master = Db::Open(SmallOptions().WithFaultPlan(
+      fault::FaultPlan().CrashAt(NodeId(0), kUsPerSec)));
+  ASSERT_FALSE(master.ok());
+  EXPECT_TRUE(master.status().IsInvalidArgument());
+  EXPECT_NE(master.status().message().find("master"), std::string::npos);
+
+  // Progress fractions outside [0, 1] are rejected (a typo'd negative
+  // fraction must not degrade into a crash at t=0).
+  auto bad_frac = Db::Open(SmallOptions().WithFaultPlan(
+      fault::FaultPlan().CrashAtMigrationProgress(NodeId(1), 1.5)));
+  ASSERT_FALSE(bad_frac.ok());
+  EXPECT_TRUE(bad_frac.status().IsInvalidArgument());
+  auto neg_frac = Db::Open(SmallOptions().WithFaultPlan(
+      fault::FaultPlan().CrashAtMigrationProgress(NodeId(1), -0.3)));
+  ASSERT_FALSE(neg_frac.ok());
+  EXPECT_TRUE(neg_frac.status().IsInvalidArgument());
+}
+
+TEST(Fault, CrashedOwnerIsUnavailableAndRedoRecoversItsWrites) {
+  auto opened = Db::Open(DbOptions()
+                             .WithNodes(4)
+                             .WithActiveNodes(2)
+                             .WithoutTpccLoad());
+  ASSERT_TRUE(opened.ok());
+  Db& db = **opened;
+  Session session = db.OpenSession();
+  // [0, 512) lives on the master, [512, 1024) on node 1.
+  StatusOr<TableId> table = db.CreateKvTable("t", 64, 1024);
+  ASSERT_TRUE(table.ok());
+  for (Key k = 600; k < 616; ++k) {
+    ASSERT_TRUE(session.Put(*table, k, std::vector<uint8_t>(64, 0xAA)).ok());
+  }
+  ASSERT_TRUE(session.Put(*table, 42, std::vector<uint8_t>(64, 0xBB)).ok());
+
+  ASSERT_TRUE(db.CrashNode(NodeId(1)).ok());
+
+  // Routed single ops on the dead owner surface Unavailable; other owners
+  // keep serving.
+  EXPECT_TRUE(session.Get(*table, 600).status().IsUnavailable());
+  EXPECT_TRUE(
+      session.Put(*table, 600, std::vector<uint8_t>(64, 1)).IsUnavailable());
+  EXPECT_TRUE(session.Get(*table, 42).ok());
+
+  // Batches fail only the dead owner's keys, each reported per slot.
+  StatusOr<MultiGetResult> batch = session.MultiGet(*table, {42, 600, 601});
+  ASSERT_TRUE(batch.ok());
+  EXPECT_TRUE(batch->records[0].ok());
+  EXPECT_TRUE(batch->records[1].status().IsUnavailable());
+  EXPECT_TRUE(batch->records[2].status().IsUnavailable());
+
+  // Restart: the crash wiped the unflushed inserts; redo must rebuild them
+  // from the WAL tail (§4.3: the log reconstructs partitions).
+  const StatusOr<fault::RecoveryReport> report =
+      db.RestartNodeAndWait(NodeId(1));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GE(report->partitions_recovered, 1);
+  EXPECT_GE(report->records_lost_at_crash, 16);
+  EXPECT_GE(report->records_replayed, report->records_lost_at_crash);
+  EXPECT_GT(report->tail_bytes, 0u);
+  EXPECT_GT(report->redo_us, 0);
+  EXPECT_GE(report->outage_us, report->redo_us);
+
+  StatusOr<MultiGetResult> after = session.MultiGet(
+      *table, std::vector<Key>{600, 601, 602, 615});
+  ASSERT_TRUE(after.ok());
+  for (const auto& rec : after->records) {
+    ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+    EXPECT_EQ(rec->payload, std::vector<uint8_t>(64, 0xAA));
+  }
+}
+
+TEST(Fault, CrashMigrationTargetAtHalfProgressThenRecover) {
+  // The tentpole scenario: crash the migration target at 50% task
+  // progress, restart it, redo-replay the log tail — and every key must
+  // come out exactly once with its last committed value.
+  auto opened = Db::Open(SmallOptions());  // Physiological scheme.
+  ASSERT_TRUE(opened.ok());
+  Db& db = **opened;
+  Session session = db.OpenSession();
+  const TableId customer = db.table(workload::TpccTable::kCustomer);
+  const int64_t per_district = db.tpcc()->customers_per_district();
+
+  std::vector<Key> keys;
+  for (int64_t c = 1; c <= per_district; ++c) {
+    keys.push_back(workload::TpccKeys::Customer(1, 1, c));
+  }
+
+  // Crash node 2 (a migration target) once half the planned moves are done.
+  fault::FaultPlan::Crash spec;
+  spec.node = NodeId(2);
+  spec.at_migration_progress = 0.5;
+  db.fault().Schedule(spec);
+
+  bool done = false;
+  ASSERT_TRUE(
+      db.TriggerRebalance({NodeId(2), NodeId(3)}, 0.5, [&]() { done = true; })
+          .ok());
+
+  // Keep writing while the move and the crash play out; a write either
+  // commits (and is the new expected value) or fails Unavailable on the
+  // dead target and changes nothing.
+  std::vector<uint8_t> expected(keys.size(), 0);
+  uint8_t round = 0;
+  const SimTime t0 = db.Now();
+  while (!done && db.Now() < t0 + 600 * kUsPerSec) {
+    db.RunFor(kUsPerSec / 2);
+    ++round;
+    for (size_t i = 0; i < keys.size(); ++i) {
+      const Status put =
+          session.Put(customer, keys[i], std::vector<uint8_t>(64, round));
+      ASSERT_TRUE(put.ok() || put.IsUnavailable()) << put.ToString();
+      if (put.ok()) expected[i] = round;
+    }
+  }
+  EXPECT_TRUE(done) << "migration did not finish after the crash";
+  EXPECT_EQ(db.fault().crashes_injected(), 1);
+  EXPECT_TRUE(db.recovery().IsDown(NodeId(2)));
+  const auto& stats = db.scheme().stats();
+  EXPECT_TRUE(stats.tasks_failed > 0 ||
+              stats.segments_moved == stats.tasks_planned);
+
+  // Restart the target and redo-replay its log tail.
+  const StatusOr<fault::RecoveryReport> report =
+      db.RestartNodeAndWait(NodeId(2));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GE(report->partitions_recovered, 1);
+
+  // Exactly once, with the last committed value: every key resolves, slot
+  // i answers key i, and the payload is the last acknowledged write.
+  StatusOr<MultiGetResult> after = session.MultiGet(customer, keys);
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(after->records.size(), keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(after->records[i].ok())
+        << "key " << keys[i] << ": " << after->records[i].status().ToString();
+    EXPECT_EQ(after->records[i]->key, keys[i]);
+    if (expected[i] != 0) {
+      EXPECT_EQ(after->records[i]->payload, std::vector<uint8_t>(64, expected[i]))
+          << "key " << keys[i] << " lost its last committed write";
+    }
+  }
+
+  // No key is reachable twice: a full scan sees each customer key once.
+  std::set<Key> seen;
+  const StatusOr<int64_t> visited = session.Scan(
+      customer, KeyRange{keys.front(), keys.back() + 1},
+      [&](const storage::Record& r) {
+        EXPECT_TRUE(seen.insert(r.key).second)
+            << "key " << r.key << " surfaced twice after recovery";
+        return true;
+      });
+  ASSERT_TRUE(visited.ok());
+  EXPECT_EQ(seen.size(), keys.size());
+  EXPECT_TRUE(db.cluster().catalog().CheckInvariants());
+}
+
+TEST(Fault, FaultPlanInjectsCrashAndAutoRestart) {
+  auto opened = Db::Open(DbOptions()
+                             .WithNodes(4)
+                             .WithActiveNodes(2)
+                             .WithoutTpccLoad()
+                             .WithFaultPlan(fault::FaultPlan().CrashAt(
+                                 NodeId(1), 2 * kUsPerSec,
+                                 /*restart_after=*/3 * kUsPerSec)));
+  ASSERT_TRUE(opened.ok());
+  Db& db = **opened;
+  StatusOr<TableId> table = db.CreateKvTable("t", 64, 1024);
+  ASSERT_TRUE(table.ok());
+  Session session = db.OpenSession();
+  ASSERT_TRUE(session.Put(*table, 700, std::vector<uint8_t>(64, 0x7)).ok());
+
+  db.RunFor(4 * kUsPerSec);  // Past the crash, mid-downtime.
+  EXPECT_EQ(db.fault().crashes_injected(), 1);
+  EXPECT_TRUE(db.recovery().IsDown(NodeId(1)));
+  EXPECT_TRUE(session.Get(*table, 700).status().IsUnavailable());
+
+  db.RunFor(16 * kUsPerSec);  // Past boot + redo.
+  EXPECT_EQ(db.fault().restarts_injected(), 1);
+  EXPECT_FALSE(db.recovery().IsDown(NodeId(1)));
+  ASSERT_EQ(db.recovery().reports().size(), 1u);
+  EXPECT_TRUE(session.Get(*table, 700).ok());
+}
+
+TEST(Workload, OpenLoopKvHoldsOfferedRate) {
+  // Open loop: arrivals are paced by the qps knob alone — the (absurd)
+  // think time would throttle a closed loop to a crawl, but must not
+  // matter here.
+  auto opened = Db::Open(DbOptions()
+                             .WithNodes(4)
+                             .WithActiveNodes(2)
+                             .WithSeed(5)
+                             .WithoutTpccLoad());
+  ASSERT_TRUE(opened.ok());
+  Db& db = **opened;
+  workload::KvConfig cfg;
+  cfg.arrival_qps = 200.0;
+  cfg.think_time = 10 * kUsPerSec;
+  cfg.batch_size = 4;
+  cfg.num_keys = 512;
+  cfg.seed = 5;
+  auto kv = db.AddKvWorkload(cfg);
+  ASSERT_TRUE(kv.ok()) << kv.status().ToString();
+
+  (*kv)->Start();
+  db.RunFor(10 * kUsPerSec);
+  (*kv)->Stop();
+
+  // ~2000 Poisson arrivals in 10 s at 200 qps (sd ~ 45).
+  EXPECT_GT((*kv)->issued(), 1700);
+  EXPECT_LT((*kv)->issued(), 2300);
+  EXPECT_GT((*kv)->committed(), 0);
+  EXPECT_LE((*kv)->committed() + (*kv)->aborted(), (*kv)->issued());
 }
 
 TEST(Workload, DriversAttachThroughCommonInterface) {

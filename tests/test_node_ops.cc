@@ -282,6 +282,102 @@ TEST_F(NodeOpsTest, RedoRebuildsPartition) {
   EXPECT_TRUE(seg->Read(7).status().IsNotFound());
 }
 
+TEST_F(NodeOpsTest, RedoEmptyTailIsNoOp) {
+  Node* n = cluster_.master();
+  tx::Txn* w = cluster_.BeginTxn();
+  ASSERT_TRUE(n->Insert(w, part_, 1, Payload(1)).ok());
+  cluster_.CommitTxn(n, w);
+  cluster_.tm().Release(w->id);
+
+  const SegmentId sid = part_->SegmentFor(1);
+  const size_t before = cluster_.segments().Get(sid)->record_count();
+  ASSERT_TRUE(n->RedoInto(part_, {}).ok());
+  EXPECT_EQ(cluster_.segments().Get(sid)->record_count(), before);
+}
+
+TEST_F(NodeOpsTest, RedoWithoutCoveringSegmentIsCorruption) {
+  // Updates and deletes cannot materialize a segment out of thin air: a
+  // tail naming a partition with no covering segment is corrupt.
+  catalog::Partition* empty =
+      cluster_.catalog().CreatePartition(table_, NodeId(0));
+  tx::LogRecord upd;
+  upd.type = tx::LogRecordType::kUpdate;
+  upd.partition = empty->id();
+  upd.key = 5;
+  upd.after_image = Payload(9);
+  const Status s = cluster_.master()->RedoInto(empty, {upd});
+  ASSERT_TRUE(s.IsCorruption()) << s.ToString();
+  EXPECT_EQ(s.message(), "redo: no segment");
+
+  tx::LogRecord del = upd;
+  del.type = tx::LogRecordType::kDelete;
+  EXPECT_TRUE(cluster_.master()->RedoInto(empty, {del}).IsCorruption());
+}
+
+TEST_F(NodeOpsTest, RedoIsIdempotentOverSurvivingState) {
+  // Crash-recovery replays tails into partitions whose pages largely
+  // survived: re-applying inserts (AlreadyExists), updates (same
+  // after-image), and deletes (already gone) must all be no-ops.
+  Node* n = cluster_.master();
+  tx::Txn* w = cluster_.BeginTxn();
+  for (Key k = 1; k <= 8; ++k) {
+    ASSERT_TRUE(n->Insert(w, part_, k, Payload(static_cast<uint8_t>(k))).ok());
+  }
+  ASSERT_TRUE(n->Update(w, part_, 2, Payload(22)).ok());
+  ASSERT_TRUE(n->Delete(w, part_, 5).ok());
+  cluster_.CommitTxn(n, w);
+  cluster_.tm().Release(w->id);
+
+  const auto tail = n->log().Tail(0);
+  ASSERT_TRUE(n->RedoInto(part_, tail).ok());
+
+  const SegmentId sid = part_->SegmentFor(1);
+  storage::Segment* seg = cluster_.segments().Get(sid);
+  EXPECT_EQ(seg->record_count(), 7u);  // 8 inserts - 1 delete, no dupes.
+  EXPECT_EQ(seg->Read(2).value().payload[0], 22);
+  EXPECT_TRUE(seg->Read(5).status().IsNotFound());
+}
+
+TEST_F(NodeOpsTest, RedoUpdateUpsertsMissingRecord) {
+  // A tail may update a key a preceding record deleted (an abort's
+  // compensation record restoring a deleted row's pre-image): the
+  // after-image fully determines the record, so redo re-materializes it.
+  tx::LogRecord upd;
+  upd.type = tx::LogRecordType::kUpdate;
+  upd.partition = part_->id();
+  upd.table = table_;
+  upd.key = 77;
+  upd.after_image = Payload(42);
+  ASSERT_TRUE(cluster_.master()->RedoInto(part_, {upd}).ok());
+
+  storage::Segment* seg = cluster_.segments().Get(part_->SegmentFor(77));
+  ASSERT_NE(seg, nullptr);
+  EXPECT_EQ(seg->Read(77).value().payload[0], 42);
+}
+
+TEST_F(NodeOpsTest, AbortWritesCompensationRecords) {
+  // Rolling back appends CLRs so that a later full-tail redo reproduces
+  // the abort instead of resurrecting the aborted write.
+  Node* n = cluster_.master();
+  tx::Txn* setup = cluster_.BeginTxn();
+  ASSERT_TRUE(n->Insert(setup, part_, 1, Payload(1)).ok());
+  cluster_.CommitTxn(n, setup);
+  cluster_.tm().Release(setup->id);
+
+  tx::Txn* doomed = cluster_.BeginTxn();
+  ASSERT_TRUE(n->Insert(doomed, part_, 2, Payload(2)).ok());
+  ASSERT_TRUE(n->Update(doomed, part_, 1, Payload(11)).ok());
+  cluster_.AbortTxn(doomed);
+  cluster_.tm().Release(doomed->id);
+
+  // Replay everything into the same partition: the aborted insert must not
+  // come back, the aborted update must not stick.
+  ASSERT_TRUE(n->RedoInto(part_, n->log().Tail(0)).ok());
+  storage::Segment* seg = cluster_.segments().Get(part_->SegmentFor(1));
+  EXPECT_EQ(seg->Read(1).value().payload[0], 1);
+  EXPECT_TRUE(seg->Read(2).status().IsNotFound());
+}
+
 TEST_F(NodeOpsTest, StandbyNodeRefusesWork) {
   cluster_.node(NodeId(1))->hardware().set_power_state(hw::PowerState::kStandby);
   catalog::Partition* p2 = cluster_.catalog().CreatePartition(table_, NodeId(1));

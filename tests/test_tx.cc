@@ -341,6 +341,49 @@ TEST(LogManager, TailAndTruncate) {
   EXPECT_EQ(rig.log.Tail(0).size(), 2u);
 }
 
+TEST(LogManager, TailAfterHonorsLastCheckpoint) {
+  LogRig rig;
+  rig.log.Append(0, MakeRecord(LogRecordType::kInsert, 1));   // lsn 1
+  rig.log.Append(1, MakeRecord(LogRecordType::kInsert, 2));   // lsn 2
+  rig.log.Append(2, MakeRecord(LogRecordType::kCheckpoint));  // lsn 3
+  rig.log.Append(3, MakeRecord(LogRecordType::kUpdate, 2));   // lsn 4
+  rig.log.Append(4, MakeRecord(LogRecordType::kDelete, 1));   // lsn 5
+  // Another partition's record is not part of partition 1's redo tail.
+  LogRecord other = MakeRecord(LogRecordType::kInsert, 9);
+  other.partition = PartitionId(2);
+  rig.log.Append(5, other);  // lsn 6
+
+  EXPECT_EQ(rig.log.LastCheckpointLsn(PartitionId(1)), 3u);
+  const auto tail = rig.log.TailAfter(PartitionId(1));
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].type, LogRecordType::kUpdate);
+  EXPECT_EQ(tail[1].type, LogRecordType::kDelete);
+
+  // A never-checkpointed partition replays from the log's beginning.
+  EXPECT_EQ(rig.log.LastCheckpointLsn(PartitionId(2)), 0u);
+  ASSERT_EQ(rig.log.TailAfter(PartitionId(2)).size(), 1u);
+  EXPECT_EQ(rig.log.TailAfter(PartitionId(2))[0].key, 9u);
+}
+
+TEST(LogManager, TailAfterEmptyWhenNothingFollowsCheckpoint) {
+  LogRig rig;
+  // Empty log: empty tail.
+  EXPECT_TRUE(rig.log.TailAfter(PartitionId(1)).empty());
+  // Everything before the checkpoint is already durable in the moved
+  // segment (§4.3): the tail right after a move completes is empty.
+  rig.log.Append(0, MakeRecord(LogRecordType::kInsert, 1));
+  rig.log.Append(1, MakeRecord(LogRecordType::kCheckpoint));
+  EXPECT_TRUE(rig.log.TailAfter(PartitionId(1)).empty());
+}
+
+TEST(LogManager, ChargeReplayReadCostsDiskTime) {
+  LogRig rig;
+  EXPECT_EQ(rig.log.ChargeReplayRead(42, 0), 42);
+  const SimTime done = rig.log.ChargeReplayRead(0, 1 << 20);
+  EXPECT_GT(done, 0);
+  EXPECT_GT(rig.disk.bytes_transferred(), 0);
+}
+
 // ------------------------------------------------------ TransactionManager
 
 TEST(TransactionManager, BeginAssignsMonotoneTimestamps) {
