@@ -24,7 +24,11 @@ struct AblationResult {
 AblationResult RunWithChunk(size_t chunk_bytes, double cost_scale) {
   RebalanceSetup setup;
   setup.cost_scale = cost_scale;
-  setup.clients = 40;
+  setup.clients = SmokeMode() ? 20 : 40;
+  if (SmokeMode()) {
+    setup.warehouses = 4;
+    setup.fill = 0.3;
+  }
   RebalanceRig rig =
       MakeRig(setup, RigOptions(setup).WithCopyChunkBytes(chunk_bytes));
   Db& db = *rig.db;
@@ -56,14 +60,28 @@ int main() {
   using namespace wattdb;
   using namespace wattdb::bench;
   PrintHeader("Ablation E8", "copy granularity vs migration/latency trade-off");
+  JsonReporter json("ablation_segment_size");
 
+  const double cost_scale = SmokeMode() ? 2.0 : 12.0;
+  json.Config("cost_scale", cost_scale);
   std::printf("%16s %16s %16s %16s\n", "chunk_bytes", "migration_s",
               "qps_during", "avg_ms_during");
-  for (size_t chunk :
-       {512 * 1024, 4 * 1024 * 1024, 32 * 1024 * 1024}) {
-    const AblationResult r = RunWithChunk(chunk, 12.0);
+  const std::vector<size_t> chunks =
+      SmokeMode() ? std::vector<size_t>{512 * 1024, 32 * 1024 * 1024}
+                  : std::vector<size_t>{512 * 1024, 4 * 1024 * 1024,
+                                        32 * 1024 * 1024};
+  for (size_t chunk : chunks) {
+    const AblationResult r = RunWithChunk(chunk, cost_scale);
     std::printf("%16zu %16.1f %16.1f %16.2f\n", chunk, r.migration_secs,
                 r.avg_qps_during, r.avg_ms_during);
+    if (chunk == chunks.front()) {
+      json.Metric("small_chunk_qps_during", r.avg_qps_during, "qps",
+                  JsonReporter::kHigherIsBetter);
+      json.Metric("small_chunk_latency_ms", r.avg_ms_during, "ms",
+                  JsonReporter::kLowerIsBetter);
+      json.Metric("small_chunk_migration_s", r.migration_secs, "s",
+                  JsonReporter::kLowerIsBetter);
+    }
   }
   std::printf(
       "\nSmaller chunks interleave queries better (lower ms) at slightly\n"

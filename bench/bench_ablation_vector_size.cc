@@ -35,6 +35,7 @@ int main() {
   using namespace wattdb;
   using namespace wattdb::bench;
   PrintHeader("Ablation E9", "vector size sweep for remote operators");
+  JsonReporter json("ablation_vector_size");
 
   RebalanceSetup setup;
   setup.warehouses = 2;
@@ -55,10 +56,19 @@ int main() {
 
   std::printf("%12s %22s %22s\n", "vector_size", "exchange [rec/s]",
               "buffered [rec/s]");
-  for (size_t vec : {1, 4, 16, 64, 256, 1024}) {
+  const std::vector<size_t> vectors =
+      SmokeMode() ? std::vector<size_t>{1, 64, 1024}
+                  : std::vector<size_t>{1, 4, 16, 64, 256, 1024};
+  for (size_t vec : vectors) {
     const double ex = Run(&db, part, range, vec, false);
     const double buf = Run(&db, part, range, vec, true);
     std::printf("%12zu %22.0f %22.0f\n", vec, ex, buf);
+    if (vec == 64) {
+      json.Metric("exchange_rps_vec64", ex, "records/s",
+                  JsonReporter::kHigherIsBetter);
+      json.Metric("buffered_rps_vec64", buf, "records/s",
+                  JsonReporter::kHigherIsBetter);
+    }
   }
   std::printf(
       "\nVectorization amortizes the per-next() round trip; prefetch hides\n"

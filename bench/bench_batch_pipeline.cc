@@ -23,7 +23,7 @@ struct ModeResult {
 };
 
 constexpr SimTime kWarmup = 5 * kUsPerSec;
-constexpr SimTime kMeasure = 30 * kUsPerSec;
+inline SimTime Measure() { return (SmokeMode() ? 10 : 30) * kUsPerSec; }
 
 ModeResult RunMode(bool batched) {
   // 4 nodes, master + one data-owning peer active: half of the key space is
@@ -63,11 +63,11 @@ ModeResult RunMode(bool batched) {
   db.RunFor(kWarmup);
   driver.ResetStats();
   const int64_t msgs0 = db.cluster().network().messages_sent();
-  db.RunFor(kMeasure);
+  db.RunFor(Measure());
   driver.Stop();
 
   ModeResult r;
-  const double secs = ToSeconds(kMeasure);
+  const double secs = ToSeconds(Measure());
   r.key_ops_per_sec = static_cast<double>(driver.key_ops()) / secs;
   r.txn_per_sec = static_cast<double>(driver.committed()) / secs;
   r.mean_latency_ms = driver.latencies().mean() / kUsPerMs;
@@ -79,9 +79,14 @@ ModeResult RunMode(bool batched) {
 void Run() {
   PrintHeader("Batch pipeline",
               "owner-grouped MultiGet/MultiPut vs per-op Get/Put");
+  JsonReporter json("batch_pipeline");
+  json.Config("clients", 32);
+  json.Config("batch_size", 8);
+  json.Config("measure_s", ToSeconds(Measure()));
   std::printf(
       "32 closed-loop KV clients, 8 keys/txn, 95%% reads, 5 ms think time,\n"
-      "8192 keys on 2 active nodes of 4. 30 s measured after 5 s warmup.\n\n");
+      "8192 keys on 2 active nodes of 4. %.0f s measured after 5 s warmup.\n\n",
+      ToSeconds(Measure()));
   std::printf("%-10s %14s %10s %14s %12s\n", "mode", "key-ops/s", "txn/s",
               "mean lat ms", "net msgs");
 
@@ -105,6 +110,16 @@ void Run() {
   if (batch.key_ops_per_sec <= per_op.key_ops_per_sec) {
     std::printf("REGRESSION: batching did not beat the per-op loop\n");
   }
+
+  json.Metric("perop_keyops_per_s", per_op.key_ops_per_sec, "keyops/s",
+              JsonReporter::kHigherIsBetter);
+  json.Metric("batched_keyops_per_s", batch.key_ops_per_sec, "keyops/s",
+              JsonReporter::kHigherIsBetter);
+  json.Metric("batch_speedup", speedup, "x", JsonReporter::kHigherIsBetter);
+  json.Metric("batched_mean_latency_ms", batch.mean_latency_ms, "ms",
+              JsonReporter::kLowerIsBetter);
+  json.Metric("batched_net_msgs", static_cast<double>(batch.messages), "msgs",
+              JsonReporter::kLowerIsBetter);
 }
 
 }  // namespace

@@ -77,7 +77,7 @@ double Throughput(int concurrency, bool offload) {
   setup.clients = 0;
   setup.buffer_pages = 600;
   RebalanceRig rig = MakeRig(setup);
-  constexpr SimTime kDuration = 60 * kUsPerSec;
+  const SimTime kDuration = (SmokeMode() ? 20 : 60) * kUsPerSec;
   QueryStats stats;
   RunConcurrent(rig.db.get(), concurrency, offload, kDuration, &stats);
   return stats.completed / ToSeconds(kDuration);
@@ -90,13 +90,26 @@ int main() {
   using namespace wattdb;
   using namespace wattdb::bench;
   PrintHeader("Figure 2", "offloading blocking operators, throughput vs concurrency");
+  JsonReporter json("fig2_offloading");
 
   std::printf("%12s %22s %22s\n", "concurrent", "L SORT/GROUP [qps]",
               "R SORT/GROUP [qps]");
-  for (int conc : {1, 10, 100, 1000}) {
+  const std::vector<int> concurrencies =
+      SmokeMode() ? std::vector<int>{1, 100} : std::vector<int>{1, 10, 100, 1000};
+  for (int conc : concurrencies) {
     const double local = Throughput(conc, false);
     const double remote = Throughput(conc, true);
     std::printf("%12d %22.1f %22.1f\n", conc, local, remote);
+    if (conc == concurrencies.front()) {
+      json.Metric("local_qps_low_concurrency", local, "qps",
+                  JsonReporter::kHigherIsBetter);
+    }
+    if (conc == concurrencies.back()) {
+      json.Metric("local_qps_high_concurrency", local, "qps",
+                  JsonReporter::kInfo);
+      json.Metric("offloaded_qps_high_concurrency", remote, "qps",
+                  JsonReporter::kHigherIsBetter);
+    }
   }
   std::printf(
       "\nPaper (Fig. 2): local starts higher but degrades under load;\n"

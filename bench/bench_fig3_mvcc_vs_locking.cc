@@ -32,7 +32,7 @@ MixResult RunOne(double update_ratio, tx::CcScheme cc) {
                           .WithBufferPages(2000)
                           .WithCc(cc)
                           .WithWarehouses(2)
-                          .WithFill(0.15)
+                          .WithFill(SmokeMode() ? 0.08 : 0.15)
                           .WithHomeNodes({NodeId(0)})
                           .WithScheme("logical")
                           .WithLogicalBatchRecords(128)
@@ -54,7 +54,7 @@ MixResult RunOne(double update_ratio, tx::CcScheme cc) {
   }
 
   workload::MicroConfig mc;
-  mc.num_clients = 24;
+  mc.num_clients = SmokeMode() ? 12 : 24;
   mc.update_ratio = update_ratio;
   mc.think_time = 2 * kUsPerMs;
   workload::MicroWorkload& micro = db.AddMicroWorkload(mc);
@@ -108,14 +108,25 @@ int main() {
   PrintHeader("Figure 3",
               "MVCC vs MGL-RX while moving 50% of records to another partition");
 
+  JsonReporter json("fig3_mvcc_vs_locking");
   std::printf("%10s %16s %16s %18s %18s\n", "update_%", "MVCC TA/min",
               "MGL-RX TA/min", "MVCC storage_%", "MGL storage_%");
-  for (int pct = 0; pct <= 100; pct += 10) {
+  const int step = SmokeMode() ? 50 : 10;
+  json.Config("update_pct_step", step);
+  for (int pct = 0; pct <= 100; pct += step) {
     const double ratio = pct / 100.0;
     const MixResult mvcc = RunOne(ratio, tx::CcScheme::kMvcc);
     const MixResult mgl = RunOne(ratio, tx::CcScheme::kMglRx);
     std::printf("%10d %16.0f %16.0f %18.1f %18.1f\n", pct, mvcc.ta_per_min,
                 mgl.ta_per_min, mvcc.storage_pct, mgl.storage_pct);
+    if (pct == 50) {
+      json.Metric("mvcc_ta_per_min_50pct", mvcc.ta_per_min, "txn/min",
+                  JsonReporter::kHigherIsBetter);
+      json.Metric("mgl_ta_per_min_50pct", mgl.ta_per_min, "txn/min",
+                  JsonReporter::kHigherIsBetter);
+      json.Metric("mvcc_storage_pct_50pct", mvcc.storage_pct, "%",
+                  JsonReporter::kInfo);
+    }
   }
   std::printf(
       "\nPaper (Fig. 3): MVCC +15%% (read-only) to +90%% (write-heavy)\n"

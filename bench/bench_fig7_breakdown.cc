@@ -19,12 +19,17 @@ namespace {
 
 metrics::TimeBreakdown Measure(bool rebalancing, bool helpers) {
   RebalanceSetup setup;
+  if (SmokeMode()) {
+    setup.clients = 20;
+    setup.warehouses = 4;
+    setup.fill = 0.3;
+  }
   RebalanceRig rig = MakeRig(setup);
   Db& db = *rig.db;
 
   metrics::TimeBreakdown bd;
   rig.pool->Start();
-  db.RunUntil(30 * kUsPerSec);  // Warm up.
+  db.RunUntil((SmokeMode() ? 10 : 30) * kUsPerSec);  // Warm up.
 
   if (rebalancing) {
     if (helpers) {
@@ -39,11 +44,12 @@ metrics::TimeBreakdown Measure(bool rebalancing, bool helpers) {
     if (!db.TriggerRebalance({NodeId(2), NodeId(3)}, 0.5, nullptr).ok()) {
       std::abort();
     }
-    db.RunUntil(40 * kUsPerSec);  // Boot + first copy streams under way.
+    // Boot + first copy streams under way.
+    db.RunUntil((SmokeMode() ? 18 : 40) * kUsPerSec);
   }
 
   rig.pool->set_breakdown(&bd);
-  db.RunFor(60 * kUsPerSec);
+  db.RunFor((SmokeMode() ? 20 : 60) * kUsPerSec);
   rig.pool->Stop();
   return bd;
 }
@@ -55,10 +61,22 @@ int main() {
   using namespace wattdb;
   using namespace wattdb::bench;
   PrintHeader("Figure 7", "impact factors on query runtime when rebalancing");
+  JsonReporter json("fig7_breakdown");
 
   const metrics::TimeBreakdown normal = Measure(false, false);
   const metrics::TimeBreakdown rebal = Measure(true, false);
   const metrics::TimeBreakdown improved = Measure(true, true);
+
+  json.Metric("normal_total_ms", normal.TotalMs(), "ms",
+              JsonReporter::kLowerIsBetter);
+  json.Metric("rebalancing_total_ms", rebal.TotalMs(), "ms",
+              JsonReporter::kLowerIsBetter);
+  json.Metric("improved_total_ms", improved.TotalMs(), "ms",
+              JsonReporter::kLowerIsBetter);
+  json.Metric("rebalancing_disk_ms", rebal.DiskMs(), "ms",
+              JsonReporter::kInfo);
+  json.Metric("improved_logging_ms", improved.LoggingMs(), "ms",
+              JsonReporter::kInfo);
 
   std::printf("%s\n", metrics::TimeBreakdown::Header().c_str());
   std::printf("%s\n", normal.ToRow("normal operation").c_str());

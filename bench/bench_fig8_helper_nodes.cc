@@ -15,22 +15,35 @@
 namespace wattdb::bench {
 namespace {
 
-constexpr SimTime kWarmup = 180 * kUsPerSec;
-constexpr SimTime kRunAfter = 570 * kUsPerSec;
+inline SimTime Warmup() { return (SmokeMode() ? 30 : 180) * kUsPerSec; }
+inline SimTime RunAfter() { return (SmokeMode() ? 130 : 570) * kUsPerSec; }
 constexpr SimTime kBucket = 10 * kUsPerSec;
 
-metrics::TimeSeries RunOne(bool helpers) {
+struct HelperOutcome {
+  metrics::TimeSeries series{kBucket};
+  int64_t completed = 0;
+  double migration_secs = 0;
+};
+
+HelperOutcome RunOne(bool helpers) {
   RebalanceSetup setup;
+  if (SmokeMode()) {
+    setup.cost_scale = 4.0;
+    setup.clients = 20;
+    setup.warehouses = 4;
+    setup.fill = 0.3;
+  }
   RebalanceRig rig = MakeRig(setup);
   Db& db = *rig.db;
 
-  metrics::TimeSeries series(kBucket);
-  series.SetOrigin(kWarmup);
+  HelperOutcome out;
+  metrics::TimeSeries& series = out.series;
+  series.SetOrigin(Warmup());
   db.cluster().StartSampling(&series);
   rig.pool->set_series(&series);
   rig.pool->Start();
 
-  db.events().ScheduleAt(kWarmup, [&]() {
+  db.events().ScheduleAt(Warmup(), [&]() {
     if (helpers) {
       (void)db.AttachHelpers({NodeId(4), NodeId(5)},
                              {NodeId(0), NodeId(1), NodeId(2), NodeId(3)},
@@ -41,15 +54,21 @@ metrics::TimeSeries RunOne(bool helpers) {
       if (helpers) (void)db.DetachHelpers();
     });
   });
-  db.RunUntil(kWarmup + kRunAfter);
+  db.RunUntil(Warmup() + RunAfter());
   rig.pool->Stop();
+  out.completed = rig.pool->completed();
+  out.migration_secs =
+      db.scheme().stats().finished_at > db.scheme().stats().started_at
+          ? ToSeconds(db.scheme().stats().finished_at -
+                      db.scheme().stats().started_at)
+          : -1.0;
   std::fprintf(stderr, "[%s] completed=%lld migration end t=%+.0fs\n",
                helpers ? "physio+helper" : "physiological",
-               static_cast<long long>(rig.pool->completed()),
+               static_cast<long long>(out.completed),
                db.scheme().stats().finished_at == 0
                    ? -1.0
-                   : ToSeconds(db.scheme().stats().finished_at - kWarmup));
-  return series;
+                   : ToSeconds(db.scheme().stats().finished_at - Warmup()));
+  return out;
 }
 
 }  // namespace
@@ -59,12 +78,27 @@ int main() {
   using namespace wattdb;
   using namespace wattdb::bench;
   PrintHeader("Figure 8", "physiological rebalancing with helper nodes");
+  JsonReporter json("fig8_helper_nodes");
 
-  const metrics::TimeSeries plain = RunOne(false);
-  const metrics::TimeSeries helped = RunOne(true);
+  const HelperOutcome plain = RunOne(false);
+  const HelperOutcome helped = RunOne(true);
+
+  json.Metric("plain_completed", static_cast<double>(plain.completed), "txn",
+              JsonReporter::kHigherIsBetter);
+  json.Metric("helped_completed", static_cast<double>(helped.completed), "txn",
+              JsonReporter::kHigherIsBetter);
+  if (plain.migration_secs >= 0) {
+    json.Metric("plain_migration_s", plain.migration_secs, "s",
+                JsonReporter::kLowerIsBetter);
+  }
+  if (helped.migration_secs >= 0) {
+    json.Metric("helped_migration_s", helped.migration_secs, "s",
+                JsonReporter::kLowerIsBetter);
+  }
 
   const std::vector<std::string> labels = {"physiological", "physio+helper"};
-  const std::vector<const metrics::TimeSeries*> series = {&plain, &helped};
+  const std::vector<const metrics::TimeSeries*> series = {&plain.series,
+                                                          &helped.series};
   const double bs = ToSeconds(kBucket);
   std::printf("\n(a) Throughput of the cluster [qps]\n%s\n",
               metrics::SideBySide(labels, series, "qps", bs).c_str());

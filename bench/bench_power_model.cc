@@ -10,6 +10,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
 #include "common/constants.h"
 #include "hw/power.h"
 
@@ -28,6 +29,17 @@ double ClusterWatts(int active_nodes, double utilization) {
 }
 
 void PrintEnvelope() {
+  bench::JsonReporter json("power_model");
+  json.Metric("one_node_idle_cluster_watts", ClusterWatts(1, 0.0), "W",
+              bench::JsonReporter::kInfo);
+  json.Metric("full_cluster_watts", ClusterWatts(10, 1.0), "W",
+              bench::JsonReporter::kInfo);
+  json.Metric("node_active_idle_watts",
+              hw::PowerModel().NodeWatts(hw::PowerState::kActive, 0.0), "W",
+              bench::JsonReporter::kInfo);
+  json.Metric("node_standby_watts",
+              hw::PowerModel().NodeWatts(hw::PowerState::kStandby, 0.0), "W",
+              bench::JsonReporter::kInfo);
   std::printf("%-44s %10s %14s\n", "configuration", "watts", "paper");
   std::printf("%-44s %10.1f %14s\n", "1 node idle + switch, 9 standby",
               ClusterWatts(1, 0.0), "~65 W");

@@ -13,12 +13,137 @@
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "api/db.h"
 #include "exec/operators.h"
 #include "metrics/time_series.h"
 
 namespace wattdb::bench {
+
+/// True when WATTDB_BENCH_SMOKE is set (and not "0"): benches shrink their
+/// sweeps and windows to CI-smoke size. The CI bench job runs every binary
+/// this way; the numbers stay deterministic (simulated time), just coarser.
+inline bool SmokeMode() {
+  const char* v = std::getenv("WATTDB_BENCH_SMOKE");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+/// Machine-readable bench results. Construct one per binary; when the
+/// WATTDB_BENCH_JSON_DIR environment variable names a directory, the
+/// destructor writes BENCH_<name>.json there:
+///
+///   {"bench": "...", "config": {...},
+///    "metrics": [{"name": ..., "value": ..., "unit": ..., "direction": ...}]}
+///
+/// `direction` tells the CI regression gate which way is worse: "higher"
+/// metrics regress when they drop, "lower" metrics when they rise, "info"
+/// metrics are recorded but never gated. Without the env var this is a
+/// no-op, so benches stay plain stdout tools locally.
+class JsonReporter {
+ public:
+  enum Direction { kHigherIsBetter, kLowerIsBetter, kInfo };
+
+  explicit JsonReporter(std::string name) : name_(std::move(name)) {}
+  ~JsonReporter() { Flush(); }
+  JsonReporter(const JsonReporter&) = delete;
+  JsonReporter& operator=(const JsonReporter&) = delete;
+
+  void Config(const std::string& key, const std::string& value) {
+    config_.push_back({key, "\"" + Escaped(value) + "\""});
+  }
+  void Config(const std::string& key, double value) {
+    config_.push_back({key, Number(value)});
+  }
+
+  void Metric(const std::string& name, double value, const std::string& unit,
+              Direction direction = kInfo) {
+    metrics_.push_back({name, value, unit, direction});
+  }
+
+  /// Write the file (idempotent; also runs at destruction).
+  void Flush() {
+    if (flushed_) return;
+    flushed_ = true;
+    const char* dir = std::getenv("WATTDB_BENCH_JSON_DIR");
+    if (dir == nullptr || dir[0] == '\0') return;
+    const std::string path =
+        std::string(dir) + "/BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "JsonReporter: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"config\": {",
+                 Escaped(name_).c_str());
+    for (size_t i = 0; i < config_.size(); ++i) {
+      std::fprintf(f, "%s\n    \"%s\": %s", i == 0 ? "" : ",",
+                   Escaped(config_[i].key).c_str(),
+                   config_[i].json_value.c_str());
+    }
+    std::fprintf(f, "%s},\n  \"metrics\": [", config_.empty() ? "" : "\n  ");
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      const MetricRow& m = metrics_[i];
+      std::fprintf(
+          f,
+          "%s\n    {\"name\": \"%s\", \"value\": %s, \"unit\": \"%s\", "
+          "\"direction\": \"%s\"}",
+          i == 0 ? "" : ",", Escaped(m.name).c_str(),
+          Number(m.value).c_str(), Escaped(m.unit).c_str(),
+          m.direction == kHigherIsBetter
+              ? "higher"
+              : (m.direction == kLowerIsBetter ? "lower" : "info"));
+    }
+    std::fprintf(f, "%s]\n}\n", metrics_.empty() ? "" : "\n  ");
+    std::fclose(f);
+    std::printf("\n[bench json] wrote %s\n", path.c_str());
+  }
+
+ private:
+  struct ConfigRow {
+    std::string key;
+    std::string json_value;  ///< Already JSON-encoded.
+  };
+  struct MetricRow {
+    std::string name;
+    double value;
+    std::string unit;
+    Direction direction;
+  };
+
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  static std::string Number(double v) {
+    char buf[64];
+    // %.10g round-trips every value the benches emit and still prints
+    // integers without a trailing ".000000".
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    std::string s(buf);
+    // JSON has no inf/nan literals.
+    if (s.find_first_of("in") != std::string::npos &&
+        s.find_first_of("0123456789") == std::string::npos) {
+      return "null";
+    }
+    return s;
+  }
+
+  std::string name_;
+  std::vector<ConfigRow> config_;
+  std::vector<MetricRow> metrics_;
+  bool flushed_ = false;
+};
 
 /// The Fig. 6/8 testbed: a 10-node wimpy cluster, data initially on two
 /// nodes (the master and node 1), TPC-C-derived workload throttled by

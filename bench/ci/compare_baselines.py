@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Gate bench results against checked-in baselines.
+
+Usage: compare_baselines.py <results_dir> <baselines_dir> [--threshold 0.25]
+
+Both directories hold BENCH_<name>.json files as written by
+bench::JsonReporter (bench/bench_util.h):
+
+    {"bench": "...", "config": {...},
+     "metrics": [{"name": ..., "value": ..., "unit": ..., "direction": ...}]}
+
+For every baseline file there must be a matching result file, and every
+gated baseline metric (direction "higher" or "lower") must be within
+`threshold` of its baseline value in the non-regressing direction:
+
+    direction "higher": fail when value < baseline * (1 - threshold)
+    direction "lower":  fail when value > baseline * (1 + threshold)
+
+"info" metrics and metrics that only exist in the results are reported but
+never gated. Exit status 1 on any regression or missing file/metric.
+
+The benches run on simulated time, so the numbers are deterministic across
+machines — the 25% default margin absorbs intentional small recalibrations,
+not noise.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load(path: Path) -> dict:
+    with open(path) as f:
+        return json.load(f)
+
+
+def metric_map(doc: dict) -> dict:
+    return {m["name"]: m for m in doc.get("metrics", [])}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("results_dir", type=Path)
+    parser.add_argument("baselines_dir", type=Path)
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed relative regression (default 0.25)")
+    args = parser.parse_args()
+
+    baselines = sorted(args.baselines_dir.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"no baselines under {args.baselines_dir}", file=sys.stderr)
+        return 1
+
+    failures = []
+    rows = []
+    for base_path in baselines:
+        result_path = args.results_dir / base_path.name
+        if not result_path.exists():
+            failures.append(f"{base_path.name}: no result produced")
+            continue
+        base = metric_map(load(base_path))
+        result = metric_map(load(result_path))
+        for name, bm in base.items():
+            direction = bm.get("direction", "info")
+            if name not in result:
+                failures.append(f"{base_path.name}: metric '{name}' missing "
+                                "from results")
+                continue
+            old, new = bm["value"], result[name]["value"]
+            if old is None or new is None:
+                failures.append(f"{base_path.name}: metric '{name}' is null")
+                continue
+            delta = (new - old) / abs(old) if old else 0.0
+            regressed = False
+            if old <= 0:
+                # Relative margins are meaningless around zero or negative
+                # baselines; record but never gate.
+                direction = "info"
+            elif direction == "higher":
+                regressed = new < old * (1.0 - args.threshold)
+            elif direction == "lower":
+                regressed = new > old * (1.0 + args.threshold)
+            status = "REGRESSED" if regressed else (
+                "info" if direction == "info" else "ok")
+            rows.append((base_path.name.replace("BENCH_", "").replace(
+                ".json", ""), name, direction, old, new, delta, status))
+            if regressed:
+                failures.append(
+                    f"{base_path.name}: '{name}' ({direction}-is-better) "
+                    f"{old:g} -> {new:g} ({delta:+.1%})")
+        for name in sorted(set(result) - set(base)):
+            rows.append((base_path.name.replace("BENCH_", "").replace(
+                ".json", ""), name, result[name].get("direction", "info"),
+                None, result[name]["value"], 0.0, "new"))
+
+    width = max((len(r[0]) + len(r[1]) for r in rows), default=20) + 3
+    print(f"{'bench/metric':<{width}} {'dir':>6} {'baseline':>12} "
+          f"{'result':>12} {'delta':>8}  status")
+    for bench, name, direction, old, new, delta, status in rows:
+        # Either side may be null (JsonReporter writes null for inf/nan).
+        old_s = f"{old:g}" if old is not None else "-"
+        new_s = f"{new:g}" if new is not None else "-"
+        print(f"{bench + '/' + name:<{width}} {direction:>6} {old_s:>12} "
+              f"{new_s:>12} {delta:>+7.1%}  {status}")
+
+    if failures:
+        print(f"\n{len(failures)} regression(s) against "
+              f"{args.baselines_dir}:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nall gated metrics within {args.threshold:.0%} of baselines")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,6 +36,56 @@ StatusOr<std::unique_ptr<Db>> Db::Open(DbOptions options) {
         ")");
   }
   WATTDB_RETURN_IF_ERROR(SchemeRegistry::Global().Validate(options.scheme));
+  // MasterPolicy misconfiguration must fail loudly here, not silently
+  // disable the control loop (a check_period of 0 would spin the event
+  // queue; inverted CPU bounds would flap scale decisions forever).
+  const cluster::MasterPolicy& mp = options.master;
+  if (mp.check_period <= 0) {
+    return Status::InvalidArgument(
+        "MasterPolicy.check_period must be > 0, got " +
+        std::to_string(mp.check_period));
+  }
+  if (mp.stats_window <= 0) {
+    return Status::InvalidArgument(
+        "MasterPolicy.stats_window must be > 0, got " +
+        std::to_string(mp.stats_window));
+  }
+  if (!(mp.cpu_lower < mp.cpu_upper)) {
+    return Status::InvalidArgument(
+        "MasterPolicy needs cpu_lower < cpu_upper, got " +
+        std::to_string(mp.cpu_lower) + " vs " + std::to_string(mp.cpu_upper));
+  }
+  if (mp.cpu_lower < 0.0 || mp.cpu_upper > 1.0) {
+    return Status::InvalidArgument(
+        "MasterPolicy CPU thresholds must lie in [0, 1], got [" +
+        std::to_string(mp.cpu_lower) + ", " + std::to_string(mp.cpu_upper) +
+        "]");
+  }
+  if (mp.trigger_after < 1) {
+    return Status::InvalidArgument(
+        "MasterPolicy.trigger_after must be >= 1, got " +
+        std::to_string(mp.trigger_after));
+  }
+  if (mp.use_forecast && mp.forecast_horizon <= 0) {
+    return Status::InvalidArgument(
+        "MasterPolicy.forecast_horizon must be > 0 when use_forecast is on");
+  }
+  if (mp.recovery.declare_dead_after < 1) {
+    return Status::InvalidArgument(
+        "RecoveryPolicy.declare_dead_after must be >= 1, got " +
+        std::to_string(mp.recovery.declare_dead_after));
+  }
+  if (mp.recovery.restart_backoff < 0) {
+    return Status::InvalidArgument(
+        "RecoveryPolicy.restart_backoff must be >= 0, got " +
+        std::to_string(mp.recovery.restart_backoff));
+  }
+  if (mp.recovery.exclude_after_crashes < 0) {
+    return Status::InvalidArgument(
+        "RecoveryPolicy.exclude_after_crashes must be >= 0 (0 disables), "
+        "got " +
+        std::to_string(mp.recovery.exclude_after_crashes));
+  }
   for (const fault::FaultPlan::Crash& crash : options.fault_plan.crashes) {
     if (!crash.node.valid() ||
         crash.node.value() >= static_cast<uint32_t>(options.cluster.num_nodes)) {
@@ -107,6 +157,25 @@ StatusOr<std::unique_ptr<Db>> Db::Open(DbOptions options) {
   db->fault_ = std::make_unique<fault::FaultInjector>(
       db->cluster_.get(), db->recovery_.get(), db->scheme_.get());
   if (!opts.fault_plan.empty()) db->fault_->Arm(opts.fault_plan);
+
+  // Close the self-healing loop: the master's heartbeat detector issues
+  // restarts through the recovery manager (boot + redo) without learning
+  // the fault subsystem's types.
+  db->master_->SetRecoveryHooks(
+      [rm = db->recovery_.get()](
+          NodeId node, std::function<void(const std::string&)> on_recovered) {
+        return rm->Restart(
+            node, [cb = std::move(on_recovered)](
+                      const fault::RecoveryReport& report) {
+              if (!cb) return;
+              cb("redo " + std::to_string(report.redo_us / 1000.0) + " ms, " +
+                 std::to_string(report.records_replayed) +
+                 " record(s) replayed, " +
+                 std::to_string(report.routes_restored) +
+                 " route(s) restored");
+            });
+      },
+      [rm = db->recovery_.get()](NodeId node) { return rm->IsDown(node); });
 
   if (opts.start_sampling) db->cluster_->StartSampling(nullptr);
   if (opts.start_master) db->master_->Start();

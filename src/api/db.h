@@ -143,6 +143,20 @@ class Db {
   /// Crash/redo bookkeeping: per-node down state and recovery reports.
   fault::RecoveryManager& recovery() { return *recovery_; }
 
+  // --- Self-healing observers ---------------------------------------------
+  /// Timeline of the master control loop's decisions (scale events, failure
+  /// detections, auto-restarts, drains, helper failovers) in simulated-time
+  /// order. Populated only while the control loop runs (WithMasterLoop).
+  const std::vector<cluster::ControlEvent>& control_events() const {
+    return master_->control_events();
+  }
+  /// Subscribe to control events as they are emitted (benches use this to
+  /// annotate throughput timelines with detection/recovery marks).
+  void SetControlEventListener(
+      std::function<void(const cluster::ControlEvent&)> listener) {
+    master_->set_control_event_listener(std::move(listener));
+  }
+
   // --- Simulated time -----------------------------------------------------
   SimTime Now() const { return cluster_->Now(); }
   void RunUntil(SimTime until) { cluster_->RunUntil(until); }

@@ -120,6 +120,13 @@ struct DbOptions {
     start_master = true;
     return *this;
   }
+  /// Failure detection and self-healing knobs of the control loop; implies
+  /// starting the master loop (detection happens in its ticks).
+  DbOptions& WithRecoveryPolicy(cluster::RecoveryPolicy policy) {
+    master.recovery = policy;
+    start_master = true;
+    return *this;
+  }
 
   // --- Faults -------------------------------------------------------------
   DbOptions& WithFaultPlan(fault::FaultPlan plan) {

@@ -6,6 +6,31 @@
 
 namespace wattdb::cluster {
 
+namespace {
+/// Give up re-issuing a restart / re-planning a drain after this many
+/// attempts — a node that cannot come back (or empty) by then is left to
+/// the operator instead of looping forever.
+constexpr int kMaxHealAttempts = 10;
+constexpr int kMaxDrainAttempts = 5;
+}  // namespace
+
+const char* ToString(ControlEventType type) {
+  switch (type) {
+    case ControlEventType::kScaleOut: return "scale-out";
+    case ControlEventType::kScaleIn: return "scale-in";
+    case ControlEventType::kNodeSuspected: return "node-suspected";
+    case ControlEventType::kNodeDeclaredDead: return "node-declared-dead";
+    case ControlEventType::kRestartIssued: return "restart-issued";
+    case ControlEventType::kNodeRecovered: return "node-recovered";
+    case ControlEventType::kDrainStarted: return "drain-started";
+    case ControlEventType::kNodeExcluded: return "node-excluded";
+    case ControlEventType::kHelperLost: return "helper-lost";
+    case ControlEventType::kHelperFallback: return "helper-fallback";
+    case ControlEventType::kHelperRecruited: return "helper-recruited";
+  }
+  return "unknown";
+}
+
 Master::Master(Cluster* cluster, Repartitioner* repartitioner,
                MasterPolicy policy)
     : cluster_(cluster),
@@ -20,6 +45,19 @@ void Master::Start() {
                                    [this]() { ControlTick(); });
 }
 
+void Master::Emit(ControlEventType type, NodeId node, std::string detail) {
+  ControlEvent event;
+  event.at = cluster_->Now();
+  event.type = type;
+  event.node = node;
+  event.detail = std::move(detail);
+  WATTDB_INFO("master: " << ToString(type) << " node " << node.value()
+                         << " at t=" << ToSeconds(event.at) << "s — "
+                         << event.detail);
+  control_events_.push_back(event);
+  if (event_listener_) event_listener_(control_events_.back());
+}
+
 void Master::ControlTick() {
   if (!running_) return;
   const auto stats = monitor_.Sample(policy_.stats_window);
@@ -30,12 +68,242 @@ void Master::ControlTick() {
     if (s.active) max_cpu = std::max(max_cpu, s.cpu);
   }
   forecaster_.Observe(cluster_->Now(), max_cpu);
+  CheckHeartbeats(stats);
   if (repartitioner_ == nullptr || !repartitioner_->InProgress()) {
     MaybeScaleOut(stats);
     MaybeScaleIn(stats);
   }
   cluster_->events().ScheduleAfter(policy_.check_period,
                                    [this]() { ControlTick(); });
+}
+
+void Master::CheckHeartbeats(const std::vector<NodeStats>& stats) {
+  for (const auto& s : stats) {
+    if (s.active) {
+      // A reporting node is (back) under watch; a heal in flight is over
+      // the moment the node shows up again.
+      if (!excluded_.count(s.node)) watched_.insert(s.node);
+      missed_.erase(s.node);
+      healing_.erase(s.node);
+      continue;
+    }
+    if (!watched_.count(s.node)) continue;   // Never active, or taken down
+                                             // by the master itself.
+    if (healing_.count(s.node)) continue;    // Restart in flight: booting
+                                             // and redo take a while.
+    const int misses = ++missed_[s.node];
+    if (misses == 1 && policy_.recovery.declare_dead_after > 1) {
+      Emit(ControlEventType::kNodeSuspected, s.node,
+           "missed 1 of " +
+               std::to_string(policy_.recovery.declare_dead_after) +
+               " heartbeat windows");
+    }
+    if (misses >= policy_.recovery.declare_dead_after) DeclareDead(s.node);
+  }
+}
+
+void Master::DeclareDead(NodeId node) {
+  ++nodes_declared_dead_;
+  const int crashes = ++crash_counts_[node];
+  watched_.erase(node);
+  missed_.erase(node);
+  Emit(ControlEventType::kNodeDeclaredDead, node,
+       "missed " + std::to_string(policy_.recovery.declare_dead_after) +
+           " consecutive windows; crash #" + std::to_string(crashes));
+  // The scheme abandons queued moves touching the node; idempotent when the
+  // recovery manager already notified it at crash time.
+  if (repartitioner_ != nullptr) repartitioner_->OnNodeFailure(node);
+
+  if (helper_assignments_.count(node) > 0) {
+    // Helpers hold no partitions — replace instead of restarting.
+    HandleHelperFailure(node);
+    return;
+  }
+  if (!policy_.recovery.auto_heal) return;
+
+  // Flaky after m detections: restart once more for data access, then
+  // drain onto survivors and retire the node. Needs a scheme that can move
+  // ownership; under physical partitioning restart-in-place is all we have.
+  const bool flaky = policy_.recovery.exclude_after_crashes > 0 &&
+                     crashes >= policy_.recovery.exclude_after_crashes &&
+                     repartitioner_ != nullptr &&
+                     repartitioner_->SupportsDrain();
+  healing_.insert(node);
+  if (policy_.recovery.restart_backoff > 0) {
+    cluster_->events().ScheduleAfter(
+        policy_.recovery.restart_backoff,
+        [this, node, flaky]() { IssueRestart(node, flaky, 0); });
+  } else {
+    IssueRestart(node, flaky, 0);
+  }
+}
+
+void Master::IssueRestart(NodeId node, bool drain_after, int attempt) {
+  if (!running_) return;
+  if (!healing_.count(node)) return;  // Came back on its own (e.g. a fault
+                                      // plan's auto-restart beat us to it).
+  Status issued = Status::FailedPrecondition("no restart hook wired");
+  if (restart_fn_) {
+    issued = restart_fn_(node, [this, node,
+                                drain_after](const std::string& detail) {
+      Emit(ControlEventType::kNodeRecovered, node, detail);
+      missed_.erase(node);
+      healing_.erase(node);
+      if (drain_after) StartDrainAndExclude(node, 0);
+    });
+  }
+  if (issued.ok()) {
+    ++auto_restarts_;
+    Emit(ControlEventType::kRestartIssued, node,
+         drain_after ? "flaky node: restarting for drain-and-exclude"
+                     : "restarting in place");
+    return;
+  }
+  // Busy (already booting) resolves itself — the heartbeat pass clears the
+  // healing flag once the node reports. Anything else is retried a bounded
+  // number of times, then handed back to the operator.
+  if (attempt + 1 >= kMaxHealAttempts) {
+    WATTDB_WARN("master: giving up restarting node "
+                << node.value() << " after " << kMaxHealAttempts
+                << " attempts: " << issued.ToString());
+    healing_.erase(node);
+    return;
+  }
+  cluster_->events().ScheduleAfter(
+      policy_.check_period, [this, node, drain_after, attempt]() {
+        IssueRestart(node, drain_after, attempt + 1);
+      });
+}
+
+void Master::StartDrainAndExclude(NodeId node, int attempt) {
+  if (!running_) return;
+  if (repartitioner_ == nullptr || !repartitioner_->SupportsDrain()) return;
+  if (attempt >= kMaxDrainAttempts) {
+    WATTDB_WARN("master: drain-and-exclude of node "
+                << node.value() << " gave up after " << attempt
+                << " attempts; leaving it to the operator");
+    return;
+  }
+  // A re-crash between recovery and here (or mid-drain) makes draining
+  // impossible — the heartbeat detector owns the node again.
+  Node* n = cluster_->node(node);
+  if (n == nullptr || !n->IsActive()) return;
+  const Status started = repartitioner_->Drain(node, [this, node, attempt]() {
+    const Status off = cluster_->PowerOff(node);
+    if (off.ok()) {
+      excluded_.insert(node);
+      Unwatch(node);
+      Emit(ControlEventType::kNodeExcluded, node,
+           "drained and powered off after " +
+               std::to_string(crash_count(node)) + " crashes");
+      return;
+    }
+    // Segments survived the drain (a survivor died mid-move, or writes
+    // landed behind the planner); plan the remainder again — on the same
+    // bounded attempt budget as the Busy path.
+    WATTDB_WARN("master: node " << node.value()
+                                << " not empty after drain: "
+                                << off.ToString());
+    StartDrainAndExclude(node, attempt + 1);
+  });
+  if (started.ok()) {
+    Emit(ControlEventType::kDrainStarted, node,
+         "flaky node (crash #" + std::to_string(crash_count(node)) +
+             "): moving its data to survivors");
+    return;
+  }
+  if (started.IsBusy() && attempt + 1 < kMaxDrainAttempts) {
+    // A rebalance is running; try again next control period.
+    cluster_->events().ScheduleAfter(
+        policy_.check_period,
+        [this, node, attempt]() { StartDrainAndExclude(node, attempt + 1); });
+    return;
+  }
+  WATTDB_WARN("master: drain-and-exclude of node "
+              << node.value() << " abandoned: " << started.ToString());
+}
+
+void Master::HandleHelperFailure(NodeId helper) {
+  ++helper_failovers_;
+  auto it = helper_assignments_.find(helper);
+  const std::vector<NodeId> orphaned =
+      it != helper_assignments_.end() ? it->second : std::vector<NodeId>{};
+  Emit(ControlEventType::kHelperLost, helper,
+       "helper died mid-log-shipping; " + std::to_string(orphaned.size()) +
+           " assisted node(s) orphaned");
+  for (NodeId a : orphaned) {
+    Node* an = cluster_->node(a);
+    if (an == nullptr) continue;
+    an->log().DetachHelper();
+    an->buffer().DetachRemoteTier();
+    Emit(ControlEventType::kHelperFallback, a,
+         "fell back to local logging (WAL was forced at commit; nothing "
+         "committed is lost)");
+  }
+  helper_assignments_.erase(helper);
+  active_helpers_.erase(
+      std::remove(active_helpers_.begin(), active_helpers_.end(), helper),
+      active_helpers_.end());
+  assisted_nodes_.clear();
+  for (const auto& [h, assisted] : helper_assignments_) {
+    assisted_nodes_.insert(assisted_nodes_.end(), assisted.begin(),
+                           assisted.end());
+  }
+
+  if (!policy_.recovery.auto_heal || !policy_.recovery.replace_failed_helpers ||
+      orphaned.empty()) {
+    return;
+  }
+  // Recruit a standby replacement and wire it exactly as AttachHelpers
+  // would have.
+  NodeId replacement = NodeId::Invalid();
+  for (int i = 1; i < cluster_->num_nodes(); ++i) {
+    const NodeId candidate(i);
+    if (!EligibleRecruit(candidate)) continue;
+    if (helper_assignments_.count(candidate) > 0) continue;
+    if (std::find(assisted_nodes_.begin(), assisted_nodes_.end(), candidate) !=
+        assisted_nodes_.end()) {
+      continue;
+    }
+    replacement = candidate;
+    break;
+  }
+  if (!replacement.valid()) {
+    WATTDB_WARN("master: no standby available to replace helper "
+                << helper.value() << "; assisted nodes stay on local logging");
+    return;
+  }
+  active_helpers_.push_back(replacement);
+  helper_assignments_[replacement] = orphaned;
+  assisted_nodes_.insert(assisted_nodes_.end(), orphaned.begin(),
+                         orphaned.end());
+  Emit(ControlEventType::kHelperRecruited, replacement,
+       "standby booting as replacement helper for " +
+           std::to_string(orphaned.size()) + " node(s)");
+  const size_t pages = remote_buffer_pages_;
+  (void)cluster_->PowerOn(replacement, [this, replacement, orphaned, pages]() {
+    Node* h = cluster_->node(replacement);
+    for (NodeId a : orphaned) {
+      Node* an = cluster_->node(a);
+      if (an == nullptr) continue;
+      an->log().AttachHelper(h->id(), h->hardware().disk(0));
+      an->buffer().AttachRemoteTier(h->id(), pages);
+    }
+    WATTDB_INFO("master: replacement helper " << replacement.value()
+                                              << " wired");
+  });
+}
+
+bool Master::EligibleRecruit(NodeId node) const {
+  Node* n = cluster_->node(node);
+  if (n == nullptr) return false;
+  if (n->hardware().power_state() != hw::PowerState::kStandby) return false;
+  if (excluded_.count(node) > 0) return false;
+  // A standby that is really an undetected (or not-yet-healed) crash must
+  // not be booted without redo.
+  if (healing_.count(node) > 0 || missed_.count(node) > 0) return false;
+  if (is_down_fn_ && is_down_fn_(node)) return false;
+  return true;
 }
 
 void Master::MaybeScaleOut(const std::vector<NodeStats>& stats) {
@@ -54,19 +322,16 @@ void Master::MaybeScaleOut(const std::vector<NodeStats>& stats) {
   }
   if (++over_count_ < policy_.trigger_after) return;
   over_count_ = 0;
-  // Find a standby node to enlist.
+  // Find a standby node to enlist — never a crashed or retired one.
   for (const auto& s : stats) {
-    Node* n = cluster_->node(s.node);
-    if (n->hardware().power_state() == hw::PowerState::kStandby) {
-      ++scale_out_events_;
-      const int actives = cluster_->ActiveNodeCount();
-      const double fraction = 1.0 / (actives + 1);
-      WATTDB_INFO("scale-out: booting node " << s.node.value()
-                                             << ", migrating fraction "
-                                             << fraction);
-      TriggerRebalance({s.node}, fraction, nullptr);
-      return;
-    }
+    if (!EligibleRecruit(s.node)) continue;
+    ++scale_out_events_;
+    const int actives = cluster_->ActiveNodeCount();
+    const double fraction = 1.0 / (actives + 1);
+    Emit(ControlEventType::kScaleOut, s.node,
+         "booting standby, migrating fraction " + std::to_string(fraction));
+    TriggerRebalance({s.node}, fraction, nullptr);
+    return;
   }
 }
 
@@ -85,11 +350,14 @@ void Master::MaybeScaleIn(const std::vector<NodeStats>& stats) {
   }
   if (++under_count_ < policy_.trigger_after) return;
   under_count_ = 0;
-  // Drain the non-master active node with the least data.
+  // Drain the non-master active node with the least data. Helpers are not
+  // candidates: they look empty (no segments) but carry the assisted
+  // nodes' log stream and remote buffer tier.
   NodeId victim = NodeId::Invalid();
   size_t least_bytes = SIZE_MAX;
   for (const auto& s : stats) {
     if (!s.active || s.node.value() == 0) continue;
+    if (helper_assignments_.count(s.node) > 0) continue;
     size_t bytes = 0;
     for (auto* seg : cluster_->segments().SegmentsOn(s.node)) {
       bytes += seg->DiskBytes();
@@ -101,9 +369,11 @@ void Master::MaybeScaleIn(const std::vector<NodeStats>& stats) {
   }
   if (!victim.valid()) return;
   ++scale_in_events_;
-  WATTDB_INFO("scale-in: draining node " << victim.value());
+  Emit(ControlEventType::kScaleIn, victim, "draining least-loaded node");
   repartitioner_->Drain(victim, [this, victim]() {
     const Status s = cluster_->PowerOff(victim);
+    if (s.ok()) Unwatch(victim);  // Taken down deliberately: no heartbeats
+                                  // expected, no false failure alarm.
     WATTDB_INFO("scale-in: node " << victim.value() << " off: "
                                   << s.ToString());
   });
@@ -172,15 +442,20 @@ Status Master::AttachHelpers(const std::vector<NodeId>& helpers,
   }
   active_helpers_ = helpers;
   assisted_nodes_ = assisted;
+  remote_buffer_pages_ = remote_buffer_pages;
+  helper_assignments_.clear();
   auto pending = std::make_shared<int>(static_cast<int>(helpers.size()));
   auto wire = [this, remote_buffer_pages]() {
     // Round-robin helpers across assisted nodes: each assisted node ships
     // its log to one helper and uses its memory as an rDMA buffer tier.
+    // The assignment is remembered so a helper failure knows exactly which
+    // nodes to fall back and re-wire.
     for (size_t i = 0; i < assisted_nodes_.size(); ++i) {
       Node* a = cluster_->node(assisted_nodes_[i]);
       Node* h = cluster_->node(active_helpers_[i % active_helpers_.size()]);
       a->log().AttachHelper(h->id(), h->hardware().disk(0));
       a->buffer().AttachRemoteTier(h->id(), remote_buffer_pages);
+      helper_assignments_[h->id()].push_back(a->id());
     }
     WATTDB_INFO("helpers wired for log shipping + remote buffering");
   };
@@ -199,10 +474,11 @@ Status Master::DetachHelpers() {
     cluster_->node(a)->buffer().DetachRemoteTier();
   }
   for (NodeId h : active_helpers_) {
-    (void)cluster_->PowerOff(h);
+    if (cluster_->PowerOff(h).ok()) Unwatch(h);
   }
   active_helpers_.clear();
   assisted_nodes_.clear();
+  helper_assignments_.clear();
   return Status::OK();
 }
 

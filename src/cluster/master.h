@@ -3,6 +3,8 @@
 
 #include <functional>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "cluster/cluster.h"
@@ -60,12 +62,69 @@ class Repartitioner {
   /// node can be powered off (scale-in, §3.4).
   virtual Status Drain(NodeId victim, std::function<void()> done) = 0;
 
+  /// Whether Drain can empty a node at all. Physical partitioning cannot
+  /// transfer ownership, so the master's flaky-node drain-and-exclude
+  /// degrades to restart-in-place under it.
+  virtual bool SupportsDrain() const { return true; }
+
   virtual bool InProgress() const = 0;
 
   /// Notification that `down` crashed. Implementations abandon queued move
   /// tasks whose source or target died and let in-flight copies abort
   /// instead of installing onto (or from) a dead node. Default: no-op.
   virtual void OnNodeFailure(NodeId down) { (void)down; }
+};
+
+/// What the self-healing control loop does with nodes it declares dead.
+/// §3.4 has the master continuously correlating node reports with cluster
+/// state and *reacting* — node departure is a first-class event, not an
+/// operator command.
+struct RecoveryPolicy {
+  /// React to detected failures. Off: the detector still declares nodes
+  /// dead (and notifies the scheme) but never restarts or drains — the
+  /// "without auto-healing" baseline of bench_self_healing.
+  bool auto_heal = true;
+  /// Consecutive missed Monitor::Sample windows before a previously-active
+  /// node is declared dead (k).
+  int declare_dead_after = 2;
+  /// Restart-in-place until a node has been declared dead this many times;
+  /// from then on it is treated as flaky — restarted once more for data
+  /// access, drained onto survivors, powered off, and excluded from any
+  /// future recruitment. 0 disables (always restart in place). Requires a
+  /// scheme with SupportsDrain(); otherwise restart-in-place is kept.
+  int exclude_after_crashes = 0;
+  /// Wait between declaring a node dead and issuing its restart.
+  SimTime restart_backoff = 0;
+  /// When an attached helper dies: after falling the assisted nodes back to
+  /// local logging, recruit a standby node as the replacement helper.
+  bool replace_failed_helpers = true;
+};
+
+/// One decision of the master's control loop, timestamped in simulated
+/// time. Db::control_events() exposes the full timeline so benches and
+/// tests can assert *when* the master detected, restarted, drained, or
+/// failed over — without scraping logs.
+enum class ControlEventType {
+  kScaleOut,        ///< CPU threshold crossed; standby node enlisted.
+  kScaleIn,         ///< All nodes under the lower bound; node drained.
+  kNodeSuspected,   ///< First missed heartbeat window.
+  kNodeDeclaredDead,///< k consecutive windows missed.
+  kRestartIssued,   ///< Auto-restart handed to the recovery subsystem.
+  kNodeRecovered,   ///< Redo finished; node serving again.
+  kDrainStarted,    ///< Flaky node: drain of its data onto survivors began.
+  kNodeExcluded,    ///< Drained, powered off, barred from future duty.
+  kHelperLost,      ///< An attached helper was declared dead.
+  kHelperFallback,  ///< An assisted node fell back to local logging.
+  kHelperRecruited, ///< A standby was wired as the replacement helper.
+};
+
+const char* ToString(ControlEventType type);
+
+struct ControlEvent {
+  SimTime at = 0;
+  ControlEventType type = ControlEventType::kScaleOut;
+  NodeId node;
+  std::string detail;
 };
 
 /// Thresholds and cadence of the master's control loop (§3.4).
@@ -82,20 +141,43 @@ struct MasterPolicy {
   /// threshold (§3.4: decisions consider "the expected future workloads").
   bool use_forecast = false;
   SimTime forecast_horizon = 30 * kUsPerSec;
+  /// Failure detection and self-healing knobs.
+  RecoveryPolicy recovery;
 };
 
 /// The master node's control plane: watches node utilization, decides when
-/// to power nodes on/off, and triggers repartitioning through the active
-/// scheme. Query routing itself lives in Cluster::Route; this class is the
-/// elasticity controller.
+/// to power nodes on/off, triggers repartitioning through the active
+/// scheme, and — since the self-healing loop — detects node failures from
+/// missed heartbeat windows and reacts per RecoveryPolicy: restart in
+/// place, drain-and-exclude flaky nodes, and fail over dead helper nodes.
+/// Query routing itself lives in Cluster::Route; this class is the
+/// elasticity and availability controller.
 class Master {
  public:
+  /// Issues a restart (boot + redo) of a crashed node; the callback fires
+  /// at the simulated time recovery completes, with a human-readable
+  /// summary. Wired by the Db facade to fault::RecoveryManager::Restart —
+  /// the master itself stays ignorant of the fault subsystem's types.
+  using RestartFn =
+      std::function<Status(NodeId, std::function<void(const std::string&)>)>;
+  /// Ground-truth "crashed and not yet recovered" probe (RecoveryManager::
+  /// IsDown). Used only as a recruitment guard — detection itself is
+  /// heartbeat-based.
+  using IsDownFn = std::function<bool(NodeId)>;
+
   Master(Cluster* cluster, Repartitioner* repartitioner,
          MasterPolicy policy = MasterPolicy());
 
   /// Start the periodic control loop.
   void Start();
   void Stop() { running_ = false; }
+
+  /// Wire the self-healing actions to the recovery subsystem. Without a
+  /// restart hook the detector still declares nodes dead but cannot heal.
+  void SetRecoveryHooks(RestartFn restart, IsDownFn is_down) {
+    restart_fn_ = std::move(restart);
+    is_down_fn_ = std::move(is_down);
+  }
 
   /// Explicitly trigger a rebalance onto `extra_nodes` standby nodes,
   /// moving `fraction` of the data (the Fig. 6 experiment: 2 -> 4 nodes,
@@ -117,10 +199,52 @@ class Master {
   int scale_out_events() const { return scale_out_events_; }
   int scale_in_events() const { return scale_in_events_; }
 
+  // --- Self-healing observers ---------------------------------------------
+  /// Timeline of control decisions, in simulated-time order.
+  const std::vector<ControlEvent>& control_events() const {
+    return control_events_;
+  }
+  /// Called synchronously for every event as it is emitted.
+  void set_control_event_listener(std::function<void(const ControlEvent&)> f) {
+    event_listener_ = std::move(f);
+  }
+  /// Nodes declared dead by the heartbeat detector so far.
+  int nodes_declared_dead() const { return nodes_declared_dead_; }
+  /// Restarts the master issued itself (no operator call).
+  int auto_restarts() const { return auto_restarts_; }
+  int helper_failovers() const { return helper_failovers_; }
+  /// Times the detector has declared `node` dead (the flaky counter).
+  int crash_count(NodeId node) const {
+    auto it = crash_counts_.find(node);
+    return it == crash_counts_.end() ? 0 : it->second;
+  }
+  /// Drained, powered off, and barred from future recruitment.
+  bool IsExcluded(NodeId node) const { return excluded_.count(node) > 0; }
+
  private:
   void ControlTick();
   void MaybeScaleOut(const std::vector<NodeStats>& stats);
   void MaybeScaleIn(const std::vector<NodeStats>& stats);
+
+  // Self-healing internals.
+  void CheckHeartbeats(const std::vector<NodeStats>& stats);
+  void DeclareDead(NodeId node);
+  /// Issue the restart of a declared-dead node, retrying while the node is
+  /// busy booting elsewhere; `drain_after` runs drain-and-exclude once
+  /// recovered (the flaky-node path).
+  void IssueRestart(NodeId node, bool drain_after, int attempt);
+  void StartDrainAndExclude(NodeId node, int attempt);
+  void HandleHelperFailure(NodeId helper);
+  /// A standby node the master may boot: not excluded, not a known-crashed
+  /// or suspected node.
+  bool EligibleRecruit(NodeId node) const;
+  void Emit(ControlEventType type, NodeId node, std::string detail);
+  /// Stop expecting heartbeats from a node the master took down itself.
+  void Unwatch(NodeId node) {
+    watched_.erase(node);
+    missed_.erase(node);
+    healing_.erase(node);
+  }
 
   Cluster* cluster_;
   Repartitioner* repartitioner_;
@@ -135,6 +259,27 @@ class Master {
 
   std::vector<NodeId> active_helpers_;
   std::vector<NodeId> assisted_nodes_;
+  size_t remote_buffer_pages_ = 0;
+  /// helper -> the assisted nodes shipping their log to it.
+  std::unordered_map<NodeId, std::vector<NodeId>> helper_assignments_;
+
+  RestartFn restart_fn_;
+  IsDownFn is_down_fn_;
+  std::function<void(const ControlEvent&)> event_listener_;
+  std::vector<ControlEvent> control_events_;
+  /// Nodes seen active at least once and not deliberately taken down —
+  /// these are expected to report every window.
+  std::unordered_set<NodeId> watched_;
+  /// Consecutive missed windows per watched node.
+  std::unordered_map<NodeId, int> missed_;
+  /// Declared dead with a restart in flight; suppresses re-declaration
+  /// while the node boots and redoes.
+  std::unordered_set<NodeId> healing_;
+  std::unordered_set<NodeId> excluded_;
+  std::unordered_map<NodeId, int> crash_counts_;
+  int nodes_declared_dead_ = 0;
+  int auto_restarts_ = 0;
+  int helper_failovers_ = 0;
 };
 
 }  // namespace wattdb::cluster

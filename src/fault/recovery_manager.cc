@@ -63,6 +63,7 @@ Status RecoveryManager::Crash(NodeId node) {
 
   crashed_at_[node] = now;
   ++crashes_;
+  ++crashes_by_node_[node];
   WATTDB_INFO("fault: node " << node.value() << " crashed at t="
                              << ToSeconds(now) << "s (" << wiped
                              << " unflushed insert(s) lost)");

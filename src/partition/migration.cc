@@ -134,9 +134,31 @@ Status MigrationManagerBase::Drain(NodeId victim, std::function<void()> done) {
         "physical partitioning cannot transfer ownership; scale-in "
         "impossible (paper §5.2)");
   }
-  // After the victim is empty, drop its (now segment-less) partitions so
-  // the node can power off (§3.4 scale-in protocol).
-  auto cleanup = [this, victim, done = std::move(done)]() {
+  StartDrainAttempt(victim, 0, std::move(done));
+  return Status::OK();
+}
+
+void MigrationManagerBase::StartDrainAttempt(NodeId victim, int attempt,
+                                             std::function<void()> done) {
+  constexpr int kMaxDrainAttempts = 3;
+  std::vector<MoveTask> plan = PlanDrain(victim);
+  // Retry only when this round had work to do: an empty plan with data
+  // left behind means no survivors exist, and another round cannot help.
+  const bool planned_any = !plan.empty();
+  auto cleanup = [this, victim, attempt, planned_any,
+                  done = std::move(done)]() mutable {
+    cluster::Node* v = cluster_->node(victim);
+    const bool remains = !cluster_->segments().SegmentsOn(victim).empty();
+    if (remains && planned_any && v != nullptr && v->IsActive() &&
+        attempt + 1 < kMaxDrainAttempts) {
+      WATTDB_INFO("drain: node " << victim.value()
+                                 << " still holds segments, re-planning "
+                                 << "(attempt " << attempt + 2 << ")");
+      StartDrainAttempt(victim, attempt + 1, std::move(done));
+      return;
+    }
+    // The victim is empty (or unsalvageable): drop its now segment-less
+    // partitions so the node can power off (§3.4 scale-in protocol).
     for (catalog::Partition* p :
          cluster_->catalog().PartitionsOwnedBy(victim)) {
       if (p->segment_count() == 0) {
@@ -145,8 +167,7 @@ Status MigrationManagerBase::Drain(NodeId victim, std::function<void()> done) {
     }
     if (done) done();
   };
-  StartTasks(PlanDrain(victim), std::move(cleanup));
-  return Status::OK();
+  StartTasks(std::move(plan), std::move(cleanup));
 }
 
 void MigrationManagerBase::StartTasks(std::vector<MoveTask> tasks,

@@ -58,6 +58,7 @@ class MigrationManagerBase : public cluster::Repartitioner {
   Status StartRebalance(const std::vector<NodeId>& targets, double fraction,
                         std::function<void()> done) override;
   Status Drain(NodeId victim, std::function<void()> done) override;
+  bool SupportsDrain() const override { return TransfersOwnership(); }
   bool InProgress() const override { return stats_.running; }
 
   /// Crash notification: queued tasks whose source or target is `down` are
@@ -116,6 +117,14 @@ class MigrationManagerBase : public cluster::Repartitioner {
   void StartTasks(std::vector<MoveTask> tasks, std::function<void()> done);
   void RunNextTask();
   void FinishAll();
+
+  /// One round of PlanDrain + StartTasks. If the victim still holds
+  /// segments afterwards (a survivor died mid-drain and its tasks were
+  /// abandoned, or writes landed behind the planner), the remainder is
+  /// re-planned onto the nodes still standing — bounded by `attempt` so a
+  /// victim that died mid-drain cannot loop forever.
+  void StartDrainAttempt(NodeId victim, int attempt,
+                         std::function<void()> done);
 
   cluster::Cluster* cluster_;
   MigrationConfig config_;

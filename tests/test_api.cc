@@ -917,5 +917,297 @@ TEST(Db, RoutesExposeOwnership) {
   }
 }
 
+// --- Self-healing control loop ---------------------------------------------
+
+/// A fast control loop with elasticity disabled, so only the failure
+/// detector acts: 200 ms ticks, dead after 2 missed windows.
+cluster::MasterPolicy HealingPolicy() {
+  cluster::MasterPolicy policy;
+  policy.check_period = kUsPerSec / 5;
+  policy.stats_window = kUsPerSec / 2;
+  policy.enable_scale_out = false;
+  policy.enable_scale_in = false;
+  policy.recovery.declare_dead_after = 2;
+  return policy;
+}
+
+bool SawEvent(const Db& db, cluster::ControlEventType type, NodeId node) {
+  for (const auto& e : db.control_events()) {
+    if (e.type == type && e.node == node) return true;
+  }
+  return false;
+}
+
+TEST(DbOptions, ValidatesMasterPolicy) {
+  auto with = [](void (*mutate)(cluster::MasterPolicy&)) {
+    cluster::MasterPolicy policy;
+    mutate(policy);
+    return Db::Open(DbOptions()
+                        .WithNodes(2)
+                        .WithActiveNodes(1)
+                        .WithoutTpccLoad()
+                        .WithMasterLoop(policy));
+  };
+
+  auto bad_period =
+      with([](cluster::MasterPolicy& p) { p.check_period = 0; });
+  ASSERT_FALSE(bad_period.ok());
+  EXPECT_TRUE(bad_period.status().IsInvalidArgument());
+  EXPECT_NE(bad_period.status().message().find("check_period"),
+            std::string::npos);
+
+  auto bad_window =
+      with([](cluster::MasterPolicy& p) { p.stats_window = -1; });
+  ASSERT_FALSE(bad_window.ok());
+  EXPECT_TRUE(bad_window.status().IsInvalidArgument());
+
+  auto inverted = with([](cluster::MasterPolicy& p) {
+    p.cpu_lower = 0.9;
+    p.cpu_upper = 0.2;
+  });
+  ASSERT_FALSE(inverted.ok());
+  EXPECT_TRUE(inverted.status().IsInvalidArgument());
+  EXPECT_NE(inverted.status().message().find("cpu_lower"), std::string::npos);
+
+  auto out_of_range =
+      with([](cluster::MasterPolicy& p) { p.cpu_upper = 1.5; });
+  ASSERT_FALSE(out_of_range.ok());
+  EXPECT_TRUE(out_of_range.status().IsInvalidArgument());
+
+  auto bad_trigger =
+      with([](cluster::MasterPolicy& p) { p.trigger_after = 0; });
+  ASSERT_FALSE(bad_trigger.ok());
+  EXPECT_TRUE(bad_trigger.status().IsInvalidArgument());
+
+  auto bad_dead = with(
+      [](cluster::MasterPolicy& p) { p.recovery.declare_dead_after = 0; });
+  ASSERT_FALSE(bad_dead.ok());
+  EXPECT_TRUE(bad_dead.status().IsInvalidArgument());
+  EXPECT_NE(bad_dead.status().message().find("declare_dead_after"),
+            std::string::npos);
+
+  auto bad_backoff = with(
+      [](cluster::MasterPolicy& p) { p.recovery.restart_backoff = -1; });
+  ASSERT_FALSE(bad_backoff.ok());
+  EXPECT_TRUE(bad_backoff.status().IsInvalidArgument());
+
+  auto bad_exclude = with([](cluster::MasterPolicy& p) {
+    p.recovery.exclude_after_crashes = -2;
+  });
+  ASSERT_FALSE(bad_exclude.ok());
+  EXPECT_TRUE(bad_exclude.status().IsInvalidArgument());
+
+  auto good = with([](cluster::MasterPolicy&) {});
+  EXPECT_TRUE(good.ok()) << good.status().ToString();
+}
+
+TEST(SelfHealing, DetectorRestartsCrashedNodeWithoutOperatorCalls) {
+  auto opened = Db::Open(DbOptions()
+                             .WithNodes(4)
+                             .WithActiveNodes(2)
+                             .WithoutTpccLoad()
+                             .WithMasterLoop(HealingPolicy()));
+  ASSERT_TRUE(opened.ok());
+  Db& db = **opened;
+  Session session = db.OpenSession();
+  StatusOr<TableId> table = db.CreateKvTable("t", 64, 1024);
+  ASSERT_TRUE(table.ok());
+  // [512, 1024) lives on node 1; these writes die with it and must come
+  // back via redo issued by the master, not by any Db::RestartNode call.
+  for (Key k = 600; k < 616; ++k) {
+    ASSERT_TRUE(session.Put(*table, k, std::vector<uint8_t>(64, 0xCD)).ok());
+  }
+  db.RunFor(kUsPerSec);  // The detector observes node 1 alive.
+
+  ASSERT_TRUE(db.CrashNode(NodeId(1)).ok());
+  EXPECT_TRUE(session.Get(*table, 600).status().IsUnavailable());
+
+  // No operator restart: the heartbeat detector must declare the node dead
+  // after 2 missed windows and heal it (5 s boot + redo).
+  const SimTime t0 = db.Now();
+  while ((db.recovery().IsDown(NodeId(1)) ||
+          !db.cluster().node(NodeId(1))->IsActive()) &&
+         db.Now() < t0 + 30 * kUsPerSec) {
+    db.RunFor(kUsPerSec / 5);
+  }
+
+  EXPECT_TRUE(db.cluster().node(NodeId(1))->IsActive());
+  EXPECT_FALSE(db.recovery().IsDown(NodeId(1)));
+  EXPECT_EQ(db.master().nodes_declared_dead(), 1);
+  EXPECT_EQ(db.master().auto_restarts(), 1);
+  EXPECT_TRUE(SawEvent(db, cluster::ControlEventType::kNodeDeclaredDead,
+                       NodeId(1)));
+  EXPECT_TRUE(
+      SawEvent(db, cluster::ControlEventType::kRestartIssued, NodeId(1)));
+  EXPECT_TRUE(
+      SawEvent(db, cluster::ControlEventType::kNodeRecovered, NodeId(1)));
+  // Detection was fast: declared within ~2 windows + a tick of the crash.
+  for (const auto& e : db.control_events()) {
+    if (e.type == cluster::ControlEventType::kNodeDeclaredDead) {
+      EXPECT_LE(e.at - t0, kUsPerSec);
+    }
+  }
+
+  // The redo issued by the master rebuilt the wiped inserts.
+  for (Key k : {Key(600), Key(607), Key(615)}) {
+    StatusOr<storage::Record> rec = session.Get(*table, k);
+    ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+    EXPECT_EQ(rec->payload, std::vector<uint8_t>(64, 0xCD));
+  }
+}
+
+TEST(SelfHealing, AutoHealOffDetectsButNeverRestarts) {
+  cluster::MasterPolicy policy = HealingPolicy();
+  policy.recovery.auto_heal = false;
+  auto opened = Db::Open(DbOptions()
+                             .WithNodes(4)
+                             .WithActiveNodes(2)
+                             .WithoutTpccLoad()
+                             .WithMasterLoop(policy));
+  ASSERT_TRUE(opened.ok());
+  Db& db = **opened;
+  ASSERT_TRUE(db.CreateKvTable("t", 64, 1024).ok());
+  db.RunFor(kUsPerSec);
+  ASSERT_TRUE(db.CrashNode(NodeId(1)).ok());
+  db.RunFor(10 * kUsPerSec);
+  EXPECT_EQ(db.master().nodes_declared_dead(), 1);
+  EXPECT_EQ(db.master().auto_restarts(), 0);
+  EXPECT_FALSE(db.cluster().node(NodeId(1))->IsActive());
+  EXPECT_TRUE(db.recovery().IsDown(NodeId(1)));
+}
+
+TEST(SelfHealing, FlakyNodeIsDrainedAndExcluded) {
+  cluster::MasterPolicy policy = HealingPolicy();
+  policy.recovery.exclude_after_crashes = 2;
+  auto opened = Db::Open(DbOptions()
+                             .WithNodes(4)
+                             .WithActiveNodes(2)
+                             .WithoutTpccLoad()
+                             .WithMasterLoop(policy));
+  ASSERT_TRUE(opened.ok());
+  Db& db = **opened;
+  Session session = db.OpenSession();
+  StatusOr<TableId> table = db.CreateKvTable("t", 64, 1024);
+  ASSERT_TRUE(table.ok());
+  for (Key k = 600; k < 632; ++k) {
+    ASSERT_TRUE(session.Put(*table, k, std::vector<uint8_t>(64, 0x5A)).ok());
+  }
+  db.RunFor(kUsPerSec);
+
+  // Crash #1: restart-in-place.
+  ASSERT_TRUE(db.CrashNode(NodeId(1)).ok());
+  const SimTime t0 = db.Now();
+  while (db.recovery().IsDown(NodeId(1)) && db.Now() < t0 + 30 * kUsPerSec) {
+    db.RunFor(kUsPerSec / 5);
+  }
+  ASSERT_FALSE(db.recovery().IsDown(NodeId(1)));
+  EXPECT_FALSE(db.master().IsExcluded(NodeId(1)));
+  db.RunFor(kUsPerSec);  // Seen alive again.
+
+  // Crash #2: the node is now flaky — restart once more for data access,
+  // drain everything onto survivors, power off, exclude.
+  ASSERT_TRUE(db.CrashNode(NodeId(1)).ok());
+  const SimTime t1 = db.Now();
+  while (!db.master().IsExcluded(NodeId(1)) &&
+         db.Now() < t1 + 90 * kUsPerSec) {
+    db.RunFor(kUsPerSec / 5);
+  }
+
+  EXPECT_TRUE(db.master().IsExcluded(NodeId(1)));
+  EXPECT_FALSE(db.cluster().node(NodeId(1))->IsActive());
+  EXPECT_TRUE(db.cluster().catalog().PartitionsOwnedBy(NodeId(1)).empty());
+  EXPECT_TRUE(
+      SawEvent(db, cluster::ControlEventType::kDrainStarted, NodeId(1)));
+  EXPECT_TRUE(
+      SawEvent(db, cluster::ControlEventType::kNodeExcluded, NodeId(1)));
+  EXPECT_EQ(db.master().crash_count(NodeId(1)), 2);
+  // The detector's count agrees with the recovery subsystem's ground truth.
+  EXPECT_EQ(db.recovery().crash_count(NodeId(1)), 2);
+
+  // Every committed write survived the crashes and the drain: the key
+  // range moved to survivors with its data.
+  for (Key k = 600; k < 632; ++k) {
+    StatusOr<storage::Record> rec = session.Get(*table, k);
+    ASSERT_TRUE(rec.ok()) << "key " << k << ": " << rec.status().ToString();
+    EXPECT_EQ(rec->payload, std::vector<uint8_t>(64, 0x5A));
+  }
+}
+
+TEST(SelfHealing, HelperFailoverFallsBackRecruitsAndLosesNoWrites) {
+  auto opened = Db::Open(DbOptions()
+                             .WithNodes(5)
+                             .WithActiveNodes(2)
+                             .WithoutTpccLoad()
+                             .WithMasterLoop(HealingPolicy()));
+  ASSERT_TRUE(opened.ok());
+  Db& db = **opened;
+  Session session = db.OpenSession();
+  StatusOr<TableId> table = db.CreateKvTable("t", 64, 1024);
+  ASSERT_TRUE(table.ok());
+
+  // Node 2 becomes the helper shipping node 1's log (Fig. 8 wiring).
+  ASSERT_TRUE(
+      db.AttachHelpers({NodeId(2)}, {NodeId(1)}, /*remote_buffer_pages=*/256)
+          .ok());
+  db.RunFor(7 * kUsPerSec);  // Helper boots (5 s), wires, reports alive.
+  ASSERT_TRUE(db.cluster().node(NodeId(1))->log().HasHelper());
+
+  // Committed writes mid-log-shipping: their WAL records went to the
+  // helper; they must survive everything below.
+  for (Key k = 600; k < 632; ++k) {
+    ASSERT_TRUE(session.Put(*table, k, std::vector<uint8_t>(64, 0xE1)).ok());
+  }
+
+  // Crash the helper mid-shipping. The master must detach it, fall node 1
+  // back to local logging, and recruit a standby replacement.
+  ASSERT_TRUE(db.CrashNode(NodeId(2)).ok());
+  const SimTime t0 = db.Now();
+  while (db.Now() < t0 + 30 * kUsPerSec &&
+         !SawEvent(db, cluster::ControlEventType::kHelperRecruited,
+                   NodeId(3))) {
+    db.RunFor(kUsPerSec / 5);
+  }
+
+  EXPECT_TRUE(
+      SawEvent(db, cluster::ControlEventType::kHelperLost, NodeId(2)));
+  EXPECT_TRUE(
+      SawEvent(db, cluster::ControlEventType::kHelperFallback, NodeId(1)));
+  EXPECT_TRUE(
+      SawEvent(db, cluster::ControlEventType::kHelperRecruited, NodeId(3)));
+  EXPECT_EQ(db.master().helper_failovers(), 1);
+
+  // The replacement helper (node 3) boots and is re-wired.
+  db.RunFor(7 * kUsPerSec);
+  EXPECT_TRUE(db.cluster().node(NodeId(3))->IsActive());
+  EXPECT_TRUE(db.cluster().node(NodeId(1))->log().HasHelper());
+
+  // Writes committed while shipping to the replacement.
+  for (Key k = 632; k < 640; ++k) {
+    ASSERT_TRUE(session.Put(*table, k, std::vector<uint8_t>(64, 0xE2)).ok());
+  }
+
+  // Now crash the *assisted* node and let the master heal it: redo must
+  // replay every committed write — nothing was lost to the dead helper.
+  ASSERT_TRUE(db.CrashNode(NodeId(1)).ok());
+  const SimTime t1 = db.Now();
+  while ((db.recovery().IsDown(NodeId(1)) ||
+          !db.cluster().node(NodeId(1))->IsActive()) &&
+         db.Now() < t1 + 30 * kUsPerSec) {
+    db.RunFor(kUsPerSec / 5);
+  }
+  ASSERT_FALSE(db.recovery().IsDown(NodeId(1)));
+
+  for (Key k = 600; k < 632; ++k) {
+    StatusOr<storage::Record> rec = session.Get(*table, k);
+    ASSERT_TRUE(rec.ok()) << "key " << k << ": " << rec.status().ToString();
+    EXPECT_EQ(rec->payload, std::vector<uint8_t>(64, 0xE1));
+  }
+  for (Key k = 632; k < 640; ++k) {
+    StatusOr<storage::Record> rec = session.Get(*table, k);
+    ASSERT_TRUE(rec.ok()) << "key " << k << ": " << rec.status().ToString();
+    EXPECT_EQ(rec->payload, std::vector<uint8_t>(64, 0xE2));
+  }
+}
+
 }  // namespace
 }  // namespace wattdb
