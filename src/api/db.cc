@@ -86,6 +86,40 @@ StatusOr<std::unique_ptr<Db>> Db::Open(DbOptions options) {
         "got " +
         std::to_string(mp.recovery.exclude_after_crashes));
   }
+  // BalancePolicy misconfiguration is rejected even when disabled — a typo
+  // must surface the first time the options are used, not when the knob is
+  // eventually switched on.
+  const cluster::BalancePolicy& bp = mp.balance;
+  if (bp.trigger_ratio <= 1.0) {
+    return Status::InvalidArgument(
+        "BalancePolicy.trigger_ratio must be > 1 (hottest vs mean), got " +
+        std::to_string(bp.trigger_ratio));
+  }
+  if (bp.ewma_alpha <= 0.0 || bp.ewma_alpha > 1.0) {
+    return Status::InvalidArgument(
+        "BalancePolicy.ewma_alpha must lie in (0, 1], got " +
+        std::to_string(bp.ewma_alpha));
+  }
+  if (bp.trigger_after < 1) {
+    return Status::InvalidArgument(
+        "BalancePolicy.trigger_after must be >= 1, got " +
+        std::to_string(bp.trigger_after));
+  }
+  if (bp.cooldown < 0) {
+    return Status::InvalidArgument(
+        "BalancePolicy.cooldown must be >= 0, got " +
+        std::to_string(bp.cooldown));
+  }
+  if (bp.max_moves_per_round < 1) {
+    return Status::InvalidArgument(
+        "BalancePolicy.max_moves_per_round must be >= 1, got " +
+        std::to_string(bp.max_moves_per_round));
+  }
+  if (bp.min_total_heat < 0.0) {
+    return Status::InvalidArgument(
+        "BalancePolicy.min_total_heat must be >= 0, got " +
+        std::to_string(bp.min_total_heat));
+  }
   for (const fault::FaultPlan::Crash& crash : options.fault_plan.crashes) {
     if (!crash.node.valid() ||
         crash.node.value() >= static_cast<uint32_t>(options.cluster.num_nodes)) {
@@ -201,13 +235,19 @@ std::vector<TableRoute> Db::Routes(TableId table) const {
 }
 
 StatusOr<TableId> Db::CreateKvTable(const std::string& name, size_t value_bytes,
-                                    Key max_key) {
+                                    Key max_key,
+                                    int segments_per_partition) {
   if (name.empty()) {
     return Status::InvalidArgument("KV table needs a non-empty name");
   }
   if (value_bytes == 0 || max_key == 0) {
     return Status::InvalidArgument(
         "KV table needs value_bytes > 0 and a non-empty key space");
+  }
+  if (segments_per_partition < 0) {
+    return Status::InvalidArgument(
+        "segments_per_partition must be >= 0 (0 = lazy), got " +
+        std::to_string(segments_per_partition));
   }
   if (cluster_->catalog().GetSchemaByName(name) != nullptr) {
     return Status::AlreadyExists("table '" + name + "' already exists");
@@ -231,6 +271,23 @@ StatusOr<TableId> Db::CreateKvTable(const std::string& name, size_t value_bytes,
         cluster_->catalog().CreatePartition(table, actives[i]->id());
     WATTDB_RETURN_IF_ERROR(
         cluster_->catalog().AssignRange(table, KeyRange{lo, hi}, part->id()));
+    if (segments_per_partition > 0) {
+      // Pre-split so the partition's range is covered by several segments;
+      // a skewed workload then heats them unevenly and the balancer can
+      // peel the hottest ones off onto colder nodes.
+      const Key sub = std::max<Key>(
+          1, (hi - lo) / static_cast<Key>(segments_per_partition));
+      for (int j = 0; j < segments_per_partition; ++j) {
+        const Key slo = lo + static_cast<Key>(j) * sub;
+        if (slo >= hi) break;
+        const Key shi = (j + 1 == segments_per_partition)
+                            ? hi
+                            : std::min(hi, slo + sub);
+        auto seg = actives[i]->AllocateSegment(cluster_->Now(), part,
+                                               KeyRange{slo, shi});
+        WATTDB_RETURN_IF_ERROR(seg.status());
+      }
+    }
   }
   return table;
 }
@@ -269,12 +326,19 @@ StatusOr<workload::KvWorkload*> Db::AddKvWorkload(
     return Status::InvalidArgument(
         "KvConfig needs positive num_clients, batch_size, and num_keys");
   }
+  if (cfg.zipf_theta < 0.0 || cfg.zipf_theta >= 1.0) {
+    return Status::InvalidArgument(
+        "KvConfig.zipf_theta must lie in [0, 1) (Gray et al. generator), "
+        "got " +
+        std::to_string(cfg.zipf_theta));
+  }
   // One table per attached driver so several KV workloads can coexist.
   const std::string table_name = "kv-" + std::to_string(drivers_.size());
   WATTDB_ASSIGN_OR_RETURN(
       const TableId table,
       CreateKvTable(table_name, cfg.value_bytes,
-                    static_cast<Key>(cfg.num_keys)));
+                    static_cast<Key>(cfg.num_keys),
+                    cfg.segments_per_partition));
   auto kv = std::make_unique<workload::KvWorkload>(OpenSession(), table, cfg,
                                                    &cluster_->events());
   WATTDB_RETURN_IF_ERROR(kv->Load());

@@ -69,8 +69,13 @@ class Db {
   /// Create a generic single-column KV table whose key space [0, max_key)
   /// is range-partitioned evenly across the currently active nodes. The
   /// entry point for non-TPC-C scenarios driven through Session.
+  /// `segments_per_partition` > 0 pre-splits each partition's range into
+  /// that many segments up front — the granularity at which the heat
+  /// balancer can later move key ranges between nodes; 0 keeps the default
+  /// lazy materialization (one segment grown on first insert).
   StatusOr<TableId> CreateKvTable(const std::string& name, size_t value_bytes,
-                                  Key max_key);
+                                  Key max_key,
+                                  int segments_per_partition = 0);
 
   // --- Workload drivers ---------------------------------------------------
   /// Take ownership of any workload generator implementing WorkloadDriver

@@ -9,6 +9,7 @@ namespace wattdb::catalog {
 TableId GlobalPartitionTable::CreateTable(TableSchema schema) {
   const TableId id(next_table_id_++);
   schema.id = id;
+  schema_by_name_.emplace(schema.name, id);
   schemas_.emplace(id, std::move(schema));
   routes_.emplace(id, RangeMap{});
   return id;
@@ -21,10 +22,9 @@ const TableSchema* GlobalPartitionTable::GetSchema(TableId table) const {
 
 const TableSchema* GlobalPartitionTable::GetSchemaByName(
     const std::string& name) const {
-  for (const auto& [id, schema] : schemas_) {
-    if (schema.name == name) return &schema;
-  }
-  return nullptr;
+  auto it = schema_by_name_.find(name);
+  if (it == schema_by_name_.end()) return nullptr;
+  return GetSchema(it->second);
 }
 
 std::vector<TableId> GlobalPartitionTable::Tables() const {
@@ -54,16 +54,23 @@ const Partition* GlobalPartitionTable::GetPartition(PartitionId id) const {
   return it == partitions_.end() ? nullptr : it->second.get();
 }
 
+void GlobalPartitionTable::Unref(PartitionId id) {
+  if (!id.valid()) return;
+  auto it = route_refs_.find(id);
+  WATTDB_CHECK_MSG(it != route_refs_.end(), "route refcount underflow");
+  if (--it->second <= 0) route_refs_.erase(it);
+}
+
 Status GlobalPartitionTable::DropPartition(PartitionId id) {
   auto it = partitions_.find(id);
   if (it == partitions_.end()) return Status::NotFound("no such partition");
-  // Refuse to drop a partition that still routes traffic.
-  for (const auto& [table, rm] : routes_) {
-    for (const auto& [lo, e] : rm) {
-      if (e.primary == id || e.secondary == id) {
-        return Status::Busy("partition still routed");
-      }
-    }
+  // Refuse to drop a partition that still routes traffic — primary *or*
+  // stale secondary. The refcount is maintained by every routing mutator,
+  // so this is O(1) instead of a scan over all ranges of all tables.
+  if (RouteRefs(id) > 0) {
+    return Status::Busy("partition still routed (" +
+                        std::to_string(RouteRefs(id)) + " entry reference" +
+                        (RouteRefs(id) == 1 ? "" : "s") + ")");
   }
   partitions_.erase(it);
   return Status::OK();
@@ -98,6 +105,7 @@ void GlobalPartitionTable::SplitAt(RangeMap* rm, Key boundary) {
     RouteEntry right = e;
     right.range.lo = boundary;
     e.range.hi = boundary;
+    RefEntry(right);  // The clone references the same partitions again.
     rm->emplace(boundary, right);
   }
 }
@@ -116,8 +124,10 @@ Status GlobalPartitionTable::AssignRange(TableId table, const KeyRange& range,
   // Remove fully covered entries.
   auto it = rm.lower_bound(range.lo);
   while (it != rm.end() && it->second.range.lo < range.hi) {
+    UnrefEntry(it->second);
     it = rm.erase(it);
   }
+  Ref(partition);
   rm.emplace(range.lo, RouteEntry{range, partition, PartitionId::Invalid()});
   return Status::OK();
 }
@@ -131,6 +141,7 @@ Status GlobalPartitionTable::UnassignRange(TableId table,
   SplitAt(&rm, range.hi);
   auto it = rm.lower_bound(range.lo);
   while (it != rm.end() && it->second.range.lo < range.hi) {
+    UnrefEntry(it->second);
     it = rm.erase(it);
   }
   return Status::OK();
@@ -145,7 +156,9 @@ Status GlobalPartitionTable::BeginMove(TableId table, const KeyRange& range,
   SplitAt(&rm, range.hi);
   for (auto it = rm.lower_bound(range.lo);
        it != rm.end() && it->second.range.lo < range.hi; ++it) {
+    Unref(it->second.secondary);  // Overwriting a stale move's pointer.
     it->second.secondary = to;
+    Ref(to);
   }
   return Status::OK();
 }
@@ -159,7 +172,10 @@ Status GlobalPartitionTable::CompleteMove(TableId table, const KeyRange& range,
   SplitAt(&rm, range.hi);
   for (auto it = rm.lower_bound(range.lo);
        it != rm.end() && it->second.range.lo < range.hi; ++it) {
+    Unref(it->second.primary);
     it->second.primary = to;
+    Ref(to);
+    Unref(it->second.secondary);
     it->second.secondary = PartitionId::Invalid();
   }
   return Status::OK();
@@ -175,6 +191,7 @@ Status GlobalPartitionTable::AbortMove(TableId table, const KeyRange& range,
   for (auto it = rm.lower_bound(range.lo);
        it != rm.end() && it->second.range.lo < range.hi; ++it) {
     if (it->second.secondary == to) {
+      Unref(it->second.secondary);
       it->second.secondary = PartitionId::Invalid();
     }
   }
@@ -238,6 +255,19 @@ bool GlobalPartitionTable::CheckInvariants() const {
         }
       }
     }
+  }
+  // The incremental route refcounts agree with a full recount.
+  std::unordered_map<PartitionId, int> recount;
+  for (const auto& [table, rm] : routes_) {
+    for (const auto& [lo, e] : rm) {
+      ++recount[e.primary];
+      if (e.secondary.valid()) ++recount[e.secondary];
+    }
+  }
+  if (recount.size() != route_refs_.size()) return false;
+  for (const auto& [id, n] : recount) {
+    auto it = route_refs_.find(id);
+    if (it == route_refs_.end() || it->second != n) return false;
   }
   return true;
 }

@@ -83,17 +83,47 @@ class GlobalPartitionTable {
   /// the right table.
   bool CheckInvariants() const;
 
+  /// Routing entries currently referencing `partition` as primary or
+  /// secondary (the drop guard's O(1) source of truth).
+  int RouteRefs(PartitionId partition) const {
+    auto it = route_refs_.find(partition);
+    return it == route_refs_.end() ? 0 : it->second;
+  }
+
  private:
   using RangeMap = std::map<Key, RouteEntry>;  // Keyed by range.lo.
 
   /// Carve out `range` so that no entry straddles its boundaries.
   void SplitAt(RangeMap* rm, Key boundary);
 
+  /// Reference counting of partitions by routing entries: every entry's
+  /// primary and (valid) secondary holds one reference. Kept in sync by
+  /// Assign/Unassign/BeginMove/CompleteMove/AbortMove and SplitAt so
+  /// DropPartition's still-routed guard is O(1) instead of a scan over
+  /// every range of every table.
+  void Ref(PartitionId id) {
+    if (id.valid()) ++route_refs_[id];
+  }
+  void Unref(PartitionId id);
+  /// Reference both sides of one entry (insertion/removal helpers).
+  void RefEntry(const RouteEntry& e) {
+    Ref(e.primary);
+    Ref(e.secondary);
+  }
+  void UnrefEntry(const RouteEntry& e) {
+    Unref(e.primary);
+    Unref(e.secondary);
+  }
+
   uint32_t next_table_id_ = 1;
   uint32_t next_partition_id_ = 1;
   std::unordered_map<TableId, TableSchema> schemas_;
+  /// Name -> id, maintained by CreateTable (lookups by name were a linear
+  /// scan over all schemas and sit on the facade's table-open path).
+  std::unordered_map<std::string, TableId> schema_by_name_;
   std::unordered_map<PartitionId, std::unique_ptr<Partition>> partitions_;
   std::unordered_map<TableId, RangeMap> routes_;
+  std::unordered_map<PartitionId, int> route_refs_;
 };
 
 }  // namespace wattdb::catalog

@@ -189,15 +189,15 @@ void Cluster::AbortTxn(tx::Txn* txn) {
   }
 }
 
-catalog::Partition* Cluster::Route(tx::Txn* txn, TableId table, Key key) {
-  auto entry = catalog_.Route(table, key);
-  if (!entry.has_value()) return nullptr;
-  catalog::Partition* primary = catalog_.GetPartition(entry->primary);
+catalog::Partition* Cluster::ResolveRoute(tx::Txn* txn,
+                                          const catalog::RouteEntry& entry,
+                                          Key key) {
+  catalog::Partition* primary = catalog_.GetPartition(entry.primary);
   if (primary == nullptr) return nullptr;
   // Two-pointer protocol: while a move is in flight the primary may no
   // longer (or not yet) cover the key — probe it, then follow to the
   // secondary/forwarding target (§4.3 Correctness).
-  if (primary->SegmentFor(key).valid() || !entry->secondary.valid()) {
+  if (primary->SegmentFor(key).valid() || !entry.secondary.valid()) {
     if (primary->state() == catalog::PartitionState::kForwarding &&
         primary->forward_to().valid() && !primary->SegmentFor(key).valid()) {
       catalog::Partition* fwd = catalog_.GetPartition(primary->forward_to());
@@ -209,7 +209,7 @@ catalog::Partition* Cluster::Route(tx::Txn* txn, TableId table, Key key) {
     }
     return primary;
   }
-  catalog::Partition* secondary = catalog_.GetPartition(entry->secondary);
+  catalog::Partition* secondary = catalog_.GetPartition(entry.secondary);
   if (secondary != nullptr && secondary->SegmentFor(key).valid()) {
     if (txn != nullptr) ChargeClientHop(txn, primary->owner(), 64, 64);
     return secondary;
@@ -217,12 +217,20 @@ catalog::Partition* Cluster::Route(tx::Txn* txn, TableId table, Key key) {
   return primary;
 }
 
+catalog::Partition* Cluster::Route(tx::Txn* txn, TableId table, Key key) {
+  auto entry = catalog_.Route(table, key);
+  if (!entry.has_value()) return nullptr;
+  return ResolveRoute(txn, *entry, key);
+}
+
 std::pair<catalog::Partition*, catalog::Partition*> Cluster::RouteBoth(
     tx::Txn* txn, TableId table, Key key) {
+  // One catalog lookup feeds both pointers — this runs once per key on
+  // every data-plane operation.
   auto entry = catalog_.Route(table, key);
   if (!entry.has_value()) return {nullptr, nullptr};
+  catalog::Partition* first = ResolveRoute(txn, *entry, key);
   catalog::Partition* primary = catalog_.GetPartition(entry->primary);
-  catalog::Partition* first = Route(txn, table, key);
   catalog::Partition* second = nullptr;
   if (entry->secondary.valid()) {
     catalog::Partition* sec = catalog_.GetPartition(entry->secondary);

@@ -135,6 +135,13 @@ class Cluster {
  private:
   void SampleTick();
 
+  /// Shared resolution core of Route/RouteBoth: pick the serving partition
+  /// for `key` out of one already-fetched routing entry (primary, or the
+  /// secondary / forwarding target mid-move), charging redirect probes to
+  /// `txn`. Both public entry points pay exactly one catalog lookup.
+  catalog::Partition* ResolveRoute(tx::Txn* txn,
+                                   const catalog::RouteEntry& entry, Key key);
+
   ClusterConfig config_;
   sim::Clock clock_;
   sim::EventQueue events_;

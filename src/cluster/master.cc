@@ -27,6 +27,10 @@ const char* ToString(ControlEventType type) {
     case ControlEventType::kHelperLost: return "helper-lost";
     case ControlEventType::kHelperFallback: return "helper-fallback";
     case ControlEventType::kHelperRecruited: return "helper-recruited";
+    case ControlEventType::kHeatImbalance: return "heat-imbalance";
+    case ControlEventType::kHeatMovePlanned: return "heat-move-planned";
+    case ControlEventType::kHeatMoveAbandoned: return "heat-move-abandoned";
+    case ControlEventType::kHeatRebalanced: return "heat-rebalanced";
   }
   return "unknown";
 }
@@ -69,6 +73,7 @@ void Master::ControlTick() {
   }
   forecaster_.Observe(cluster_->Now(), max_cpu);
   CheckHeartbeats(stats);
+  MaybeBalanceHeat();
   if (repartitioner_ == nullptr || !repartitioner_->InProgress()) {
     MaybeScaleOut(stats);
     MaybeScaleIn(stats);
@@ -377,6 +382,197 @@ void Master::MaybeScaleIn(const std::vector<NodeStats>& stats) {
     WATTDB_INFO("scale-in: node " << victim.value() << " off: "
                                   << s.ToString());
   });
+}
+
+void Master::MaybeBalanceHeat() {
+  const BalancePolicy& bp = policy_.balance;
+  if (!bp.enabled || repartitioner_ == nullptr) return;
+  // Advance the EWMA every tick — idle windows must cool segments down.
+  monitor_.UpdateHeat(policy_.check_period, bp.ewma_alpha);
+  if (!repartitioner_->SupportsDrain()) return;  // Needs ownership transfer.
+
+  const auto node_heat = monitor_.NodeHeats();
+  // Mean over serving nodes: a cold node with zero heat pulls the mean
+  // down — that is the point, it has spare capacity. Helpers are neither
+  // counted nor targeted; they hold no partitions.
+  double total = 0.0;
+  int serving = 0;
+  NodeId hot = NodeId::Invalid();
+  double hot_heat = 0.0;
+  for (Node* n : cluster_->ActiveNodes()) {
+    if (helper_assignments_.count(n->id()) > 0) continue;
+    ++serving;
+    auto it = node_heat.find(n->id());
+    const double h = it == node_heat.end() ? 0.0 : it->second;
+    total += h;
+    if (h > hot_heat) {
+      hot_heat = h;
+      hot = n->id();
+    }
+  }
+  if (serving < 2 || total < bp.min_total_heat || !hot.valid()) {
+    heat_over_count_ = 0;
+    return;
+  }
+  const double mean = total / serving;
+  if (hot_heat <= bp.trigger_ratio * mean) {
+    heat_over_count_ = 0;
+    return;
+  }
+  // The violation streak is evaluated on EVERY tick — including ticks where
+  // a migration is in flight or the cooldown gate is closed — so that
+  // "trigger_after consecutive imbalanced ticks" really means consecutive:
+  // one balanced tick anywhere resets the streak.
+  ++heat_over_count_;
+  if (heat_over_count_ < bp.trigger_after) return;
+  if (heat_round_in_flight_ || repartitioner_->InProgress()) return;
+  if (cluster_->Now() < next_balance_at_) return;
+  heat_over_count_ = 0;
+
+  std::vector<SegmentMove> plan = PlanHeatMoves(hot, mean, node_heat);
+  if (plan.empty()) return;  // Imbalanced but nothing movable right now
+                             // (cooldowns, or no move narrows the gap).
+  heat_round_in_flight_ = true;
+  const Status started =
+      repartitioner_->StartMoves(plan, [this, plan]() {
+        FinishHeatRound(plan);
+      });
+  if (!started.ok()) {
+    // A scheme that cannot (or will not) execute the plan must not be
+    // re-asked every trigger_after ticks — back off one full cooldown so
+    // neither the event log nor the counters tell a story of rounds that
+    // never ran.
+    heat_round_in_flight_ = false;
+    next_balance_at_ = cluster_->Now() + bp.cooldown;
+    WATTDB_WARN("master: heat rebalance failed to start: "
+                << started.ToString());
+    return;
+  }
+  ++heat_rebalances_;
+  heat_moves_planned_ += static_cast<int>(plan.size());
+  Emit(ControlEventType::kHeatImbalance, hot,
+       "node heat " + std::to_string(static_cast<int64_t>(hot_heat)) +
+           " ops/s vs mean " + std::to_string(static_cast<int64_t>(mean)) +
+           " over " + std::to_string(serving) + " nodes (trigger ratio " +
+           std::to_string(bp.trigger_ratio) + "); moving " +
+           std::to_string(plan.size()) + " segment(s)");
+  for (const auto& m : plan) {
+    Emit(ControlEventType::kHeatMovePlanned, m.dst_node,
+         "segment " + std::to_string(m.segment.value()) + " (heat " +
+             std::to_string(
+                 static_cast<int64_t>(monitor_.HeatOf(m.segment))) +
+             " ops/s) node " + std::to_string(m.src_node.value()) + " -> " +
+             std::to_string(m.dst_node.value()));
+  }
+}
+
+std::vector<SegmentMove> Master::PlanHeatMoves(
+    NodeId hot, double mean,
+    const std::unordered_map<NodeId, double>& node_heat) {
+  const BalancePolicy& bp = policy_.balance;
+  const SimTime now = cluster_->Now();
+
+  // Candidates: every segment of every partition the hot node owns that is
+  // warm and not cooling down from a recent move, hottest first.
+  struct Candidate {
+    SegmentMove move;
+    double heat;
+  };
+  std::vector<Candidate> candidates;
+  for (catalog::Partition* part :
+       cluster_->catalog().PartitionsOwnedBy(hot)) {
+    for (const auto& e : part->top_index().All()) {
+      const double h = monitor_.HeatOf(e.segment);
+      if (h <= 0.0) continue;
+      auto cd = segment_cooldown_until_.find(e.segment);
+      if (cd != segment_cooldown_until_.end() && now < cd->second) continue;
+      candidates.push_back(
+          {SegmentMove{part->table(), e.segment, e.range, part->id(), hot,
+                       NodeId::Invalid()},
+           h});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.heat > b.heat;
+            });
+
+  // Eligible targets: active serving nodes that are not suspected, healing,
+  // or (per ground truth) down.
+  std::vector<std::pair<NodeId, double>> targets;
+  for (Node* n : cluster_->ActiveNodes()) {
+    if (n->id() == hot) continue;
+    if (helper_assignments_.count(n->id()) > 0) continue;
+    if (healing_.count(n->id()) > 0 || missed_.count(n->id()) > 0) continue;
+    if (is_down_fn_ && is_down_fn_(n->id())) continue;
+    auto it = node_heat.find(n->id());
+    targets.push_back(
+        {n->id(), it == node_heat.end() ? 0.0 : it->second});
+  }
+  if (targets.empty()) return {};
+
+  auto hh = node_heat.find(hot);
+  double hot_heat = hh == node_heat.end() ? 0.0 : hh->second;
+  std::vector<SegmentMove> plan;
+  for (auto& c : candidates) {
+    if (static_cast<int>(plan.size()) >= bp.max_moves_per_round) break;
+    if (hot_heat <= mean) break;  // Projected back at the mean: done.
+    auto cold = std::min_element(
+        targets.begin(), targets.end(),
+        [](const auto& a, const auto& b) { return a.second < b.second; });
+    // Only move when it strictly narrows the gap — a segment so hot that
+    // the receiver would end up hotter than the donor merely relocates the
+    // hotspot (and would ping-pong right back).
+    if (cold->second + c.heat >= hot_heat) continue;
+    c.move.dst_node = cold->first;
+    plan.push_back(c.move);
+    hot_heat -= c.heat;
+    cold->second += c.heat;
+  }
+  return plan;
+}
+
+void Master::FinishHeatRound(const std::vector<SegmentMove>& plan) {
+  heat_round_in_flight_ = false;
+  const SimTime now = cluster_->Now();
+  next_balance_at_ = now + policy_.balance.cooldown;
+  int moved = 0;
+  int abandoned = 0;
+  for (const auto& m : plan) {
+    // Installed iff the range now routes to a partition owned by the
+    // target (CompleteMove flipped the primary). A crash mid-move leaves
+    // ownership at the source — those segments re-enter planning once the
+    // trigger next fires, with no cooldown stamp.
+    const auto entry = cluster_->catalog().Route(m.table, m.range.lo);
+    const catalog::Partition* owner_part =
+        entry.has_value() ? cluster_->catalog().GetPartition(entry->primary)
+                          : nullptr;
+    const bool installed =
+        owner_part != nullptr && owner_part->owner() == m.dst_node;
+    if (installed) {
+      ++moved;
+      ++heat_moves_completed_;
+      // Twice the round cooldown: strictly outlives the next_balance_at_
+      // gate stamped above, so the next round can never bounce this
+      // segment straight back.
+      segment_cooldown_until_[m.segment] =
+          now + 2 * policy_.balance.cooldown;
+    } else {
+      ++abandoned;
+      ++heat_moves_abandoned_;
+      Emit(ControlEventType::kHeatMoveAbandoned, m.src_node,
+           "segment " + std::to_string(m.segment.value()) +
+               " never installed on node " +
+               std::to_string(m.dst_node.value()) +
+               " (endpoint crashed mid-move); will re-plan");
+    }
+  }
+  Emit(ControlEventType::kHeatRebalanced,
+       plan.empty() ? NodeId::Invalid() : plan.front().src_node,
+       std::to_string(moved) + " segment(s) moved, " +
+           std::to_string(abandoned) + " abandoned; next round no earlier "
+           "than t=" +
+           std::to_string(ToSeconds(next_balance_at_)) + "s");
 }
 
 Status Master::TriggerRebalance(const std::vector<NodeId>& targets,

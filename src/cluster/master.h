@@ -39,6 +39,19 @@ struct RebalanceStats {
   }
 };
 
+/// One targeted segment move, as planned by the master's heat balancer:
+/// this segment's key range leaves its source partition for `dst_node`.
+/// Executed by the scheme with the same §4.3 protocol as fraction-based
+/// rebalancing (two-pointer routing, drain, crash abandonment).
+struct SegmentMove {
+  TableId table;
+  SegmentId segment;
+  KeyRange range;
+  PartitionId src_partition;
+  NodeId src_node;
+  NodeId dst_node;
+};
+
 /// Abstract repartitioning engine the master drives. Implemented by the
 /// three schemes in src/partition (physical, logical, physiological) and
 /// extensible through the scheme registry in src/api.
@@ -61,6 +74,17 @@ class Repartitioner {
   /// Move everything owned by `victim` to the remaining active nodes so the
   /// node can be powered off (scale-in, §3.4).
   virtual Status Drain(NodeId victim, std::function<void()> done) = 0;
+
+  /// Execute an explicit list of segment moves (the heat balancer's plan).
+  /// `done` fires when every move completed or was abandoned; progress and
+  /// failures land in stats() like any other rebalance. Schemes that cannot
+  /// transfer ownership reject with NotSupported.
+  virtual Status StartMoves(const std::vector<SegmentMove>& moves,
+                            std::function<void()> done) {
+    (void)moves;
+    (void)done;
+    return Status::NotSupported(name() + " does not support targeted moves");
+  }
 
   /// Whether Drain can empty a node at all. Physical partitioning cannot
   /// transfer ownership, so the master's flaky-node drain-and-exclude
@@ -100,6 +124,33 @@ struct RecoveryPolicy {
   bool replace_failed_helpers = true;
 };
 
+/// Heat-driven rebalancing knobs (§3.4: the master correlates node load
+/// with per-partition activity to locate — and fix — the source of
+/// imbalance). When the hottest node's EWMA heat exceeds `trigger_ratio`
+/// times the active-node mean for `trigger_after` consecutive control
+/// ticks, the master moves the node's hottest segments onto the coldest
+/// eligible nodes through the scheme's targeted-move machinery.
+struct BalancePolicy {
+  bool enabled = false;
+  /// Hottest node heat > trigger_ratio × mean heat counts as imbalanced.
+  double trigger_ratio = 1.5;
+  /// Smoothing of the per-segment heat EWMA (1 = last window only).
+  double ewma_alpha = 0.5;
+  /// Consecutive imbalanced ticks before acting (hysteresis).
+  int trigger_after = 2;
+  /// After a rebalance completes, no new one triggers for this long. A
+  /// segment moved successfully is banned from moving again for *twice*
+  /// this window — strictly longer than the round gate, so the first
+  /// round after a cooldown can never bounce a just-moved segment back
+  /// (ping-pong guard).
+  SimTime cooldown = 20 * kUsPerSec;
+  /// Segment-move budget of one rebalance round.
+  int max_moves_per_round = 4;
+  /// Total cluster heat (ops/s) below which the balancer stays quiet — an
+  /// idle cluster's noise must not shuffle segments.
+  double min_total_heat = 50.0;
+};
+
 /// One decision of the master's control loop, timestamped in simulated
 /// time. Db::control_events() exposes the full timeline so benches and
 /// tests can assert *when* the master detected, restarted, drained, or
@@ -116,6 +167,10 @@ enum class ControlEventType {
   kHelperLost,      ///< An attached helper was declared dead.
   kHelperFallback,  ///< An assisted node fell back to local logging.
   kHelperRecruited, ///< A standby was wired as the replacement helper.
+  kHeatImbalance,   ///< Sustained skew: hottest node over trigger_ratio×mean.
+  kHeatMovePlanned, ///< One hot segment scheduled to move to a cold node.
+  kHeatMoveAbandoned,///< A planned heat move did not install (crash mid-move).
+  kHeatRebalanced,  ///< A heat-rebalance round finished; detail has counts.
 };
 
 const char* ToString(ControlEventType type);
@@ -143,6 +198,8 @@ struct MasterPolicy {
   SimTime forecast_horizon = 30 * kUsPerSec;
   /// Failure detection and self-healing knobs.
   RecoveryPolicy recovery;
+  /// Heat-driven rebalancing knobs (skew reaction, §3.4).
+  BalancePolicy balance;
 };
 
 /// The master node's control plane: watches node utilization, decides when
@@ -221,10 +278,32 @@ class Master {
   /// Drained, powered off, and barred from future recruitment.
   bool IsExcluded(NodeId node) const { return excluded_.count(node) > 0; }
 
+  // --- Heat-balancing observers -------------------------------------------
+  /// Rebalance rounds the heat balancer started.
+  int heat_rebalances() const { return heat_rebalances_; }
+  /// Segment moves the heat balancer planned / saw installed / abandoned.
+  int heat_moves_planned() const { return heat_moves_planned_; }
+  int heat_moves_completed() const { return heat_moves_completed_; }
+  int heat_moves_abandoned() const { return heat_moves_abandoned_; }
+
  private:
   void ControlTick();
   void MaybeScaleOut(const std::vector<NodeStats>& stats);
   void MaybeScaleIn(const std::vector<NodeStats>& stats);
+
+  // Heat balancing internals.
+  /// Update the monitor's heat EWMA and, when the imbalance trigger has
+  /// held for `trigger_after` ticks, plan and start a round of moves.
+  void MaybeBalanceHeat();
+  /// Greedy plan: hottest segments of `hot` onto the coldest eligible
+  /// nodes until the projected hot-node heat reaches the mean or the move
+  /// budget runs out. Respects per-segment cooldowns.
+  std::vector<SegmentMove> PlanHeatMoves(
+      NodeId hot, double mean,
+      const std::unordered_map<NodeId, double>& node_heat);
+  /// Completion bookkeeping for one round: verify which planned moves
+  /// installed, stamp cooldowns, emit the completion/abandonment events.
+  void FinishHeatRound(const std::vector<SegmentMove>& plan);
 
   // Self-healing internals.
   void CheckHeartbeats(const std::vector<NodeStats>& stats);
@@ -280,6 +359,17 @@ class Master {
   int nodes_declared_dead_ = 0;
   int auto_restarts_ = 0;
   int helper_failovers_ = 0;
+
+  // Heat balancing state.
+  int heat_over_count_ = 0;        ///< Consecutive imbalanced ticks.
+  bool heat_round_in_flight_ = false;
+  SimTime next_balance_at_ = 0;    ///< Cooldown gate for the next round.
+  /// Segments that moved successfully may not move again before this time.
+  std::unordered_map<SegmentId, SimTime> segment_cooldown_until_;
+  int heat_rebalances_ = 0;
+  int heat_moves_planned_ = 0;
+  int heat_moves_completed_ = 0;
+  int heat_moves_abandoned_ = 0;
 };
 
 }  // namespace wattdb::cluster

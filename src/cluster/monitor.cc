@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "cluster/cluster.h"
 
@@ -53,6 +54,49 @@ std::vector<SegmentHeat> Monitor::SampleSegments() {
       out.push_back(h);
     }
   }
+  return out;
+}
+
+void Monitor::UpdateHeat(SimTime window, double alpha) {
+  if (window <= 0) return;
+  const double secs = ToSeconds(window);
+  std::unordered_set<SegmentId> seen;
+  for (const SegmentHeat& h : SampleSegments()) {
+    const double rate = static_cast<double>(h.reads + h.writes) / secs;
+    auto it = heat_.find(h.segment);
+    if (it == heat_.end()) {
+      heat_.emplace(h.segment, HeatEntry{h.segment, h.storage_node, rate});
+    } else {
+      it->second.node = h.storage_node;
+      it->second.heat = alpha * rate + (1.0 - alpha) * it->second.heat;
+    }
+    seen.insert(h.segment);
+  }
+  // Dropped segments (merged away, or their node's bookkeeping gone): decay
+  // as if idle, and forget them once their heat is noise.
+  constexpr double kNegligible = 1e-3;
+  for (auto it = heat_.begin(); it != heat_.end();) {
+    if (seen.count(it->first) == 0) {
+      it->second.heat *= 1.0 - alpha;
+      if (it->second.heat < kNegligible) {
+        it = heat_.erase(it);
+        continue;
+      }
+    }
+    ++it;
+  }
+}
+
+std::vector<HeatEntry> Monitor::SegmentHeats() const {
+  std::vector<HeatEntry> out;
+  out.reserve(heat_.size());
+  for (const auto& [seg, entry] : heat_) out.push_back(entry);
+  return out;
+}
+
+std::unordered_map<NodeId, double> Monitor::NodeHeats() const {
+  std::unordered_map<NodeId, double> out;
+  for (const auto& [seg, entry] : heat_) out[entry.node] += entry.heat;
   return out;
 }
 

@@ -1,6 +1,7 @@
 #ifndef WATTDB_CLUSTER_MONITOR_H_
 #define WATTDB_CLUSTER_MONITOR_H_
 
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
@@ -32,6 +33,15 @@ struct SegmentHeat {
   int64_t writes = 0;
 };
 
+/// Smoothed activity of one segment: an exponentially weighted moving
+/// average of its access rate, attributed to the node currently storing it.
+/// The master's BalancePolicy ranks segments and nodes by this value.
+struct HeatEntry {
+  SegmentId segment;
+  NodeId node;        ///< Where the segment lives as of the last sample.
+  double heat = 0.0;  ///< EWMA of (reads + writes) per second.
+};
+
 /// Computes utilization windows over the cluster's resource timelines.
 class Monitor {
  public:
@@ -43,9 +53,30 @@ class Monitor {
   /// Heat of every segment since the last call (counters are deltas).
   std::vector<SegmentHeat> SampleSegments();
 
+  /// Fold one SampleSegments() window into the per-segment EWMA heat:
+  /// heat' = alpha * rate + (1 - alpha) * heat, where rate is the segment's
+  /// (reads + writes) / window. Segments no longer present decay toward
+  /// zero and are dropped once negligible. Call once per control tick with
+  /// the tick period as `window` (§3.4: the master correlates node reports
+  /// with per-partition activity).
+  void UpdateHeat(SimTime window, double alpha);
+
+  /// Current per-segment heat, unordered.
+  std::vector<HeatEntry> SegmentHeats() const;
+
+  /// EWMA heat of one segment (0 if never seen).
+  double HeatOf(SegmentId segment) const {
+    auto it = heat_.find(segment);
+    return it == heat_.end() ? 0.0 : it->second.heat;
+  }
+
+  /// Per-node roll-up: sum of the heat of the segments each node stores.
+  std::unordered_map<NodeId, double> NodeHeats() const;
+
  private:
   Cluster* cluster_;
   std::vector<std::pair<SegmentId, std::pair<int64_t, int64_t>>> last_counts_;
+  std::unordered_map<SegmentId, HeatEntry> heat_;
 };
 
 }  // namespace wattdb::cluster

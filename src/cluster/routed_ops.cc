@@ -1,6 +1,7 @@
 #include "cluster/routed_ops.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "cluster/node.h"
 
@@ -72,19 +73,22 @@ struct KeyRoute {
 };
 
 /// Key indexes grouped by the owner of their primary route, in first-
-/// appearance order so charging is deterministic.
+/// appearance order so charging is deterministic. An owner -> group index
+/// keeps this O(keys) instead of O(keys × owners) — batches on wide
+/// clusters touch many owners and this runs on every MultiGet/MultiPut.
 std::vector<std::pair<NodeId, std::vector<size_t>>> GroupByOwner(
     const std::vector<KeyRoute>& routes) {
   std::vector<std::pair<NodeId, std::vector<size_t>>> groups;
+  std::unordered_map<NodeId, size_t> group_of;
+  group_of.reserve(routes.size());
   for (size_t i = 0; i < routes.size(); ++i) {
     if (routes[i].part == nullptr) continue;
     const NodeId owner = routes[i].part->owner();
-    auto it = std::find_if(groups.begin(), groups.end(),
-                           [owner](const auto& g) { return g.first == owner; });
-    if (it == groups.end()) {
+    auto [it, inserted] = group_of.emplace(owner, groups.size());
+    if (inserted) {
       groups.emplace_back(owner, std::vector<size_t>{i});
     } else {
-      it->second.push_back(i);
+      groups[it->second].second.push_back(i);
     }
   }
   return groups;

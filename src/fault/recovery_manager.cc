@@ -49,7 +49,13 @@ Status RecoveryManager::Crash(NodeId node) {
       if (!sid.valid()) continue;
       storage::Segment* seg = cluster_->segments().Get(sid);
       if (seg != nullptr && seg->Contains(rec.key)) {
+        // The wipe models page loss, not workload: undo its bump of the
+        // access counters so the heat monitor never sees the crash itself
+        // as activity on the dead node.
+        const int64_t reads_before = seg->reads();
+        const int64_t writes_before = seg->writes();
         WATTDB_CHECK(seg->Delete(rec.key).ok());
+        seg->SetStats(reads_before, writes_before);
         ++wiped;
       }
     }
@@ -128,6 +134,14 @@ RecoveryReport RecoveryManager::Redo(NodeId node) {
   report.records_lost_at_crash =
       wiped_it != wiped_at_crash_.end() ? wiped_it->second : 0;
 
+  // Redo replay is administrative I/O, not workload: snapshot the node's
+  // segment access counters and restore them afterwards, so the master's
+  // heat monitor never mistakes a recovering node for a hot one.
+  std::unordered_map<uint32_t, std::pair<int64_t, int64_t>> counter_snapshot;
+  for (storage::Segment* s : cluster_->segments().SegmentsOn(node)) {
+    counter_snapshot[s->id().value()] = {s->reads(), s->writes()};
+  }
+
   SimTime t = now;
   auto& catalog = cluster_->catalog();
   for (catalog::Partition* p : catalog.PartitionsOwnedBy(node)) {
@@ -183,6 +197,15 @@ RecoveryReport RecoveryManager::Redo(NodeId node) {
     report.tail_bytes += tail_bytes;
     report.records_replayed += applied;
     ++report.partitions_recovered;
+  }
+
+  for (storage::Segment* s : cluster_->segments().SegmentsOn(node)) {
+    auto it = counter_snapshot.find(s->id().value());
+    if (it == counter_snapshot.end()) {
+      s->ResetStats();  // Materialized by the redo itself.
+    } else {
+      s->SetStats(it->second.first, it->second.second);
+    }
   }
 
   report.recovered_at = t;

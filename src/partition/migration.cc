@@ -127,6 +127,46 @@ Status MigrationManagerBase::StartRebalance(const std::vector<NodeId>& targets,
   return Status::OK();
 }
 
+Status MigrationManagerBase::StartMoves(
+    const std::vector<cluster::SegmentMove>& moves,
+    std::function<void()> done) {
+  if (stats_.running) return Status::Busy("migration already running");
+  if (!TransfersOwnership()) {
+    return Status::NotSupported(
+        name() + " cannot transfer ownership; targeted moves impossible");
+  }
+  if (moves.empty()) {
+    return Status::InvalidArgument("no moves to execute");
+  }
+  std::vector<MoveTask> tasks;
+  tasks.reserve(moves.size());
+  for (const cluster::SegmentMove& m : moves) {
+    catalog::Partition* src = cluster_->catalog().GetPartition(m.src_partition);
+    if (src == nullptr || src->owner() != m.src_node) {
+      return Status::InvalidArgument(
+          "move source partition " + std::to_string(m.src_partition.value()) +
+          " is not owned by node " + std::to_string(m.src_node.value()));
+    }
+    cluster::Node* dst = cluster_->node(m.dst_node);
+    if (dst == nullptr || !dst->IsActive()) {
+      return Status::Unavailable("move target node " +
+                                 std::to_string(m.dst_node.value()) +
+                                 " is not active");
+    }
+    MoveTask t;
+    t.table = m.table;
+    t.segment = m.segment;
+    t.range = m.range;
+    t.src_partition = m.src_partition;
+    t.src_node = m.src_node;
+    t.dst_node = m.dst_node;
+    t.dst_partition = PartitionId::Invalid();  // Resolved at execution.
+    tasks.push_back(t);
+  }
+  StartTasks(std::move(tasks), std::move(done));
+  return Status::OK();
+}
+
 Status MigrationManagerBase::Drain(NodeId victim, std::function<void()> done) {
   if (stats_.running) return Status::Busy("migration already running");
   if (!TransfersOwnership()) {

@@ -58,6 +58,11 @@ class MigrationManagerBase : public cluster::Repartitioner {
   Status StartRebalance(const std::vector<NodeId>& targets, double fraction,
                         std::function<void()> done) override;
   Status Drain(NodeId victim, std::function<void()> done) override;
+  /// Targeted moves (the master's heat balancer): each entry becomes one
+  /// MoveTask on the shared queue, so §4.3 two-pointer safety, chunked
+  /// streaming, and crash abandonment apply unchanged.
+  Status StartMoves(const std::vector<cluster::SegmentMove>& moves,
+                    std::function<void()> done) override;
   bool SupportsDrain() const override { return TransfersOwnership(); }
   bool InProgress() const override { return stats_.running; }
 

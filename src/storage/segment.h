@@ -88,6 +88,14 @@ class Segment {
   int64_t reads() const { return reads_; }
   int64_t writes() const { return writes_; }
   void ResetStats() { reads_ = writes_ = 0; }
+  /// Restore counters to a snapshot. Crash recovery uses this to unwind
+  /// the bumps of redo replay — administrative I/O that the heat monitor
+  /// must not mistake for workload (a freshly-recovered node would
+  /// otherwise look like the hottest in the cluster).
+  void SetStats(int64_t reads, int64_t writes) {
+    reads_ = reads;
+    writes_ = writes;
+  }
 
   /// Index consistency: every index entry resolves to a live record with the
   /// same key, and counts match.

@@ -16,12 +16,28 @@ KvWorkload::KvWorkload(Session session, TableId table, KvConfig config,
   for (int i = 0; i < config_.num_clients; ++i) {
     rngs_.push_back(std::make_unique<Rng>(config_.seed * 6271 + i));
   }
+  if (config_.zipf_theta > 0.0 && config_.zipf_scramble) {
+    // Fisher–Yates with a private rng: a bijection, so every key stays
+    // reachable and the rank distribution is preserved exactly.
+    scramble_.resize(static_cast<size_t>(config_.num_keys));
+    for (size_t i = 0; i < scramble_.size(); ++i) {
+      scramble_[i] = static_cast<Key>(i);
+    }
+    Rng shuffle(config_.seed * 7919 + 13);
+    for (size_t i = scramble_.size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(
+          shuffle.UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap(scramble_[i - 1], scramble_[j]);
+    }
+  }
 }
 
 Key KvWorkload::NextKey(Rng* rng) const {
   if (config_.zipf_theta > 0.0) {
-    return static_cast<Key>(
-        rng->Zipf(static_cast<uint64_t>(config_.num_keys), config_.zipf_theta));
+    const uint64_t rank =
+        rng->Zipf(static_cast<uint64_t>(config_.num_keys), config_.zipf_theta);
+    if (!scramble_.empty()) return scramble_[rank];
+    return static_cast<Key>(rank);
   }
   return static_cast<Key>(rng->UniformInt(0, config_.num_keys - 1));
 }
@@ -141,12 +157,24 @@ SimTime KvWorkload::RunOnce(Rng* rng) {
 
   if (status.ok()) status = txn.Commit();
   if (!status.ok()) txn.Abort();
-  if (status.ok()) {
-    ++committed_;
-    key_ops_ += ops;
-    latencies_.Add(static_cast<double>(txn.latency_us()));
+  const bool committed = status.ok();
+  const double latency = static_cast<double>(txn.latency_us());
+  auto book = [this, committed, ops, latency]() {
+    if (committed) {
+      ++committed_;
+      key_ops_ += ops;
+      latencies_.Add(latency);
+    } else {
+      ++aborted_;
+    }
+  };
+  if (config_.count_at_completion) {
+    // Booked when the transaction is actually done in simulated time — a
+    // backlogged node then shows up as committed throughput capped at its
+    // service rate, not at the offered rate.
+    events_->ScheduleAt(txn.completed_at(), std::move(book));
   } else {
-    ++aborted_;
+    book();
   }
   return txn.completed_at();
 }

@@ -35,13 +35,31 @@ struct KvConfig {
   /// Key space [0, num_keys), fully loaded before the clients start.
   int64_t num_keys = 4096;
   size_t value_bytes = 100;
-  /// 0 = uniform key choice; otherwise Zipf skew over the key space.
+  /// 0 = uniform key choice; otherwise Zipf skew over the key space. Rank r
+  /// maps to key r, so the hot head is a *contiguous* range (the worst case
+  /// for range partitioning — one node soaks up nearly all traffic). Works
+  /// in both closed- and open-loop mode.
   double zipf_theta = 0.0;
+  /// Scatter the Zipf ranks through a seeded permutation of the key space:
+  /// hot keys then land all over the ranges (hash-distributed hotspots)
+  /// instead of clustering at the low end.
+  bool zipf_scramble = false;
+  /// Pre-split each node's partition into this many segments at table
+  /// creation (Db::AddKvWorkload passes it to CreateKvTable); 0 = lazy
+  /// single segment. Skewed runs use it so per-segment heat is graded and
+  /// the balancer has units it can actually move.
+  int segments_per_partition = 0;
   /// > 0: open-loop mode — transactions arrive as a Poisson process at this
   /// rate regardless of completions (fixed *offered* load; the crash benches
   /// use it to measure the committed-throughput dip during an outage).
   /// 0 = closed loop: `num_clients` clients separated by `think_time`.
   double arrival_qps = 0.0;
+  /// Book committed/aborted/latency stats at the transaction's simulated
+  /// *completion* time instead of at submission. Under saturation the two
+  /// differ wildly: arrivals keep their offered rate while completions are
+  /// capped by the bottleneck node — which is exactly what a throughput
+  /// bench must see. Off by default (the historical accounting).
+  bool count_at_completion = false;
   uint64_t seed = 2024;
 };
 
@@ -101,6 +119,8 @@ class KvWorkload : public WorkloadDriver {
   KvConfig config_;
   sim::EventQueue* events_;
   std::vector<std::unique_ptr<Rng>> rngs_;
+  /// Seeded rank -> key permutation (zipf_scramble); empty otherwise.
+  std::vector<Key> scramble_;
   bool running_ = false;
   bool loaded_ = false;
 

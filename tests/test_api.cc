@@ -1209,5 +1209,260 @@ TEST(SelfHealing, HelperFailoverFallsBackRecruitsAndLosesNoWrites) {
   }
 }
 
+// --- Heat-driven rebalancing -------------------------------------------------
+
+/// HealingPolicy plus an armed BalancePolicy with fast reaction times.
+cluster::MasterPolicy BalancingPolicy() {
+  cluster::MasterPolicy policy = HealingPolicy();
+  policy.balance.enabled = true;
+  policy.balance.trigger_ratio = 1.3;
+  policy.balance.ewma_alpha = 0.5;
+  policy.balance.trigger_after = 2;
+  policy.balance.cooldown = 2 * kUsPerSec;
+  policy.balance.max_moves_per_round = 3;
+  policy.balance.min_total_heat = 20.0;
+  return policy;
+}
+
+workload::KvConfig SkewedKv(double qps, int64_t keys) {
+  workload::KvConfig cfg;
+  cfg.arrival_qps = qps;
+  cfg.read_ratio = 0.9;
+  cfg.batch_size = 4;
+  cfg.num_keys = keys;
+  cfg.value_bytes = 100;
+  cfg.zipf_theta = 0.99;  // Hot head is contiguous: rank r -> key r.
+  cfg.segments_per_partition = 8;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(DbOptions, ValidatesBalancePolicy) {
+  auto with = [](void (*mutate)(cluster::BalancePolicy&)) {
+    cluster::MasterPolicy policy;
+    policy.balance.enabled = true;
+    mutate(policy.balance);
+    return Db::Open(DbOptions()
+                        .WithNodes(2)
+                        .WithActiveNodes(2)
+                        .WithoutTpccLoad()
+                        .WithMasterLoop(policy));
+  };
+
+  auto bad_ratio =
+      with([](cluster::BalancePolicy& b) { b.trigger_ratio = 1.0; });
+  ASSERT_FALSE(bad_ratio.ok());
+  EXPECT_TRUE(bad_ratio.status().IsInvalidArgument());
+  EXPECT_NE(bad_ratio.status().message().find("trigger_ratio"),
+            std::string::npos);
+
+  auto bad_alpha = with([](cluster::BalancePolicy& b) { b.ewma_alpha = 0.0; });
+  ASSERT_FALSE(bad_alpha.ok());
+  EXPECT_TRUE(bad_alpha.status().IsInvalidArgument());
+  EXPECT_NE(bad_alpha.status().message().find("ewma_alpha"),
+            std::string::npos);
+  EXPECT_FALSE(
+      with([](cluster::BalancePolicy& b) { b.ewma_alpha = 1.5; }).ok());
+
+  auto bad_after = with([](cluster::BalancePolicy& b) { b.trigger_after = 0; });
+  ASSERT_FALSE(bad_after.ok());
+  EXPECT_TRUE(bad_after.status().IsInvalidArgument());
+
+  auto bad_cooldown =
+      with([](cluster::BalancePolicy& b) { b.cooldown = -1; });
+  ASSERT_FALSE(bad_cooldown.ok());
+  EXPECT_TRUE(bad_cooldown.status().IsInvalidArgument());
+
+  auto bad_budget =
+      with([](cluster::BalancePolicy& b) { b.max_moves_per_round = 0; });
+  ASSERT_FALSE(bad_budget.ok());
+  EXPECT_TRUE(bad_budget.status().IsInvalidArgument());
+
+  auto bad_floor =
+      with([](cluster::BalancePolicy& b) { b.min_total_heat = -5.0; });
+  ASSERT_FALSE(bad_floor.ok());
+  EXPECT_TRUE(bad_floor.status().IsInvalidArgument());
+
+  // A misconfigured-but-disabled policy is rejected too: the typo must
+  // surface now, not when the knob is eventually enabled.
+  cluster::MasterPolicy disabled;
+  disabled.balance.enabled = false;
+  disabled.balance.trigger_ratio = 0.5;
+  auto still_bad = Db::Open(DbOptions()
+                                .WithNodes(2)
+                                .WithActiveNodes(2)
+                                .WithoutTpccLoad()
+                                .WithMasterLoop(disabled));
+  ASSERT_FALSE(still_bad.ok());
+  EXPECT_TRUE(still_bad.status().IsInvalidArgument());
+
+  auto good = with([](cluster::BalancePolicy&) {});
+  EXPECT_TRUE(good.ok()) << good.status().ToString();
+}
+
+TEST(HeatBalance, SkewTriggersMovesEventsAndKeepsDataReadable) {
+  auto opened = Db::Open(DbOptions()
+                             .WithNodes(3)
+                             .WithActiveNodes(3)
+                             .WithBufferPages(4000)
+                             .WithSeed(7)
+                             .WithoutTpccLoad()
+                             .WithMasterLoop(BalancingPolicy()));
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  Db& db = **opened;
+  auto kv = db.AddKvWorkload(SkewedKv(/*qps=*/300, /*keys=*/4096));
+  ASSERT_TRUE(kv.ok()) << kv.status().ToString();
+  workload::KvWorkload& driver = **kv;
+  const TableId table = driver.table();
+
+  // The head of the Zipf distribution lives in [0, 1365) — all on node 0.
+  const auto before = db.Routes(table);
+  ASSERT_FALSE(before.empty());
+  EXPECT_EQ(before.front().owner, NodeId(0));
+
+  driver.Start();
+  const SimTime t0 = db.Now();
+  while (db.master().heat_moves_completed() < 1 &&
+         db.Now() < t0 + 30 * kUsPerSec) {
+    db.RunFor(kUsPerSec / 2);
+  }
+  driver.Stop();
+  db.RunFor(kUsPerSec);  // Let in-flight moves settle.
+
+  EXPECT_GE(db.master().heat_rebalances(), 1);
+  EXPECT_GE(db.master().heat_moves_completed(), 1);
+  // Every decision is on the public timeline: trigger on the hot node,
+  // per-segment plans, and the round completion.
+  EXPECT_TRUE(SawEvent(db, cluster::ControlEventType::kHeatImbalance,
+                       NodeId(0)));
+  int planned = 0, rebalanced = 0;
+  for (const auto& e : db.control_events()) {
+    if (e.type == cluster::ControlEventType::kHeatMovePlanned) ++planned;
+    if (e.type == cluster::ControlEventType::kHeatRebalanced) ++rebalanced;
+  }
+  EXPECT_GE(planned, 1);
+  EXPECT_GE(rebalanced, 1);
+  // The hot head's ownership changed hands; the catalog stayed sound.
+  bool head_moved = false;
+  for (const auto& r : db.Routes(table)) {
+    if (r.range.lo == 0 && r.owner != NodeId(0)) head_moved = true;
+  }
+  EXPECT_TRUE(head_moved) << "hottest range still on the hot node";
+  EXPECT_TRUE(db.cluster().catalog().CheckInvariants());
+
+  // Data is intact across the online moves.
+  Session session = db.OpenSession();
+  for (Key k = 0; k < 64; ++k) {
+    StatusOr<storage::Record> rec = session.Get(table, k);
+    ASSERT_TRUE(rec.ok()) << "key " << k << ": " << rec.status().ToString();
+  }
+}
+
+TEST(HeatBalance, CrashMidMoveIsAbandonedAndReplanned) {
+  cluster::MasterPolicy policy = BalancingPolicy();
+  // Big cost scale: each segment copy takes long enough that the
+  // at-progress-0 crash (polled every 20 ms) always lands mid-stream.
+  DbOptions options = DbOptions()
+                          .WithNodes(2)
+                          .WithActiveNodes(2)
+                          .WithBufferPages(4000)
+                          .WithSeed(7)
+                          .WithoutTpccLoad()
+                          .WithMasterLoop(policy)
+                          .WithCostScale(400.0)
+                          .WithFaultPlan(fault::FaultPlan()
+                                             .CrashAtMigrationProgress(
+                                                 NodeId(1), 0.0));
+  auto opened = Db::Open(options);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  Db& db = **opened;
+  auto kv = db.AddKvWorkload(SkewedKv(/*qps=*/300, /*keys=*/4096));
+  ASSERT_TRUE(kv.ok()) << kv.status().ToString();
+  workload::KvWorkload& driver = **kv;
+  const TableId table = driver.table();
+
+  driver.Start();
+  // Phase 1: the balancer plans moves onto node 1, which crashes the
+  // moment the migration starts — every move of the round is abandoned.
+  const SimTime t0 = db.Now();
+  while (db.master().heat_moves_abandoned() < 1 &&
+         db.Now() < t0 + 30 * kUsPerSec) {
+    db.RunFor(kUsPerSec / 2);
+  }
+  ASSERT_GE(db.master().heat_moves_abandoned(), 1)
+      << "crash mid-move must abandon the round's moves";
+  EXPECT_TRUE(SawEvent(db, cluster::ControlEventType::kHeatMoveAbandoned,
+                       NodeId(0)));
+  EXPECT_EQ(db.master().heat_moves_completed(), 0);
+  EXPECT_TRUE(db.cluster().catalog().CheckInvariants())
+      << "abandoned moves must roll cleanly off the books";
+
+  // Phase 2: the self-healing loop restarts node 1 (no operator call); once
+  // it serves again the still-standing imbalance re-triggers and the same
+  // hot segments are re-planned — this time the moves install.
+  const SimTime t1 = db.Now();
+  while (db.master().heat_moves_completed() < 1 &&
+         db.Now() < t1 + 60 * kUsPerSec) {
+    db.RunFor(kUsPerSec / 2);
+  }
+  driver.Stop();
+  db.RunFor(kUsPerSec);
+
+  EXPECT_GE(db.master().auto_restarts(), 1);
+  EXPECT_GE(db.master().heat_moves_completed(), 1)
+      << "abandoned moves were never re-planned";
+  EXPECT_GE(db.master().heat_rebalances(), 2);
+  // Part of node 0's original half of the key space now lives on node 1.
+  // (The dominant head segment itself stays: with one other node, moving
+  // it would merely relocate the hotspot, which the planner refuses.)
+  bool spread = false;
+  for (const auto& r : db.Routes(table)) {
+    if (r.range.hi <= 2048 && r.owner == NodeId(1)) spread = true;
+  }
+  EXPECT_TRUE(spread) << "no hot range ever moved onto the recovered node";
+  EXPECT_TRUE(db.cluster().catalog().CheckInvariants());
+
+  // No committed write was lost across the crash + abandoned + replayed
+  // moves (reads go through the §4.3 two-pointer protocol).
+  Session session = db.OpenSession();
+  for (Key k = 0; k < 64; ++k) {
+    StatusOr<storage::Record> rec = session.Get(table, k);
+    ASSERT_TRUE(rec.ok()) << "key " << k << ": " << rec.status().ToString();
+  }
+}
+
+TEST(Db, AddKvWorkloadValidatesZipfAndPresplitsSegments) {
+  auto opened = Db::Open(DbOptions()
+                             .WithNodes(2)
+                             .WithActiveNodes(2)
+                             .WithoutTpccLoad());
+  ASSERT_TRUE(opened.ok());
+  Db& db = **opened;
+
+  workload::KvConfig bad = SkewedKv(100, 1024);
+  bad.zipf_theta = 1.0;  // The Gray et al. generator needs theta < 1.
+  EXPECT_TRUE(db.AddKvWorkload(bad).status().IsInvalidArgument());
+
+  workload::KvConfig cfg = SkewedKv(100, 1024);
+  cfg.segments_per_partition = 4;
+  auto kv = db.AddKvWorkload(cfg);
+  ASSERT_TRUE(kv.ok()) << kv.status().ToString();
+  // Two partitions (one per active node), each pre-split into 4 segments.
+  for (const auto& r : db.Routes((*kv)->table())) {
+    EXPECT_EQ(r.segments, 4u) << "range [" << r.range.lo << ", "
+                              << r.range.hi << ")";
+  }
+  // Scrambled Zipf still reaches every key (the permutation is a bijection;
+  // a load + uniform read-back would catch a hole). Spot-check via reads.
+  workload::KvConfig scrambled = SkewedKv(100, 256);
+  scrambled.zipf_scramble = true;
+  auto kv2 = db.AddKvWorkload(scrambled);
+  ASSERT_TRUE(kv2.ok());
+  Session session = db.OpenSession();
+  for (Key k = 0; k < 256; ++k) {
+    EXPECT_TRUE(session.Get((*kv2)->table(), k).ok()) << "key " << k;
+  }
+}
+
 }  // namespace
 }  // namespace wattdb

@@ -155,5 +155,72 @@ TEST(Partition, SegmentAttachment) {
   EXPECT_EQ(p.segment_count(), 0u);
 }
 
+TEST(Catalog, RouteRefcountsTrackEveryMutator) {
+  GlobalPartitionTable cat;
+  const TableId t = cat.CreateTable(SimpleSchema("t"));
+  Partition* p1 = cat.CreatePartition(t, NodeId(0));
+  Partition* p2 = cat.CreatePartition(t, NodeId(1));
+
+  // Unrouted partitions drop freely; routed ones are pinned.
+  EXPECT_EQ(cat.RouteRefs(p1->id()), 0);
+  ASSERT_TRUE(cat.AssignRange(t, {0, 100}, p1->id()).ok());
+  EXPECT_EQ(cat.RouteRefs(p1->id()), 1);
+  EXPECT_TRUE(cat.DropPartition(p1->id()).IsBusy());
+
+  // Splitting an entry clones its references: carving [25, 75) out of
+  // p1's range leaves p1 with the two remainders.
+  ASSERT_TRUE(cat.AssignRange(t, {25, 75}, p2->id()).ok());
+  EXPECT_EQ(cat.RouteRefs(p1->id()), 2);
+  EXPECT_EQ(cat.RouteRefs(p2->id()), 1);
+  EXPECT_TRUE(cat.CheckInvariants());
+
+  // A move in flight pins the target through the secondary pointer — a
+  // stale secondary alone must keep the partition undroppable.
+  Partition* p3 = cat.CreatePartition(t, NodeId(1));
+  ASSERT_TRUE(cat.BeginMove(t, {0, 25}, p3->id()).ok());
+  EXPECT_EQ(cat.RouteRefs(p3->id()), 1);
+  EXPECT_TRUE(cat.DropPartition(p3->id()).IsBusy());
+  EXPECT_TRUE(cat.CheckInvariants());
+
+  // Aborting the move releases the secondary; the target drops cleanly.
+  ASSERT_TRUE(cat.AbortMove(t, {0, 25}, p3->id()).ok());
+  EXPECT_EQ(cat.RouteRefs(p3->id()), 0);
+  EXPECT_TRUE(cat.DropPartition(p3->id()).ok());
+  EXPECT_TRUE(cat.CheckInvariants());
+
+  // Completing a move re-homes the reference from source to target.
+  Partition* p4 = cat.CreatePartition(t, NodeId(1));
+  ASSERT_TRUE(cat.BeginMove(t, {0, 25}, p4->id()).ok());
+  ASSERT_TRUE(cat.CompleteMove(t, {0, 25}, p4->id()).ok());
+  EXPECT_EQ(cat.RouteRefs(p4->id()), 1);
+  EXPECT_EQ(cat.RouteRefs(p1->id()), 1) << "only [75, 100) left on p1";
+  EXPECT_TRUE(cat.CheckInvariants());
+
+  // Unassigning the remaining ranges unpins everything.
+  ASSERT_TRUE(cat.UnassignRange(t, {0, 100}).ok());
+  EXPECT_EQ(cat.RouteRefs(p1->id()), 0);
+  EXPECT_EQ(cat.RouteRefs(p2->id()), 0);
+  EXPECT_EQ(cat.RouteRefs(p4->id()), 0);
+  EXPECT_TRUE(cat.DropPartition(p1->id()).ok());
+  EXPECT_TRUE(cat.DropPartition(p2->id()).ok());
+  EXPECT_TRUE(cat.DropPartition(p4->id()).ok());
+  EXPECT_TRUE(cat.CheckInvariants());
+}
+
+TEST(Catalog, SchemaNameLookupSurvivesManyTables) {
+  GlobalPartitionTable cat;
+  std::vector<TableId> ids;
+  for (int i = 0; i < 64; ++i) {
+    ids.push_back(cat.CreateTable(SimpleSchema(
+        ("table-" + std::to_string(i)).c_str())));
+  }
+  for (int i = 0; i < 64; ++i) {
+    const TableSchema* s = cat.GetSchemaByName("table-" + std::to_string(i));
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->id, ids[static_cast<size_t>(i)]);
+  }
+  EXPECT_EQ(cat.GetSchemaByName("nope"), nullptr);
+}
+
 }  // namespace
 }  // namespace wattdb::catalog

@@ -124,6 +124,179 @@ TEST(Monitor, SamplesUtilizationAndHeat) {
   EXPECT_EQ(heat2[0].writes, 0);
 }
 
+TEST(Monitor, SampleSegmentsHandlesCreateAndDropMidWindow) {
+  Cluster c(SmallConfig());
+  Monitor mon(&c);
+  storage::Segment* a = c.segments().Create(NodeId(0), DiskId(1));
+  ASSERT_TRUE(a->Insert(1, std::vector<uint8_t>(16, 1)).ok());
+  auto h1 = mon.SampleSegments();
+  ASSERT_EQ(h1.size(), 1u);
+  EXPECT_EQ(h1[0].writes, 1);
+  // A segment created after the previous sample reports its full counters
+  // (there is no earlier snapshot to subtract).
+  storage::Segment* b = c.segments().Create(NodeId(1), DiskId(3));
+  ASSERT_TRUE(b->Insert(2, std::vector<uint8_t>(16, 2)).ok());
+  ASSERT_TRUE(b->Insert(3, std::vector<uint8_t>(16, 3)).ok());
+  auto h2 = mon.SampleSegments();
+  ASSERT_EQ(h2.size(), 2u);
+  EXPECT_EQ(h2[0].segment, a->id());
+  EXPECT_EQ(h2[0].writes, 0) << "idle since the last sample";
+  EXPECT_EQ(h2[1].segment, b->id());
+  EXPECT_EQ(h2[1].writes, 2) << "created mid-window: full count";
+  // A dropped segment simply vanishes from the next sample.
+  ASSERT_TRUE(c.segments().Drop(b->id()).ok());
+  ASSERT_TRUE(a->Read(1).ok());
+  auto h3 = mon.SampleSegments();
+  ASSERT_EQ(h3.size(), 1u);
+  EXPECT_EQ(h3[0].segment, a->id());
+  EXPECT_EQ(h3[0].reads, 1);
+}
+
+TEST(Monitor, HeatEwmaTracksRatesAndDecays) {
+  Cluster c(SmallConfig());
+  Monitor mon(&c);
+  storage::Segment* seg = c.segments().Create(NodeId(0), DiskId(1));
+  ASSERT_TRUE(seg->Insert(1, std::vector<uint8_t>(16, 1)).ok());
+  for (int i = 0; i < 99; ++i) ASSERT_TRUE(seg->Read(1).ok());
+  // First observation initializes the EWMA at the raw rate: 100 ops / 1 s.
+  mon.UpdateHeat(kUsPerSec, 0.5);
+  EXPECT_NEAR(mon.HeatOf(seg->id()), 100.0, 1e-9);
+  // An idle window halves it (alpha = 0.5)...
+  mon.UpdateHeat(kUsPerSec, 0.5);
+  EXPECT_NEAR(mon.HeatOf(seg->id()), 50.0, 1e-9);
+  // ...and a 10 ops/s window blends: 0.5*10 + 0.5*50.
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(seg->Read(1).ok());
+  mon.UpdateHeat(kUsPerSec, 0.5);
+  EXPECT_NEAR(mon.HeatOf(seg->id()), 30.0, 1e-9);
+  // The node roll-up attributes heat to the storage node.
+  auto nodes = mon.NodeHeats();
+  EXPECT_NEAR(nodes[NodeId(0)], 30.0, 1e-9);
+  // A dropped segment decays away and is eventually forgotten entirely.
+  const SegmentId dropped = seg->id();
+  ASSERT_TRUE(c.segments().Drop(dropped).ok());
+  for (int i = 0; i < 30; ++i) mon.UpdateHeat(kUsPerSec, 0.5);
+  EXPECT_EQ(mon.HeatOf(dropped), 0.0);
+  EXPECT_TRUE(mon.SegmentHeats().empty());
+}
+
+/// Rig for the heat balancer: three active nodes, a table whose only data
+/// partition lives on node 1 with two segments — one hammered, one warm.
+/// Synthetic heat is driven by touching the segments directly between
+/// control ticks, so the trigger math is exact.
+class HeatBalanceTest : public ::testing::Test {
+ protected:
+  HeatBalanceTest() : cluster_(SmallConfig(3, 3)) {
+    table_ = cluster_.catalog().CreateTable(
+        {TableId(), "kv", {{"v", catalog::ColumnType::kString, 64}}});
+    part_ = cluster_.catalog().CreatePartition(table_, NodeId(1));
+    WATTDB_CHECK(
+        cluster_.catalog().AssignRange(table_, {0, 1000}, part_->id()).ok());
+    auto a = cluster_.node(NodeId(1))->AllocateSegment(0, part_, {0, 500});
+    auto b = cluster_.node(NodeId(1))->AllocateSegment(0, part_, {500, 1000});
+    WATTDB_CHECK(a.ok() && b.ok());
+    hot_seg_ = a.value();
+    warm_seg_ = b.value();
+    WATTDB_CHECK(hot_seg_->Insert(10, std::vector<uint8_t>(64, 1)).ok());
+    WATTDB_CHECK(warm_seg_->Insert(600, std::vector<uint8_t>(64, 2)).ok());
+  }
+
+  static MasterPolicy BalancingPolicy() {
+    MasterPolicy policy;
+    policy.check_period = kUsPerSec;
+    policy.stats_window = kUsPerSec;
+    policy.enable_scale_out = false;
+    policy.enable_scale_in = false;
+    policy.balance.enabled = true;
+    policy.balance.trigger_ratio = 1.5;
+    policy.balance.ewma_alpha = 0.5;
+    policy.balance.trigger_after = 2;
+    policy.balance.cooldown = 5 * kUsPerSec;
+    policy.balance.max_moves_per_round = 4;
+    policy.balance.min_total_heat = 10.0;
+    return policy;
+  }
+
+  void Heat(storage::Segment* seg, int reads, Key key) {
+    for (int i = 0; i < reads; ++i) ASSERT_TRUE(seg->Read(key).ok());
+  }
+
+  /// Owner node of the routing entry covering `key`.
+  NodeId OwnerOf(Key key) {
+    auto e = cluster_.catalog().Route(table_, key);
+    if (!e.has_value()) return NodeId::Invalid();
+    catalog::Partition* p = cluster_.catalog().GetPartition(e->primary);
+    return p == nullptr ? NodeId::Invalid() : p->owner();
+  }
+
+  int CountEvents(const Master& m, ControlEventType type) {
+    int n = 0;
+    for (const auto& e : m.control_events()) {
+      if (e.type == type) ++n;
+    }
+    return n;
+  }
+
+  Cluster cluster_;
+  TableId table_;
+  catalog::Partition* part_ = nullptr;
+  storage::Segment* hot_seg_ = nullptr;
+  storage::Segment* warm_seg_ = nullptr;
+};
+
+TEST_F(HeatBalanceTest, TriggersAfterHysteresisAndMovesHottestSegment) {
+  partition::PhysiologicalPartitioning scheme(&cluster_);
+  Master master(&cluster_, &scheme, BalancingPolicy());
+  master.Start();
+
+  // Tick 1: imbalance visible (node 1 carries all heat) but hysteresis
+  // (trigger_after = 2) must hold the first violation back.
+  Heat(hot_seg_, 300, 10);
+  Heat(warm_seg_, 30, 600);
+  cluster_.RunUntil(kUsPerSec + kUsPerMs);
+  EXPECT_EQ(master.heat_rebalances(), 0) << "one violation is not a trend";
+  EXPECT_EQ(CountEvents(master, ControlEventType::kHeatImbalance), 0);
+
+  // Tick 2: second consecutive violation → trigger, plan, move.
+  Heat(hot_seg_, 300, 10);
+  Heat(warm_seg_, 30, 600);
+  cluster_.RunUntil(2 * kUsPerSec + kUsPerMs);
+  EXPECT_EQ(master.heat_rebalances(), 1);
+  EXPECT_EQ(CountEvents(master, ControlEventType::kHeatImbalance), 1);
+  EXPECT_GE(CountEvents(master, ControlEventType::kHeatMovePlanned), 1);
+
+  // Let the move stream and install, then verify the hottest segment's
+  // range changed owners while the warm one stayed put.
+  cluster_.RunUntil(cluster_.Now() + 20 * kUsPerSec);
+  EXPECT_EQ(master.heat_moves_completed(), 1);
+  EXPECT_EQ(CountEvents(master, ControlEventType::kHeatRebalanced), 1);
+  EXPECT_NE(OwnerOf(10), NodeId(1)) << "hot range moved off the hot node";
+  EXPECT_EQ(OwnerOf(600), NodeId(1)) << "warm range stayed";
+  EXPECT_NE(hot_seg_->storage_node(), NodeId(1));
+  EXPECT_TRUE(cluster_.catalog().CheckInvariants());
+}
+
+TEST_F(HeatBalanceTest, NeverPingPongsAHotSegment) {
+  partition::PhysiologicalPartitioning scheme(&cluster_);
+  Master master(&cluster_, &scheme, BalancingPolicy());
+  master.Start();
+
+  // Keep hammering the same segment across many ticks: it moves off node 1
+  // once, then — although its new home is now the hottest node — it must
+  // not bounce back (cooldown, and moving the dominant segment would just
+  // relocate the hotspot, which the planner rejects).
+  for (int tick = 0; tick < 18; ++tick) {
+    Heat(hot_seg_, 300, 10);
+    Heat(warm_seg_, 30, 600);
+    cluster_.RunUntil((tick + 1) * kUsPerSec + kUsPerMs);
+  }
+  EXPECT_EQ(master.heat_moves_completed(), 1) << "exactly one productive move";
+  const NodeId home = hot_seg_->storage_node();
+  EXPECT_NE(home, NodeId(1));
+  // No abandoned moves, no thrash: planned == completed.
+  EXPECT_EQ(master.heat_moves_planned(), master.heat_moves_completed());
+  EXPECT_TRUE(cluster_.catalog().CheckInvariants());
+}
+
 TEST(Master, ScaleOutOnSustainedOverload) {
   Cluster c(SmallConfig(4, 2));
   workload::TpccLoadConfig load;
