@@ -17,7 +17,10 @@ gated baseline metric (direction "higher" or "lower") must be within
     direction "lower":  fail when value > baseline * (1 + threshold)
 
 "info" metrics and metrics that only exist in the results are reported but
-never gated. Exit status 1 on any regression or missing file/metric.
+never gated. Result files with no baseline counterpart are a warning, not a
+failure — a freshly added bench must not break CI before its baseline is
+checked in, but it should be loudly visible until it is. Exit status 1 on
+any regression or missing file/metric.
 
 The benches run on simulated time, so the numbers are deterministic across
 machines — the 25% default margin absorbs intentional small recalibrations,
@@ -53,7 +56,16 @@ def main() -> int:
         return 1
 
     failures = []
+    warnings = []
     rows = []
+    # Results nobody gates yet: a new bench ran but its baseline was never
+    # checked in. Warn — silently skipping it would look like coverage.
+    baseline_names = {p.name for p in baselines}
+    for result_path in sorted(args.results_dir.glob("BENCH_*.json")):
+        if result_path.name not in baseline_names:
+            warnings.append(
+                f"{result_path.name}: result has no baseline — add one "
+                f"under {args.baselines_dir} to gate it")
     for base_path in baselines:
         result_path = args.results_dir / base_path.name
         if not result_path.exists():
@@ -103,6 +115,11 @@ def main() -> int:
         new_s = f"{new:g}" if new is not None else "-"
         print(f"{bench + '/' + name:<{width}} {direction:>6} {old_s:>12} "
               f"{new_s:>12} {delta:>+7.1%}  {status}")
+
+    if warnings:
+        print(f"\n{len(warnings)} warning(s):", file=sys.stderr)
+        for w in warnings:
+            print(f"  WARNING: {w}", file=sys.stderr)
 
     if failures:
         print(f"\n{len(failures)} regression(s) against "

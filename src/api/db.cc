@@ -120,6 +120,34 @@ StatusOr<std::unique_ptr<Db>> Db::Open(DbOptions options) {
         "BalancePolicy.min_total_heat must be >= 0, got " +
         std::to_string(bp.min_total_heat));
   }
+  // ReplicaPolicy is validated even when disabled, for the same reason as
+  // BalancePolicy above.
+  const cluster::ReplicaPolicy& rp = mp.replica;
+  if (rp.replicas_per_segment < 1) {
+    return Status::InvalidArgument(
+        "ReplicaPolicy.replicas_per_segment must be >= 1, got " +
+        std::to_string(rp.replicas_per_segment));
+  }
+  if (rp.heat_threshold < 0.0) {
+    return Status::InvalidArgument(
+        "ReplicaPolicy.heat_threshold must be >= 0, got " +
+        std::to_string(rp.heat_threshold));
+  }
+  if (rp.max_replicated_segments < 1) {
+    return Status::InvalidArgument(
+        "ReplicaPolicy.max_replicated_segments must be >= 1, got " +
+        std::to_string(rp.max_replicated_segments));
+  }
+  if (rp.max_lag_records < 0) {
+    return Status::InvalidArgument(
+        "ReplicaPolicy.max_lag_records must be >= 0, got " +
+        std::to_string(rp.max_lag_records));
+  }
+  if (rp.drop_cold_after < 0) {
+    return Status::InvalidArgument(
+        "ReplicaPolicy.drop_cold_after must be >= 0, got " +
+        std::to_string(rp.drop_cold_after));
+  }
   for (const fault::FaultPlan::Crash& crash : options.fault_plan.crashes) {
     if (!crash.node.valid() ||
         crash.node.value() >= static_cast<uint32_t>(options.cluster.num_nodes)) {
@@ -140,6 +168,13 @@ StatusOr<std::unique_ptr<Db>> Db::Open(DbOptions options) {
       return Status::InvalidArgument(
           "fault plan migration-progress trigger must be in [0, 1], got " +
           std::to_string(crash.at_migration_progress));
+    }
+    if (crash.at_replica_progress != -1.0 &&
+        (crash.at_replica_progress < 0.0 ||
+         crash.at_replica_progress > 1.0)) {
+      return Status::InvalidArgument(
+          "fault plan replica-progress trigger must be in [0, 1], got " +
+          std::to_string(crash.at_replica_progress));
     }
   }
   if (options.load_tpcc && options.load.home_nodes.empty()) {
@@ -210,6 +245,35 @@ StatusOr<std::unique_ptr<Db>> Db::Open(DbOptions options) {
             });
       },
       [rm = db->recovery_.get()](NodeId node) { return rm->IsDown(node); });
+
+  // Warm-standby subsystem: built unconditionally (its observers are part
+  // of the facade), driven from the master's control ticks only when the
+  // policy enables it. The hooks keep the master ignorant of replica types,
+  // mirroring the recovery wiring above.
+  db->replicas_ = std::make_unique<replica::ReplicaManager>(
+      db->cluster_.get(), &db->master_->monitor(), opts.master.replica);
+  db->replicas_->SetEventSink(
+      [m = db->master_.get()](cluster::ControlEventType type, NodeId node,
+                              std::string detail) {
+        m->EmitEvent(type, node, std::move(detail));
+      });
+  db->replicas_->SetHostFilter(
+      [db_raw = db.get()](NodeId node) {
+        cluster::Node* n = db_raw->cluster_->node(node);
+        return n != nullptr && n->IsActive() && !n->IsMaster() &&
+               !db_raw->master_->IsExcluded(node) &&
+               !db_raw->master_->IsHelper(node) &&
+               !db_raw->recovery_->IsDown(node);
+      });
+  db->master_->SetReplicaHooks(cluster::Master::ReplicaHooks{
+      [rm = db->replicas_.get()]() { rm->Tick(); },
+      [rm = db->replicas_.get()](NodeId dead) {
+        return rm->PromoteReplicasOf(dead);
+      },
+      [rm = db->replicas_.get()](NodeId node) {
+        return rm->DropReplicasOn(node);
+      }});
+  db->fault_->set_replica_manager(db->replicas_.get());
 
   if (opts.start_sampling) db->cluster_->StartSampling(nullptr);
   if (opts.start_master) db->master_->Start();
@@ -331,6 +395,11 @@ StatusOr<workload::KvWorkload*> Db::AddKvWorkload(
         "KvConfig.zipf_theta must lie in [0, 1) (Gray et al. generator), "
         "got " +
         std::to_string(cfg.zipf_theta));
+  }
+  if (cfg.zipf_offset < 0 || cfg.zipf_offset >= cfg.num_keys) {
+    return Status::InvalidArgument(
+        "KvConfig.zipf_offset must lie in [0, num_keys), got " +
+        std::to_string(cfg.zipf_offset));
   }
   // One table per attached driver so several KV workloads can coexist.
   const std::string table_name = "kv-" + std::to_string(drivers_.size());

@@ -14,6 +14,7 @@
 #include "common/status.h"
 #include "fault/fault_injector.h"
 #include "fault/recovery_manager.h"
+#include "replica/replica_manager.h"
 #include "workload/client.h"
 #include "workload/driver.h"
 #include "workload/kv.h"
@@ -148,6 +149,12 @@ class Db {
   /// Crash/redo bookkeeping: per-node down state and recovery reports.
   fault::RecoveryManager& recovery() { return *recovery_; }
 
+  // --- Warm replicas -------------------------------------------------------
+  /// The warm-standby subsystem (always constructed; idle unless
+  /// WithReplicaPolicy enabled it). Observers for replica state, counters,
+  /// and the replication network tax.
+  replica::ReplicaManager& replicas() { return *replicas_; }
+
   // --- Self-healing observers ---------------------------------------------
   /// Timeline of the master control loop's decisions (scale events, failure
   /// detections, auto-restarts, drains, helper failovers) in simulated-time
@@ -197,6 +204,7 @@ class Db {
   std::unique_ptr<cluster::Master> master_;
   std::unique_ptr<fault::RecoveryManager> recovery_;
   std::unique_ptr<fault::FaultInjector> fault_;
+  std::unique_ptr<replica::ReplicaManager> replicas_;
   /// All attached workload generators, owned through the common interface.
   std::vector<std::unique_ptr<workload::WorkloadDriver>> drivers_;
 };

@@ -127,6 +127,14 @@ struct DbOptions {
     start_master = true;
     return *this;
   }
+  /// Warm standbys of hot segments (read scale-out + catch-up-and-flip
+  /// failover); implies starting the master loop (the ReplicaManager runs
+  /// from its control ticks).
+  DbOptions& WithReplicaPolicy(cluster::ReplicaPolicy policy) {
+    master.replica = policy;
+    start_master = true;
+    return *this;
+  }
 
   // --- Faults -------------------------------------------------------------
   DbOptions& WithFaultPlan(fault::FaultPlan plan) {

@@ -128,8 +128,16 @@ Status GlobalPartitionTable::AssignRange(TableId table, const KeyRange& range,
     it = rm.erase(it);
   }
   Ref(partition);
-  rm.emplace(range.lo, RouteEntry{range, partition, PartitionId::Invalid()});
+  RouteEntry entry{range, partition, PartitionId::Invalid()};
+  StampEpoch(&entry);
+  rm.emplace(range.lo, entry);
   return Status::OK();
+}
+
+void GlobalPartitionTable::StampEpoch(RouteEntry* entry) {
+  entry->epoch = ++next_epoch_;
+  auto it = partitions_.find(entry->primary);
+  if (it != partitions_.end()) it->second->set_route_epoch(entry->epoch);
 }
 
 Status GlobalPartitionTable::UnassignRange(TableId table,
@@ -177,6 +185,7 @@ Status GlobalPartitionTable::CompleteMove(TableId table, const KeyRange& range,
     Ref(to);
     Unref(it->second.secondary);
     it->second.secondary = PartitionId::Invalid();
+    StampEpoch(&it->second);
   }
   return Status::OK();
 }
@@ -208,6 +217,138 @@ std::optional<RouteEntry> GlobalPartitionTable::Route(TableId table,
   --it;
   if (!it->second.range.Contains(key)) return std::nullopt;
   return it->second;
+}
+
+Status GlobalPartitionTable::AddReplicaRoute(TableId table,
+                                             const KeyRange& range,
+                                             PartitionId partition) {
+  if (range.Empty()) return Status::InvalidArgument("empty range");
+  if (routes_.count(table) == 0) return Status::NotFound("unknown table");
+  auto pit = partitions_.find(partition);
+  if (pit == partitions_.end()) return Status::NotFound("unknown partition");
+  if (pit->second->table() != table) {
+    return Status::InvalidArgument("partition belongs to another table");
+  }
+  auto& routes = replica_routes_[table];
+  for (const ReplicaRoute& r : routes) {
+    if (r.partition == partition) {
+      return Status::AlreadyExists("partition already holds a replica route");
+    }
+  }
+  Ref(partition);
+  routes.push_back(ReplicaRoute{range, partition, false});
+  return Status::OK();
+}
+
+Status GlobalPartitionTable::RemoveReplicaRoute(TableId table,
+                                                PartitionId partition) {
+  auto it = replica_routes_.find(table);
+  if (it == replica_routes_.end()) return Status::NotFound("no replica route");
+  auto& routes = it->second;
+  for (auto rit = routes.begin(); rit != routes.end(); ++rit) {
+    if (rit->partition == partition) {
+      Unref(partition);
+      routes.erase(rit);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no replica route");
+}
+
+Status GlobalPartitionTable::SetReplicaServing(TableId table,
+                                               PartitionId partition,
+                                               bool serving) {
+  auto it = replica_routes_.find(table);
+  if (it == replica_routes_.end()) return Status::NotFound("no replica route");
+  for (ReplicaRoute& r : it->second) {
+    if (r.partition == partition) {
+      r.serving = serving;
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no replica route");
+}
+
+std::vector<ReplicaRoute> GlobalPartitionTable::ReplicasFor(TableId table,
+                                                            Key key) const {
+  std::vector<ReplicaRoute> out;
+  auto it = replica_routes_.find(table);
+  if (it == replica_routes_.end()) return out;
+  for (const ReplicaRoute& r : it->second) {
+    if (r.range.Contains(key)) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<ReplicaRoute> GlobalPartitionTable::ReplicaRoutes(
+    TableId table) const {
+  auto it = replica_routes_.find(table);
+  if (it == replica_routes_.end()) return {};
+  return it->second;
+}
+
+Status GlobalPartitionTable::PromoteReplica(TableId table,
+                                            const KeyRange& range,
+                                            PartitionId replica) {
+  auto pit = partitions_.find(replica);
+  if (pit == partitions_.end()) return Status::NotFound("unknown partition");
+  if (pit->second->table() != table) {
+    return Status::InvalidArgument("partition belongs to another table");
+  }
+  auto rit = routes_.find(table);
+  if (rit == routes_.end()) return Status::NotFound("unknown table");
+  // A move in flight over the range would leave the mover holding a
+  // secondary pointer at a partition that no longer owns anything; the
+  // caller must wait for the move to settle (or abort it) first.
+  for (const RouteEntry& e : RoutesInRange(table, range)) {
+    if (e.secondary.valid()) {
+      return Status::FailedPrecondition("move in flight over range");
+    }
+  }
+  RangeMap& rm = rit->second;
+  SplitAt(&rm, range.lo);
+  SplitAt(&rm, range.hi);
+  for (auto it = rm.lower_bound(range.lo);
+       it != rm.end() && it->second.range.lo < range.hi; ++it) {
+    Unref(it->second.primary);
+    it->second.primary = replica;
+    Ref(replica);
+    StampEpoch(&it->second);
+  }
+  // The standby is now the owner: its replica route is consumed and it
+  // stops being invisible to the heat/drain planners.
+  (void)RemoveReplicaRoute(table, replica);
+  pit->second->set_is_replica(false);
+  return Status::OK();
+}
+
+uint64_t GlobalPartitionTable::EpochOf(TableId table, Key key) const {
+  auto e = Route(table, key);
+  return e.has_value() ? e->epoch : 0;
+}
+
+Status GlobalPartitionTable::ReclaimRange(TableId table, const KeyRange& range,
+                                          PartitionId claimant,
+                                          uint64_t claim_epoch) {
+  if (range.Empty()) return Status::InvalidArgument("empty range");
+  if (routes_.count(table) == 0) return Status::NotFound("unknown table");
+  if (partitions_.count(claimant) == 0) {
+    return Status::NotFound("unknown partition");
+  }
+  const std::vector<RouteEntry> covering = RoutesInRange(table, range);
+  bool all_claimant = !covering.empty();
+  for (const RouteEntry& e : covering) {
+    if (e.primary != claimant && e.secondary != claimant) {
+      all_claimant = false;
+    }
+    if (e.primary != claimant && e.epoch > claim_epoch) {
+      return Status::FailedPrecondition(
+          "route superseded (epoch " + std::to_string(e.epoch) + " > claim " +
+          std::to_string(claim_epoch) + ")");
+    }
+  }
+  if (all_claimant) return Status::OK();  // Routes survived the crash intact.
+  return AssignRange(table, range, claimant);
 }
 
 std::vector<RouteEntry> GlobalPartitionTable::RoutesInRange(
@@ -256,6 +397,18 @@ bool GlobalPartitionTable::CheckInvariants() const {
       }
     }
   }
+  // Replica routes name live partitions of the right table, flagged as
+  // replicas, with non-empty ranges.
+  for (const auto& [table, routes] : replica_routes_) {
+    for (const ReplicaRoute& r : routes) {
+      if (r.range.Empty()) return false;
+      auto pit = partitions_.find(r.partition);
+      if (pit == partitions_.end() || pit->second->table() != table ||
+          !pit->second->is_replica()) {
+        return false;
+      }
+    }
+  }
   // The incremental route refcounts agree with a full recount.
   std::unordered_map<PartitionId, int> recount;
   for (const auto& [table, rm] : routes_) {
@@ -263,6 +416,9 @@ bool GlobalPartitionTable::CheckInvariants() const {
       ++recount[e.primary];
       if (e.secondary.valid()) ++recount[e.secondary];
     }
+  }
+  for (const auto& [table, routes] : replica_routes_) {
+    for (const ReplicaRoute& r : routes) ++recount[r.partition];
   }
   if (recount.size() != route_refs_.size()) return false;
   for (const auto& [id, n] : recount) {

@@ -21,6 +21,23 @@ struct RouteEntry {
   KeyRange range;
   PartitionId primary;
   PartitionId secondary;  ///< Invalid unless a move is in flight.
+  /// Monotone ownership epoch, bumped whenever the primary changes hands
+  /// (assignment, move completion, replica promotion). A deposed owner
+  /// coming back from a crash carries the epoch it last owned the range
+  /// under; if the catalog's entry is newer, its reclaim is refused and
+  /// its local copy is known stale (fencing against split ownership).
+  uint64_t epoch = 0;
+};
+
+/// A warm standby of one routed range: `partition` (marked
+/// Partition::is_replica) holds a copy of the range's segment on another
+/// node, kept fresh by applying the owner's shipped log tail. `serving`
+/// means the copy is within the policy's staleness bound and reads may fan
+/// out to it; writes always go to the primary route.
+struct ReplicaRoute {
+  KeyRange range;
+  PartitionId partition;
+  bool serving = false;
 };
 
 /// Master-side catalog: table schemas, all partition objects, and the
@@ -72,6 +89,50 @@ class GlobalPartitionTable {
   /// Routing entry covering `key`, if any.
   std::optional<RouteEntry> Route(TableId table, Key key) const;
 
+  // --- Replica routes ---------------------------------------------------
+  /// Register `partition` as a warm standby of `range` (not serving yet).
+  /// The replica partition takes a route reference like a primary, so it
+  /// cannot be dropped while the route exists. One replica route per
+  /// partition: AlreadyExists on a second registration.
+  Status AddReplicaRoute(TableId table, const KeyRange& range,
+                         PartitionId partition);
+
+  /// Remove the replica route held by `partition` (NotFound if none).
+  Status RemoveReplicaRoute(TableId table, PartitionId partition);
+
+  /// Flip whether reads may fan out to `partition`'s replica route.
+  Status SetReplicaServing(TableId table, PartitionId partition, bool serving);
+
+  /// Replica routes whose range contains `key`, serving or not.
+  std::vector<ReplicaRoute> ReplicasFor(TableId table, Key key) const;
+
+  /// All replica routes of a table.
+  std::vector<ReplicaRoute> ReplicaRoutes(TableId table) const;
+
+  /// Cheap guard for the read hot path: any replica routes at all?
+  bool HasReplicas(TableId table) const {
+    auto it = replica_routes_.find(table);
+    return it != replica_routes_.end() && !it->second.empty();
+  }
+
+  /// Catch-up-and-flip failover: make `replica` the primary owner of
+  /// `range`, bumping the covered entries' epoch so the deposed owner's
+  /// later reclaim is fenced off. Refused (FailedPrecondition) while a
+  /// move is in flight over the range. Consumes the replica route.
+  Status PromoteReplica(TableId table, const KeyRange& range,
+                        PartitionId replica);
+
+  /// Epoch of the entry covering `key` (0 if unrouted).
+  uint64_t EpochOf(TableId table, Key key) const;
+
+  /// Re-register `range` -> `claimant` after a crash restart. No-op if the
+  /// covering entries already name the claimant; FailedPrecondition if any
+  /// covering entry carries an epoch newer than `claim_epoch` (the range
+  /// was promoted away while the claimant was down — its copy is stale);
+  /// otherwise assigns the range like AssignRange.
+  Status ReclaimRange(TableId table, const KeyRange& range,
+                      PartitionId claimant, uint64_t claim_epoch);
+
   /// All routing entries intersecting `range`, in key order.
   std::vector<RouteEntry> RoutesInRange(TableId table,
                                         const KeyRange& range) const;
@@ -115,14 +176,22 @@ class GlobalPartitionTable {
     Unref(e.secondary);
   }
 
+  /// Stamp `entry`'s epoch from the global counter and mirror it into the
+  /// primary partition's route_epoch (the claim token recovery presents).
+  void StampEpoch(RouteEntry* entry);
+
   uint32_t next_table_id_ = 1;
   uint32_t next_partition_id_ = 1;
+  uint64_t next_epoch_ = 0;
   std::unordered_map<TableId, TableSchema> schemas_;
   /// Name -> id, maintained by CreateTable (lookups by name were a linear
   /// scan over all schemas and sit on the facade's table-open path).
   std::unordered_map<std::string, TableId> schema_by_name_;
   std::unordered_map<PartitionId, std::unique_ptr<Partition>> partitions_;
   std::unordered_map<TableId, RangeMap> routes_;
+  /// Warm-standby routes per table; small (bounded by the replica policy's
+  /// budget), so point lookups scan linearly.
+  std::unordered_map<TableId, std::vector<ReplicaRoute>> replica_routes_;
   std::unordered_map<PartitionId, int> route_refs_;
 };
 

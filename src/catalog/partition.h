@@ -35,6 +35,21 @@ class Partition {
   NodeId owner() const { return owner_; }
   void set_owner(NodeId owner) { owner_ = owner; }
 
+  /// Warm standby of another partition's segments: never routed as a
+  /// primary, skipped by heat/drain/scale planners and by crash redo (its
+  /// content is reconstructed from the source, not from this node's log).
+  bool is_replica() const { return is_replica_; }
+  void set_is_replica(bool v) { is_replica_ = v; }
+
+  /// Catalog epoch of the newest routing entry naming this partition as
+  /// primary. A recovering node must present this epoch to reclaim its
+  /// ranges; a promotion that happened while it was down carries a newer
+  /// one, so the deposed owner cannot steal the route back (fencing).
+  uint64_t route_epoch() const { return route_epoch_; }
+  void set_route_epoch(uint64_t e) {
+    if (e > route_epoch_) route_epoch_ = e;
+  }
+
   PartitionState state() const { return state_; }
   void set_state(PartitionState s) { state_ = s; }
 
@@ -65,6 +80,8 @@ class Partition {
   NodeId owner_;
   PartitionState state_ = PartitionState::kNormal;
   PartitionId forward_to_;
+  bool is_replica_ = false;
+  uint64_t route_epoch_ = 0;
   index::TopIndex top_index_;
 };
 

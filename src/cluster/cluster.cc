@@ -223,6 +223,41 @@ catalog::Partition* Cluster::Route(tx::Txn* txn, TableId table, Key key) {
   return ResolveRoute(txn, *entry, key);
 }
 
+std::pair<catalog::Partition*, catalog::Partition*> Cluster::RouteForRead(
+    tx::Txn* txn, TableId table, Key key) {
+  // Fast path: no replica routes on the table at all — plain two-pointer.
+  if (!catalog_.HasReplicas(table)) return RouteBoth(txn, table, key);
+  auto entry = catalog_.Route(table, key);
+  if (!entry.has_value()) return {nullptr, nullptr};
+  // Mid-move the two candidate locations are the §4.3 pointers, not the
+  // replicas: a bounded-stale copy must not mask the moving record.
+  if (entry->secondary.valid()) return RouteBoth(txn, table, key);
+
+  catalog::Partition* primary = catalog_.GetPartition(entry->primary);
+  std::vector<catalog::Partition*> standbys;
+  for (const auto& rr : catalog_.ReplicasFor(table, key)) {
+    if (!rr.serving) continue;
+    catalog::Partition* rp = catalog_.GetPartition(rr.partition);
+    if (rp == nullptr) continue;
+    Node* host = node(rp->owner());
+    if (host == nullptr || !host->IsActive()) continue;
+    standbys.push_back(rp);
+  }
+  if (standbys.empty()) return RouteBoth(txn, table, key);
+
+  Node* owner = primary != nullptr ? node(primary->owner()) : nullptr;
+  const bool owner_up = owner != nullptr && owner->IsActive();
+  if (!owner_up) {
+    // Failover window: the owner crashed but promotion has not flipped
+    // the route yet — replicas carry the read traffic, with no fallback
+    // (the authoritative copy is down anyway).
+    return {standbys[read_ticket_++ % standbys.size()], nullptr};
+  }
+  const size_t pick = read_ticket_++ % (standbys.size() + 1);
+  if (pick == 0) return {primary, standbys.front()};
+  return {standbys[pick - 1], primary};
+}
+
 std::pair<catalog::Partition*, catalog::Partition*> Cluster::RouteBoth(
     tx::Txn* txn, TableId table, Key key) {
   // One catalog lookup feeds both pointers — this runs once per key on

@@ -126,6 +126,17 @@ class Cluster {
   std::pair<catalog::Partition*, catalog::Partition*> RouteBoth(
       tx::Txn* txn, TableId table, Key key);
 
+  /// RouteBoth for *reads*: when the key has serving warm replicas and no
+  /// move is in flight, the read is spread round-robin over the owner and
+  /// the replicas (read scale-out under the replica policy's staleness
+  /// bound). The second element is the authoritative fallback — a miss on
+  /// a replica retries at the owner, so a bounded-stale copy can delay a
+  /// read but never wrongly deny a key's existence. With a down owner the
+  /// replicas keep serving until promotion flips the route. Writes must
+  /// keep using RouteBoth/Route: they go to the owner only.
+  std::pair<catalog::Partition*, catalog::Partition*> RouteForRead(
+      tx::Txn* txn, TableId table, Key key);
+
   /// Ship an operation's request/response between the master (client
   /// endpoint) and the owner node, charging `txn`. No-op if owner is the
   /// master itself.
@@ -157,6 +168,8 @@ class Cluster {
 
   bool sampling_ = false;
   bool auto_vacuum_ = true;
+  /// Round-robin ticket spreading fanned-out reads over owner + replicas.
+  uint64_t read_ticket_ = 0;
   SimTime last_sample_ = 0;
   metrics::TimeSeries* series_ = nullptr;
   hw::EnergyMeter energy_;

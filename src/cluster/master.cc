@@ -31,6 +31,10 @@ const char* ToString(ControlEventType type) {
     case ControlEventType::kHeatMovePlanned: return "heat-move-planned";
     case ControlEventType::kHeatMoveAbandoned: return "heat-move-abandoned";
     case ControlEventType::kHeatRebalanced: return "heat-rebalanced";
+    case ControlEventType::kReplicaCreated: return "replica-created";
+    case ControlEventType::kReplicaCaughtUp: return "replica-caught-up";
+    case ControlEventType::kReplicaPromoted: return "replica-promoted";
+    case ControlEventType::kReplicaDropped: return "replica-dropped";
   }
   return "unknown";
 }
@@ -74,6 +78,14 @@ void Master::ControlTick() {
   forecaster_.Observe(cluster_->Now(), max_cpu);
   CheckHeartbeats(stats);
   MaybeBalanceHeat();
+  if (policy_.replica.enabled && replica_hooks_.tick) {
+    // The replica selector consumes the same per-segment heat EWMA the
+    // balancer maintains; keep it advancing when the balancer is off.
+    if (!policy_.balance.enabled) {
+      monitor_.UpdateHeat(policy_.check_period, policy_.balance.ewma_alpha);
+    }
+    replica_hooks_.tick();
+  }
   if (repartitioner_ == nullptr || !repartitioner_->InProgress()) {
     MaybeScaleOut(stats);
     MaybeScaleIn(stats);
@@ -123,6 +135,14 @@ void Master::DeclareDead(NodeId node) {
     // Helpers hold no partitions — replace instead of restarting.
     HandleHelperFailure(node);
     return;
+  }
+  // Standbys hosted *on* the dead node lost their (unlogged) state and are
+  // discarded; standbys *of* the dead node's ranges are the fast failover
+  // path — catch up from its surviving WAL and flip ownership, instead of
+  // waiting out the full redo of a restart.
+  if (replica_hooks_.drop_hosted_on) replica_hooks_.drop_hosted_on(node);
+  if (policy_.replica.promote_on_failure && replica_hooks_.promote_for) {
+    replica_hooks_.promote_for(node);
   }
   if (!policy_.recovery.auto_heal) return;
 
@@ -193,7 +213,12 @@ void Master::StartDrainAndExclude(NodeId node, int attempt) {
   // impossible — the heartbeat detector owns the node again.
   Node* n = cluster_->node(node);
   if (n == nullptr || !n->IsActive()) return;
+  // Standby copies hosted on the victim are disposable — drop them rather
+  // than have the drain move them (and again in the completion callback,
+  // in case a replica landed here mid-drain).
+  if (replica_hooks_.drop_hosted_on) replica_hooks_.drop_hosted_on(node);
   const Status started = repartitioner_->Drain(node, [this, node, attempt]() {
+    if (replica_hooks_.drop_hosted_on) replica_hooks_.drop_hosted_on(node);
     const Status off = cluster_->PowerOff(node);
     if (off.ok()) {
       excluded_.insert(node);
@@ -239,11 +264,13 @@ void Master::HandleHelperFailure(NodeId helper) {
   for (NodeId a : orphaned) {
     Node* an = cluster_->node(a);
     if (an == nullptr) continue;
-    an->log().DetachHelper();
+    // The helper's disk died with the shipped tail's only durable copy;
+    // DetachHelperLost re-forces it from the assisted node's log buffer.
+    an->log().DetachHelperLost(cluster_->Now());
     an->buffer().DetachRemoteTier();
     Emit(ControlEventType::kHelperFallback, a,
-         "fell back to local logging (WAL was forced at commit; nothing "
-         "committed is lost)");
+         "fell back to local logging (shipped tail re-forced locally; "
+         "nothing committed is lost)");
   }
   helper_assignments_.erase(helper);
   active_helpers_.erase(
@@ -375,7 +402,9 @@ void Master::MaybeScaleIn(const std::vector<NodeStats>& stats) {
   if (!victim.valid()) return;
   ++scale_in_events_;
   Emit(ControlEventType::kScaleIn, victim, "draining least-loaded node");
+  if (replica_hooks_.drop_hosted_on) replica_hooks_.drop_hosted_on(victim);
   repartitioner_->Drain(victim, [this, victim]() {
+    if (replica_hooks_.drop_hosted_on) replica_hooks_.drop_hosted_on(victim);
     const Status s = cluster_->PowerOff(victim);
     if (s.ok()) Unwatch(victim);  // Taken down deliberately: no heartbeats
                                   // expected, no false failure alarm.
@@ -481,6 +510,10 @@ std::vector<SegmentMove> Master::PlanHeatMoves(
   std::vector<Candidate> candidates;
   for (catalog::Partition* part :
        cluster_->catalog().PartitionsOwnedBy(hot)) {
+    // Standby copies are not routed primaries: moving one would hand
+    // CompleteMove a range the replica never owned. They are dropped or
+    // promoted, never migrated.
+    if (part->is_replica()) continue;
     for (const auto& e : part->top_index().All()) {
       const double h = monitor_.HeatOf(e.segment);
       if (h <= 0.0) continue;
@@ -620,7 +653,12 @@ Status Master::TriggerRebalance(const std::vector<NodeId>& targets,
 Status Master::AttachHelpers(const std::vector<NodeId>& helpers,
                              const std::vector<NodeId>& assisted,
                              size_t remote_buffer_pages) {
-  if (!active_helpers_.empty()) return Status::Busy("helpers already attached");
+  if (!active_helpers_.empty()) {
+    // Silently rewiring would strand the first helper set's shipped log
+    // tail; the caller must DetachHelpers (which re-localizes it) first.
+    return Status::FailedPrecondition(
+        "helpers already attached; call DetachHelpers first");
+  }
   if (helpers.empty() || assisted.empty()) {
     return Status::InvalidArgument("need helpers and assisted nodes");
   }
@@ -628,6 +666,25 @@ Status Master::AttachHelpers(const std::vector<NodeId>& helpers,
     if (cluster_->node(id) == nullptr) {
       return Status::NotFound("no such helper node " +
                               std::to_string(id.value()));
+    }
+    if (std::find(assisted.begin(), assisted.end(), id) != assisted.end()) {
+      return Status::InvalidArgument(
+          "node " + std::to_string(id.value()) +
+          " cannot ship its own log to itself (helper and assisted)");
+    }
+    // A crashed-or-excluded standby would take the assisted nodes' WAL
+    // stream to a disk that needs redo itself (or is about to power off
+    // for good) — refuse instead of silently wiring a doomed helper.
+    if (excluded_.count(id) > 0) {
+      return Status::FailedPrecondition(
+          "helper node " + std::to_string(id.value()) +
+          " is excluded from duty");
+    }
+    if ((is_down_fn_ && is_down_fn_(id)) || healing_.count(id) > 0 ||
+        missed_.count(id) > 0) {
+      return Status::FailedPrecondition(
+          "helper node " + std::to_string(id.value()) +
+          " crashed and has not recovered");
     }
   }
   for (NodeId id : assisted) {
@@ -666,7 +723,9 @@ Status Master::AttachHelpers(const std::vector<NodeId>& helpers,
 Status Master::DetachHelpers() {
   if (active_helpers_.empty()) return Status::OK();
   for (NodeId a : assisted_nodes_) {
-    cluster_->node(a)->log().DetachHelper();
+    // Graceful detach: the shipped tail is read back from the (still
+    // alive) helper and re-localized before the helper powers off.
+    cluster_->node(a)->log().DetachHelper(cluster_->Now());
     cluster_->node(a)->buffer().DetachRemoteTier();
   }
   for (NodeId h : active_helpers_) {

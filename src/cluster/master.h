@@ -151,6 +151,31 @@ struct BalancePolicy {
   double min_total_heat = 50.0;
 };
 
+/// Warm-replica knobs: which segments deserve standby copies, how many,
+/// and how stale a copy may be while still serving reads. Driven from the
+/// master's control tick through the replica hooks (the ReplicaManager in
+/// src/replica does the actual bootstrapping and log application).
+struct ReplicaPolicy {
+  bool enabled = false;
+  /// Warm standbys maintained per hot segment.
+  int replicas_per_segment = 1;
+  /// Per-segment EWMA heat (ops/s) above which a segment is replicated.
+  double heat_threshold = 50.0;
+  /// Budget: at most this many distinct segments replicated at once.
+  int max_replicated_segments = 4;
+  /// Staleness bound: a replica lagging more than this many unapplied log
+  /// records is pulled out of read fan-out until it catches back up.
+  int64_t max_lag_records = 256;
+  /// Fan eligible reads out over owner + serving replicas (round-robin).
+  bool read_fanout = true;
+  /// On owner death, promote the freshest bootstrapped replica instead of
+  /// waiting for the owner's full WAL-tail redo.
+  bool promote_on_failure = true;
+  /// A replica whose segment has cooled below heat_threshold is dropped
+  /// only after staying cold this long (hysteresis against flapping).
+  SimTime drop_cold_after = 30 * kUsPerSec;
+};
+
 /// One decision of the master's control loop, timestamped in simulated
 /// time. Db::control_events() exposes the full timeline so benches and
 /// tests can assert *when* the master detected, restarted, drained, or
@@ -171,6 +196,10 @@ enum class ControlEventType {
   kHeatMovePlanned, ///< One hot segment scheduled to move to a cold node.
   kHeatMoveAbandoned,///< A planned heat move did not install (crash mid-move).
   kHeatRebalanced,  ///< A heat-rebalance round finished; detail has counts.
+  kReplicaCreated,  ///< A warm standby of a hot segment finished bootstrap.
+  kReplicaCaughtUp, ///< A replica's lag fell under the staleness bound.
+  kReplicaPromoted, ///< Catch-up-and-flip failover: replica became owner.
+  kReplicaDropped,  ///< A replica was discarded (cooled, moved, host lost).
 };
 
 const char* ToString(ControlEventType type);
@@ -200,6 +229,8 @@ struct MasterPolicy {
   RecoveryPolicy recovery;
   /// Heat-driven rebalancing knobs (skew reaction, §3.4).
   BalancePolicy balance;
+  /// Warm standbys of hot segments (read scale-out + fast failover).
+  ReplicaPolicy replica;
 };
 
 /// The master node's control plane: watches node utilization, decides when
@@ -222,6 +253,21 @@ class Master {
   /// heartbeat-based.
   using IsDownFn = std::function<bool(NodeId)>;
 
+  /// Hooks into the replica subsystem (src/replica), wired by the Db
+  /// facade so the master stays ignorant of the ReplicaManager's types —
+  /// same pattern as the recovery hooks.
+  struct ReplicaHooks {
+    /// Run one replica maintenance round (create/catch-up/drop), called
+    /// from every control tick while the replica policy is enabled.
+    std::function<void()> tick;
+    /// Promote the freshest standby of every range owned by the dead
+    /// node; returns how many promotions happened.
+    std::function<int(NodeId)> promote_for;
+    /// Drop all standbys hosted *on* `node` (dead, drained, or excluded —
+    /// their unlogged state is gone or about to be). Returns count.
+    std::function<int(NodeId)> drop_hosted_on;
+  };
+
   Master(Cluster* cluster, Repartitioner* repartitioner,
          MasterPolicy policy = MasterPolicy());
 
@@ -234,6 +280,24 @@ class Master {
   void SetRecoveryHooks(RestartFn restart, IsDownFn is_down) {
     restart_fn_ = std::move(restart);
     is_down_fn_ = std::move(is_down);
+  }
+
+  void SetReplicaHooks(ReplicaHooks hooks) {
+    replica_hooks_ = std::move(hooks);
+  }
+
+  /// Emit a control event on behalf of a subsystem the master drives
+  /// through hooks (the ReplicaManager) so every decision lands on the one
+  /// shared timeline.
+  void EmitEvent(ControlEventType type, NodeId node, std::string detail) {
+    Emit(type, node, std::move(detail));
+  }
+
+  /// Currently wired as a log-shipping helper (Fig. 8)? Replica placement
+  /// avoids helpers: their disks serve other nodes' WAL traffic and they
+  /// are powered off wholesale at DetachHelpers.
+  bool IsHelper(NodeId node) const {
+    return helper_assignments_.count(node) > 0;
   }
 
   /// Explicitly trigger a rebalance onto `extra_nodes` standby nodes,
@@ -344,6 +408,7 @@ class Master {
 
   RestartFn restart_fn_;
   IsDownFn is_down_fn_;
+  ReplicaHooks replica_hooks_;
   std::function<void(const ControlEvent&)> event_listener_;
   std::vector<ControlEvent> control_events_;
   /// Nodes seen active at least once and not deliberately taken down —

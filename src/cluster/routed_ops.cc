@@ -9,7 +9,10 @@ namespace wattdb::cluster {
 
 Status RoutedRead(Cluster* c, tx::Txn* txn, TableId table, Key key,
                   storage::Record* out) {
-  auto [part, second] = c->RouteBoth(txn, table, key);
+  // Reads (and only reads) may land on a serving warm replica instead of
+  // the owner; a replica miss falls back to the authoritative copy below,
+  // so bounded staleness can cost a retry but never a wrong NotFound.
+  auto [part, second] = c->RouteForRead(txn, table, key);
   if (part == nullptr) return Status::NotFound("no route");
   Status s = c->node(part->owner())->Read(txn, part, key, out);
   c->ChargeClientHop(txn, part->owner(), 96,
@@ -18,7 +21,8 @@ Status RoutedRead(Cluster* c, tx::Txn* txn, TableId table, Key key,
     // Two-pointer protocol (§4.3): mid-move the record may already live at
     // the other location; visit it. A down owner (crashed node) is treated
     // like a miss — the secondary may hold the data, and once recovery
-    // remaps the range the retry succeeds there.
+    // remaps the range the retry succeeds there. The same path serves the
+    // replica-fanout miss: `second` is then the owner.
     const Status retry = c->node(second->owner())->Read(txn, second, key, out);
     c->ChargeClientHop(txn, second->owner(), 96,
                        32 + (retry.ok() ? out->StoredSize() : 0));
@@ -37,7 +41,8 @@ Status RoutedUpdate(Cluster* c, tx::Txn* txn, TableId table, Key key,
   Status s = c->node(part->owner())->Update(txn, part, key, payload);
   if ((s.IsNotFound() || s.IsUnavailable()) && second != nullptr) {
     c->ChargeClientHop(txn, second->owner(), 96 + payload.size(), 32);
-    const Status retry = c->node(second->owner())->Update(txn, second, key, payload);
+    const Status retry =
+        c->node(second->owner())->Update(txn, second, key, payload);
     if (!(s.IsUnavailable() && retry.IsNotFound())) s = retry;
   }
   return s;
@@ -109,7 +114,9 @@ Status RoutedMultiRead(Cluster* c, tx::Txn* txn, TableId table,
 
   std::vector<KeyRoute> routes(keys.size());
   for (size_t i = 0; i < keys.size(); ++i) {
-    auto [part, second] = c->RouteBoth(txn, table, keys[i]);
+    // Replica fan-out per key: hot keys spread over owner + serving
+    // standbys, so one Zipf-hot owner stops bounding the whole batch.
+    auto [part, second] = c->RouteForRead(txn, table, keys[i]);
     routes[i] = KeyRoute{part, second};
   }
 

@@ -1,6 +1,7 @@
 #include "fault/fault_injector.h"
 
 #include "common/logging.h"
+#include "replica/replica_manager.h"
 
 namespace wattdb::fault {
 
@@ -25,7 +26,7 @@ void FaultInjector::Arm(const FaultPlan& plan) {
 
 void FaultInjector::Schedule(const FaultPlan::Crash& spec) {
   const uint64_t gen = generation_;
-  if (spec.at_migration_progress >= 0.0) {
+  if (spec.at_migration_progress >= 0.0 || spec.at_replica_progress >= 0.0) {
     cluster_->events().ScheduleAfter(
         kProgressPollUs, [this, spec, gen]() { PollProgress(spec, gen); });
     return;
@@ -40,12 +41,25 @@ void FaultInjector::PollProgress(FaultPlan::Crash spec, uint64_t generation) {
   // finish inside one poll interval, and the trigger must still fire
   // (tasks_planned > 0 survives completion; it only resets on the next
   // StartRebalance).
-  if (scheme_ != nullptr && scheme_->stats().tasks_planned > 0 &&
+  if (spec.at_migration_progress >= 0.0 && scheme_ != nullptr &&
+      scheme_->stats().tasks_planned > 0 &&
       scheme_->stats().progress() >= spec.at_migration_progress) {
     WATTDB_INFO("fault: migration progress "
                 << scheme_->stats().progress() << " >= "
                 << spec.at_migration_progress << ", crashing node "
                 << spec.node.value());
+    Fire(spec, generation);
+    return;
+  }
+  // Replica-progress trigger: arms only once replicas exist (progress() is
+  // 0.0 on an empty replica set, so a plan built before the first standby
+  // is created still waits for it).
+  if (spec.at_replica_progress >= 0.0 && replicas_ != nullptr &&
+      !replicas_->replicas().empty() &&
+      replicas_->progress() >= spec.at_replica_progress) {
+    WATTDB_INFO("fault: replica progress "
+                << replicas_->progress() << " >= " << spec.at_replica_progress
+                << ", crashing node " << spec.node.value());
     Fire(spec, generation);
     return;
   }

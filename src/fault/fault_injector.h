@@ -11,6 +11,10 @@
 #include "common/types.h"
 #include "fault/recovery_manager.h"
 
+namespace wattdb::replica {
+class ReplicaManager;
+}  // namespace wattdb::replica
+
 namespace wattdb::fault {
 
 /// A declarative crash schedule, built fluently and handed to
@@ -31,6 +35,11 @@ struct FaultPlan {
     /// progress first reaches this fraction ("crash node X at migration
     /// progress p%"); < 0 disables the trigger.
     double at_migration_progress = -1.0;
+    /// In [0, 1]: ignore `at` and crash when ReplicaManager::progress()
+    /// first reaches this fraction ("crash the owner at replica catch-up
+    /// p%"); < 0 disables the trigger. Requires a replica manager to be
+    /// wired (set_replica_manager) — otherwise the trigger never fires.
+    double at_replica_progress = -1.0;
     /// > 0: automatically restart (and redo-recover) this long after each
     /// crash; 0 leaves the node down until Db::RestartNode.
     SimTime restart_after = 0;
@@ -64,6 +73,19 @@ struct FaultPlan {
     crashes.push_back(c);
     return *this;
   }
+  /// Crash `node` the moment the replica subsystem's aggregate lifecycle
+  /// progress reaches `fraction` — e.g. 0.5 lands mid-catch-up, after the
+  /// bootstrap stream but before the standby is caught up. Used to prove
+  /// exactly-once apply across an owner crash during replica catch-up.
+  FaultPlan& CrashAtReplicaProgress(NodeId node, double fraction,
+                                    SimTime restart_after = 0) {
+    Crash c;
+    c.node = node;
+    c.at_replica_progress = fraction;
+    c.restart_after = restart_after;
+    crashes.push_back(c);
+    return *this;
+  }
 
   bool empty() const { return crashes.empty(); }
 };
@@ -92,6 +114,10 @@ class FaultInjector {
   /// pending auto-restarts still run so the cluster is not left wedged).
   void Disarm() { ++generation_; }
 
+  /// Wire the replica subsystem so CrashAtReplicaProgress triggers can poll
+  /// its progress. May be null (those triggers then never fire).
+  void set_replica_manager(replica::ReplicaManager* rm) { replicas_ = rm; }
+
   /// Callback invoked after every injected restart finishes recovery.
   void set_on_recovered(std::function<void(const RecoveryReport&)> cb) {
     on_recovered_ = std::move(cb);
@@ -107,6 +133,7 @@ class FaultInjector {
   cluster::Cluster* cluster_;
   RecoveryManager* recovery_;
   cluster::Repartitioner* scheme_;
+  replica::ReplicaManager* replicas_ = nullptr;
   std::function<void(const RecoveryReport&)> on_recovered_;
   /// Bumped by Disarm(); events from older generations become no-ops.
   uint64_t generation_ = 0;

@@ -145,6 +145,10 @@ RecoveryReport RecoveryManager::Redo(NodeId node) {
   SimTime t = now;
   auto& catalog = cluster_->catalog();
   for (catalog::Partition* p : catalog.PartitionsOwnedBy(node)) {
+    // Warm-standby partitions are not redone: their content was applied
+    // from the *source's* log, nothing of theirs is in this node's WAL.
+    // The ReplicaManager drops them when it learns the host died.
+    if (p->is_replica()) continue;
     // A partition caught mid-move by the crash reopens as a normal one: the
     // scheme already rolled the move off the master's books.
     if (p->state() != catalog::PartitionState::kNormal) {
@@ -181,15 +185,34 @@ RecoveryReport RecoveryManager::Redo(NodeId node) {
     // Re-register with the master: every key range this partition holds
     // must be reachable again. Ranges the routing tree still points at
     // (as primary, or as the secondary of an interrupted move) are left
-    // alone; orphaned ranges are re-assigned.
+    // alone; orphaned ranges are reclaimed — under the ownership epoch the
+    // partition last held them at, so a promotion that happened while the
+    // node was down fences the deposed owner off instead of letting it
+    // steal the route back and serve stale data.
     for (const auto& entry : p->top_index().All()) {
       const auto route = catalog.Route(p->table(), entry.range.lo);
       if (route.has_value() &&
           (route->primary == p->id() || route->secondary == p->id())) {
         continue;
       }
-      WATTDB_CHECK(
-          catalog.AssignRange(p->table(), entry.range, p->id()).ok());
+      const Status claim = catalog.ReclaimRange(p->table(), entry.range,
+                                                p->id(), p->route_epoch());
+      if (claim.IsFailedPrecondition()) {
+        // Superseded: a warm replica of this range was promoted during the
+        // outage. The local copy is stale — drop it rather than carry two
+        // divergent versions of the range.
+        (void)p->DetachSegment(entry.segment);
+        n->buffer().InvalidateSegment(entry.segment);
+        (void)cluster_->segments().Drop(entry.segment);
+        ++report.routes_superseded;
+        WATTDB_INFO("recovery: node "
+                    << node.value() << " range [" << entry.range.lo << ","
+                    << entry.range.hi << ") superseded while down: "
+                    << claim.ToString());
+        continue;
+      }
+      WATTDB_CHECK_MSG(claim.ok(), "route reclaim failed: "
+                                       << claim.ToString());
       ++report.routes_restored;
     }
 

@@ -30,6 +30,10 @@ struct RecoveryReport {
   /// Top-index ranges whose routing entry had to be re-registered with the
   /// master's global partition table.
   int64_t routes_restored = 0;
+  /// Ranges whose reclaim was fenced off by a newer ownership epoch — a
+  /// warm replica was promoted while this node was down. The local copy is
+  /// stale and its segment is dropped instead of resurrected.
+  int64_t routes_superseded = 0;
   SimTime crashed_at = 0;    ///< When Crash() hit (0 if never crashed).
   SimTime restarted_at = 0;  ///< When the node finished booting.
   SimTime recovered_at = 0;  ///< When redo finished; node fully serving.

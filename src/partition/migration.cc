@@ -26,6 +26,9 @@ MigrationManagerBase::PlanRebalance(const std::vector<NodeId>& targets,
     };
     std::vector<Candidate> pool;
     for (catalog::Partition* part : cluster_->catalog().PartitionsOf(table)) {
+      // Warm standbys are not migration sources: their data is a bounded-
+      // stale copy the ReplicaManager re-places itself.
+      if (part->is_replica()) continue;
       // Never pull data off the targets themselves.
       if (std::find(targets.begin(), targets.end(), part->owner()) !=
           targets.end()) {
@@ -76,6 +79,10 @@ std::vector<MigrationManagerBase::MoveTask> MigrationManagerBase::PlanDrain(
   size_t rr = 0;
   for (catalog::Partition* part :
        cluster_->catalog().PartitionsOwnedBy(victim)) {
+    // Replica partitions are never drained: the master drops them outright
+    // (DropReplicasOn) before the drain starts — copying a stale standby to
+    // a survivor would be wasted bytes.
+    if (part->is_replica()) continue;
     for (const auto& e : part->top_index().All()) {
       MoveTask t;
       t.table = part->table();

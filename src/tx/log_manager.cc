@@ -20,6 +20,7 @@ SimTime LogManager::Append(SimTime now, LogRecord record) {
   if (helper_node_.valid()) {
     // Log shipping: the record travels to the helper and is persisted on
     // the helper's disk; the local log disk stays idle (Fig. 8 setup).
+    helper_held_bytes_ += static_cast<int64_t>(bytes);
     const SimTime arrived = network_->Transfer(now, node_, helper_node_, bytes);
     if (helper_disk_ != nullptr) {
       return helper_disk_->AccessAppend(arrived, bytes);
@@ -34,6 +35,7 @@ SimTime LogManager::Flush(SimTime now) { return now; }
 SimTime LogManager::ChargeBytes(SimTime now, size_t bytes) {
   bytes_written_ += static_cast<int64_t>(bytes);
   if (helper_node_.valid()) {
+    helper_held_bytes_ += static_cast<int64_t>(bytes);
     const SimTime arrived =
         network_->Transfer(now, node_, helper_node_, bytes);
     if (helper_disk_ != nullptr) {
@@ -47,11 +49,37 @@ SimTime LogManager::ChargeBytes(SimTime now, size_t bytes) {
 void LogManager::AttachHelper(NodeId helper, hw::Disk* helper_disk) {
   helper_node_ = helper;
   helper_disk_ = helper_disk;
+  helper_held_bytes_ = 0;
 }
 
-void LogManager::DetachHelper() {
+SimTime LogManager::DetachHelper(SimTime now) {
+  const int64_t held = helper_held_bytes_;
+  hw::Disk* held_on = helper_disk_;
+  const NodeId held_at = helper_node_;
   helper_node_ = NodeId::Invalid();
   helper_disk_ = nullptr;
+  helper_held_bytes_ = 0;
+  if (held <= 0 || held_on == nullptr) return now;
+  // Everything shipped since attach is durable only at the helper; before
+  // the helper is released (typically to be powered off), that tail must
+  // come home: sequential read there, network hop back, local append.
+  const size_t bytes = static_cast<size_t>(held);
+  const SimTime read_done = held_on->AccessSequential(now, bytes);
+  const SimTime arrived = network_->Transfer(read_done, held_at, node_, bytes);
+  return log_disk_->AccessAppend(arrived, bytes);
+}
+
+SimTime LogManager::DetachHelperLost(SimTime now) {
+  const int64_t held = helper_held_bytes_;
+  helper_node_ = NodeId::Invalid();
+  helper_disk_ = nullptr;
+  helper_held_bytes_ = 0;
+  if (held <= 0) return now;
+  // The helper's disk is gone and with it the shipped tail's only durable
+  // copy. The records still sit in this node's in-memory log buffer
+  // (records_), and their commits were acknowledged — re-force them to the
+  // local log disk immediately to restore durability.
+  return log_disk_->AccessAppend(now, static_cast<size_t>(held));
 }
 
 std::vector<LogRecord> LogManager::Tail(uint64_t from_lsn) const {
@@ -92,9 +120,10 @@ SimTime LogManager::ChargeReplayRead(SimTime now, size_t bytes) {
 }
 
 void LogManager::TruncateUpTo(uint64_t lsn) {
-  records_.erase(std::remove_if(records_.begin(), records_.end(),
-                                [&](const LogRecord& r) { return r.lsn <= lsn; }),
-                 records_.end());
+  records_.erase(
+      std::remove_if(records_.begin(), records_.end(),
+                     [&](const LogRecord& r) { return r.lsn <= lsn; }),
+      records_.end());
 }
 
 }  // namespace wattdb::tx

@@ -65,8 +65,29 @@ class LogManager {
 
   /// Redirect appends to `helper` (log shipping via the network).
   void AttachHelper(NodeId helper, hw::Disk* helper_disk);
-  void DetachHelper();
+
+  /// Graceful detach (helper is alive, e.g. DetachHelpers powering it
+  /// down): the log tail shipped since attach lives only on the helper's
+  /// disk, so it is read back there, shipped over the network, and
+  /// appended to the local log disk before the redirect is dropped.
+  /// Returns the time local durability is restored (`now` when nothing
+  /// was shipped). Detaching mid-append is safe: every record appended so
+  /// far is counted in the held tail, whether or not its own durability
+  /// time has passed yet.
+  SimTime DetachHelper(SimTime now);
+
+  /// Detach after the helper *crashed*: its disk (and the shipped tail's
+  /// only durable copy) is gone. The tail is re-forced from the in-memory
+  /// log buffer to the local disk — commits were acknowledged at ship
+  /// time, so the force must happen now, not lazily. Returns the time the
+  /// local re-force completes.
+  SimTime DetachHelperLost(SimTime now);
+
   bool HasHelper() const { return helper_node_.valid(); }
+
+  /// Log bytes whose only durable copy currently sits on the helper's
+  /// disk (shipped since attach, not yet re-localized).
+  int64_t helper_held_bytes() const { return helper_held_bytes_; }
 
   /// Records with lsn > `from_lsn`, for recovery and tests.
   std::vector<LogRecord> Tail(uint64_t from_lsn) const;
@@ -102,6 +123,8 @@ class LogManager {
   hw::Network* network_;
   NodeId helper_node_;
   hw::Disk* helper_disk_ = nullptr;
+  /// Bytes shipped to the current helper since AttachHelper.
+  int64_t helper_held_bytes_ = 0;
 
   uint64_t next_lsn_ = 1;
   int64_t bytes_written_ = 0;

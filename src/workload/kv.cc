@@ -37,7 +37,11 @@ Key KvWorkload::NextKey(Rng* rng) const {
     const uint64_t rank =
         rng->Zipf(static_cast<uint64_t>(config_.num_keys), config_.zipf_theta);
     if (!scramble_.empty()) return scramble_[rank];
-    return static_cast<Key>(rank);
+    // A rotation is a bijection, so the rank distribution is untouched;
+    // only where in the key space the contiguous hot head sits changes.
+    const uint64_t offset = static_cast<uint64_t>(config_.zipf_offset);
+    return static_cast<Key>((rank + offset) %
+                            static_cast<uint64_t>(config_.num_keys));
   }
   return static_cast<Key>(rng->UniformInt(0, config_.num_keys - 1));
 }

@@ -44,6 +44,11 @@ struct KvConfig {
   /// hot keys then land all over the ranges (hash-distributed hotspots)
   /// instead of clustering at the low end.
   bool zipf_scramble = false;
+  /// Rotate the rank -> key mapping by this many keys (mod num_keys): the
+  /// contiguous Zipf head then starts at this key instead of key 0, which
+  /// lets a scenario park the hotspot on a chosen owner (e.g. not the
+  /// master's partition). Ignored under zipf_scramble.
+  int64_t zipf_offset = 0;
   /// Pre-split each node's partition into this many segments at table
   /// creation (Db::AddKvWorkload passes it to CreateKvTable); 0 = lazy
   /// single segment. Skewed runs use it so per-segment heat is graded and

@@ -609,6 +609,69 @@ TEST(DbOptions, ValidatesFaultPlan) {
       fault::FaultPlan().CrashAtMigrationProgress(NodeId(1), -0.3)));
   ASSERT_FALSE(neg_frac.ok());
   EXPECT_TRUE(neg_frac.status().IsInvalidArgument());
+
+  // Replica-progress triggers get the same fraction validation.
+  auto bad_rep = Db::Open(SmallOptions().WithFaultPlan(
+      fault::FaultPlan().CrashAtReplicaProgress(NodeId(1), 2.0)));
+  ASSERT_FALSE(bad_rep.ok());
+  EXPECT_TRUE(bad_rep.status().IsInvalidArgument());
+}
+
+TEST(DbOptions, ValidatesReplicaPolicy) {
+  // Misconfiguration is rejected even with the policy disabled — a typo
+  // must surface the first time the options are used.
+  auto check = [](std::function<void(cluster::ReplicaPolicy&)> corrupt,
+                  const char* field) {
+    DbOptions options = SmallOptions();
+    corrupt(options.master.replica);
+    auto db = Db::Open(std::move(options));
+    ASSERT_FALSE(db.ok()) << field << " accepted";
+    EXPECT_TRUE(db.status().IsInvalidArgument());
+    EXPECT_NE(db.status().message().find(field), std::string::npos)
+        << db.status().ToString();
+  };
+  check([](cluster::ReplicaPolicy& rp) { rp.replicas_per_segment = 0; },
+        "replicas_per_segment");
+  check([](cluster::ReplicaPolicy& rp) { rp.heat_threshold = -1.0; },
+        "heat_threshold");
+  check([](cluster::ReplicaPolicy& rp) { rp.max_replicated_segments = 0; },
+        "max_replicated_segments");
+  check([](cluster::ReplicaPolicy& rp) { rp.max_lag_records = -1; },
+        "max_lag_records");
+  check([](cluster::ReplicaPolicy& rp) { rp.drop_cold_after = -1; },
+        "drop_cold_after");
+}
+
+TEST(Db, AttachHelpersRefusesRewiringAndDoomedHelpers) {
+  auto opened = Db::Open(DbOptions()
+                             .WithNodes(5)
+                             .WithActiveNodes(3)
+                             .WithoutTpccLoad());
+  ASSERT_TRUE(opened.ok());
+  Db& db = **opened;
+
+  // A node cannot ship its own log to itself.
+  EXPECT_TRUE(
+      db.AttachHelpers({NodeId(2)}, {NodeId(1), NodeId(2)}, 128)
+          .IsInvalidArgument());
+
+  // A crashed node must not become a helper: its disk needs redo itself,
+  // and wiring it would strand the assisted nodes' WAL stream.
+  ASSERT_TRUE(db.CrashNode(NodeId(2)).ok());
+  const Status crashed = db.AttachHelpers({NodeId(2)}, {NodeId(1)}, 128);
+  EXPECT_TRUE(crashed.IsFailedPrecondition()) << crashed.ToString();
+  EXPECT_NE(crashed.message().find("crashed"), std::string::npos);
+  ASSERT_TRUE(db.RestartNodeAndWait(NodeId(2)).ok());
+
+  // First attach succeeds; a second one must not silently rewire (the
+  // first helper's shipped tail would be stranded) — DetachHelpers first.
+  ASSERT_TRUE(db.AttachHelpers({NodeId(3)}, {NodeId(1)}, 128).ok());
+  const Status twice = db.AttachHelpers({NodeId(4)}, {NodeId(1)}, 128);
+  EXPECT_TRUE(twice.IsFailedPrecondition()) << twice.ToString();
+  EXPECT_NE(twice.message().find("DetachHelpers"), std::string::npos);
+  db.RunFor(7 * kUsPerSec);  // Helper boots and wires.
+  ASSERT_TRUE(db.DetachHelpers().ok());
+  EXPECT_TRUE(db.AttachHelpers({NodeId(4)}, {NodeId(1)}, 128).ok());
 }
 
 TEST(Fault, CrashedOwnerIsUnavailableAndRedoRecoversItsWrites) {
@@ -1442,6 +1505,12 @@ TEST(Db, AddKvWorkloadValidatesZipfAndPresplitsSegments) {
   workload::KvConfig bad = SkewedKv(100, 1024);
   bad.zipf_theta = 1.0;  // The Gray et al. generator needs theta < 1.
   EXPECT_TRUE(db.AddKvWorkload(bad).status().IsInvalidArgument());
+
+  workload::KvConfig shifted = SkewedKv(100, 1024);
+  shifted.zipf_offset = 1024;  // Rotation must stay inside the key space.
+  EXPECT_TRUE(db.AddKvWorkload(shifted).status().IsInvalidArgument());
+  shifted.zipf_offset = -1;
+  EXPECT_TRUE(db.AddKvWorkload(shifted).status().IsInvalidArgument());
 
   workload::KvConfig cfg = SkewedKv(100, 1024);
   cfg.segments_per_partition = 4;

@@ -364,7 +364,8 @@ TEST(Master, HelpersWireLogShippingAndRemoteBuffer) {
   EXPECT_TRUE(c.node(NodeId(2))->IsActive());
   EXPECT_TRUE(c.node(NodeId(0))->log().HasHelper());
   EXPECT_TRUE(c.node(NodeId(1))->buffer().HasRemoteTier());
-  EXPECT_TRUE(master.AttachHelpers({NodeId(3)}, {NodeId(0)}, 10).IsBusy());
+  EXPECT_TRUE(
+      master.AttachHelpers({NodeId(3)}, {NodeId(0)}, 10).IsFailedPrecondition());
   ASSERT_TRUE(master.DetachHelpers().ok());
   EXPECT_FALSE(c.node(NodeId(0))->log().HasHelper());
   EXPECT_FALSE(c.node(NodeId(1))->buffer().HasRemoteTier());

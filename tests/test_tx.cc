@@ -325,9 +325,75 @@ TEST(LogManager, HelperShipsOverNetwork) {
   EXPECT_GT(rig.network.messages_sent(), 0);
   EXPECT_EQ(rig.disk.bytes_transferred(), 0);   // Local WAL disk untouched.
   EXPECT_GT(rig.helper_disk.bytes_transferred(), 0);
-  rig.log.DetachHelper();
+  rig.log.DetachHelper(500);
   rig.log.Append(1000, MakeRecord(LogRecordType::kInsert));
   EXPECT_GT(rig.disk.bytes_transferred(), 0);
+}
+
+// Regression for the mid-shipping attach/detach transition: records
+// appended while a helper is attached are durable only on the helper's
+// disk. A graceful detach must read that tail back and re-append it
+// locally (costing real simulated time) before dropping the redirect —
+// otherwise powering the helper off silently discards acknowledged
+// commits.
+TEST(LogManager, GracefulDetachRelocalizesShippedTail) {
+  LogRig rig;
+  rig.log.AttachHelper(NodeId(1), &rig.helper_disk);
+  SimTime t = 0;
+  for (int i = 0; i < 10; ++i) {
+    t = rig.log.Append(t, MakeRecord(LogRecordType::kInsert, i));
+  }
+  const int64_t held = rig.log.helper_held_bytes();
+  EXPECT_GT(held, 0);
+  EXPECT_EQ(rig.disk.bytes_transferred(), 0);
+
+  // Detach while the last append's durability time is still in the
+  // future ("append in flight"): the held tail covers it regardless.
+  const SimTime detach_at = t / 2;
+  const SimTime durable_at = rig.log.DetachHelper(detach_at);
+  EXPECT_FALSE(rig.log.HasHelper());
+  EXPECT_EQ(rig.log.helper_held_bytes(), 0);
+  // Re-localization charged: helper read + network hop + local append.
+  EXPECT_GT(durable_at, detach_at);
+  EXPECT_GE(rig.disk.bytes_transferred(), held);
+  // The in-memory record stream is intact for later redo.
+  EXPECT_EQ(rig.log.records().size(), 10u);
+
+  // After detach, replay reads come from the local disk again.
+  const int64_t local_before = rig.disk.bytes_transferred();
+  rig.log.ChargeReplayRead(durable_at, 1024);
+  EXPECT_GT(rig.disk.bytes_transferred(), local_before);
+}
+
+// A crashed helper takes the shipped tail's only durable copy with it:
+// DetachHelperLost must re-force the tail from the in-memory log buffer
+// to the local disk immediately.
+TEST(LogManager, LostHelperReforcesTailLocally) {
+  LogRig rig;
+  rig.log.AttachHelper(NodeId(1), &rig.helper_disk);
+  SimTime t = 0;
+  for (int i = 0; i < 5; ++i) {
+    t = rig.log.Append(t, MakeRecord(LogRecordType::kInsert, i));
+  }
+  const int64_t held = rig.log.helper_held_bytes();
+  ASSERT_GT(held, 0);
+  const int64_t helper_messages = rig.network.messages_sent();
+
+  const SimTime durable_at = rig.log.DetachHelperLost(t);
+  EXPECT_FALSE(rig.log.HasHelper());
+  EXPECT_GT(durable_at, t);
+  // Re-force is local-only: the helper (and the network path to it) is gone.
+  EXPECT_GE(rig.disk.bytes_transferred(), held);
+  EXPECT_EQ(rig.network.messages_sent(), helper_messages);
+  EXPECT_EQ(rig.log.records().size(), 5u);
+
+  // Re-attach starts a fresh held-tail epoch: only post-attach appends
+  // count against the new helper.
+  rig.log.AttachHelper(NodeId(1), &rig.helper_disk);
+  EXPECT_EQ(rig.log.helper_held_bytes(), 0);
+  rig.log.Append(durable_at, MakeRecord(LogRecordType::kInsert, 99));
+  EXPECT_GT(rig.log.helper_held_bytes(), 0);
+  EXPECT_LT(rig.log.helper_held_bytes(), held);
 }
 
 TEST(LogManager, TailAndTruncate) {
