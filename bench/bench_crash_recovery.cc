@@ -25,7 +25,7 @@ struct RunResult {
   double after_rate = 0;   ///< Committed txn/s once recovered.
 };
 
-RunResult RunOnce(SimTime pre_crash_window) {
+RunResult RunOnce(SimTime pre_crash_window, JsonReporter* json) {
   auto opened = Db::Open(DbOptions()
                              .WithNodes(4)
                              .WithActiveNodes(2)
@@ -63,6 +63,8 @@ RunResult RunOnce(SimTime pre_crash_window) {
   RunResult r;
   r.before_rate =
       static_cast<double>(driver.committed()) / ToSeconds(pre_crash_window);
+  // Backlog at steady offered load, right before the crash.
+  if (json != nullptr) ReportQueueDepths(json, &db, "precrash");
 
   const int64_t committed_at_crash = driver.committed();
   const SimTime crash_at = db.Now();
@@ -109,7 +111,8 @@ void Run() {
           : std::vector<SimTime>{2 * kUsPerSec, 5 * kUsPerSec, 10 * kUsPerSec,
                                  20 * kUsPerSec};
   for (const SimTime window : windows) {
-    const RunResult r = RunOnce(window);
+    const RunResult r =
+        RunOnce(window, window == windows.back() ? &json : nullptr);
     std::printf("%-10.0f %12lld %10.1f %10.2f %12.1f %8.0f /%5.0f /%5.0f\n",
                 ToSeconds(window),
                 static_cast<long long>(r.report.tail_records),

@@ -79,7 +79,8 @@ struct ArmResult {
   double time_to_rebalance_ms = 0;  ///< First trigger -> last round done.
 };
 
-ArmResult RunArm(const HeatSetup& s, bool balance) {
+ArmResult RunArm(const HeatSetup& s, bool balance, JsonReporter* json,
+                 const std::string& prefix) {
   DbOptions options = DbOptions()
                           .WithNodes(4)
                           .WithActiveNodes(4)
@@ -114,6 +115,9 @@ ArmResult RunArm(const HeatSetup& s, bool balance) {
 
   driver.ResetStats();
   db.RunFor(s.measure_window);
+  // End-of-measurement backlog: the static arm's hot node shows the queue
+  // the balancer exists to dissolve.
+  if (json != nullptr) ReportQueueDepths(json, &db, prefix);
 
   ArmResult r;
   const double secs = ToSeconds(s.measure_window);
@@ -170,8 +174,8 @@ void Run() {
       s.zipf_theta, static_cast<long long>(s.num_keys), s.offered_qps,
       s.batch_size, ToSeconds(s.measure_window), ToSeconds(s.converge_window));
 
-  const ArmResult stat = RunArm(s, /*balance=*/false);
-  const ArmResult heat = RunArm(s, /*balance=*/true);
+  const ArmResult stat = RunArm(s, /*balance=*/false, &json, "static");
+  const ArmResult heat = RunArm(s, /*balance=*/true, &json, "heat");
 
   std::printf("%-8s | %12s %12s %9s %9s | %7s %6s %12s\n", "arm", "key-ops/s",
               "txn/s", "mean ms", "p99 ms", "rounds", "moves", "t-rebal ms");

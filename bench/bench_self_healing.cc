@@ -56,7 +56,9 @@ struct ArmResult {
   int auto_restarts = 0;
 };
 
-ArmResult RunArm(double qps, Arm arm, SimTime window, SimTime crash_period) {
+ArmResult RunArm(double qps, Arm arm, SimTime window, SimTime crash_period,
+                 JsonReporter* json = nullptr,
+                 const std::string& prefix = "") {
   DbOptions options = DbOptions()
                           .WithNodes(4)
                           .WithActiveNodes(2)
@@ -92,6 +94,7 @@ ArmResult RunArm(double qps, Arm arm, SimTime window, SimTime crash_period) {
   db.RunFor(kWarmup);
   driver.ResetStats();
   db.RunFor(window);
+  if (json != nullptr) ReportQueueDepths(json, &db, prefix);
 
   ArmResult r;
   const double secs = ToSeconds(window);
@@ -224,12 +227,16 @@ void Run() {
   double healthy_mid = 0, heal_mid = 0, noheal_mid = 0;
   for (size_t i = 0; i < sweep.size(); ++i) {
     const double qps = sweep[i];
+    const bool last = i + 1 == sweep.size();
     const ArmResult healthy =
-        RunArm(qps, Arm::kHealthy, sweep_window, crash_period);
+        RunArm(qps, Arm::kHealthy, sweep_window, crash_period,
+               last ? &json : nullptr, "healthy");
     const ArmResult noheal =
-        RunArm(qps, Arm::kCrashNoHealing, sweep_window, crash_period);
+        RunArm(qps, Arm::kCrashNoHealing, sweep_window, crash_period,
+               last ? &json : nullptr, "noheal");
     const ArmResult heal =
-        RunArm(qps, Arm::kCrashHealing, sweep_window, crash_period);
+        RunArm(qps, Arm::kCrashHealing, sweep_window, crash_period,
+               last ? &json : nullptr, "heal");
     std::printf("%-10.0f | %10.0f %9.2f %9.2f | %10.0f | %10.0f %6d %6d\n",
                 qps, healthy.committed_per_s, healthy.mean_ms, healthy.p99_ms,
                 noheal.committed_per_s, heal.committed_per_s,

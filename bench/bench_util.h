@@ -9,6 +9,7 @@
 // paper's §5.1 testbed constants folded into DbOptions plus an attached
 // client pool.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -155,6 +156,25 @@ class JsonReporter {
   std::chrono::steady_clock::time_point started_ =
       std::chrono::steady_clock::now();
 };
+
+/// Snapshot every active node's admission-queue depth into `reporter` as
+/// info metrics (`<prefix>_queue_depth_node<N>` plus the max across nodes).
+/// Cheap and meaningful in every scenario — the admission controller tracks
+/// outstanding ops whether or not shedding is enabled — so the open-loop
+/// benches call it at their measurement points to make backlog visible next
+/// to the throughput numbers.
+inline void ReportQueueDepths(JsonReporter* reporter, Db* db,
+                              const std::string& prefix) {
+  int64_t deepest = 0;
+  for (const auto& g : db->monitor().QueueDepths()) {
+    reporter->Metric(
+        prefix + "_queue_depth_node" + std::to_string(g.node.value()),
+        static_cast<double>(g.queued_ops), "ops", JsonReporter::kInfo);
+    deepest = std::max(deepest, g.queued_ops);
+  }
+  reporter->Metric(prefix + "_queue_depth_max", static_cast<double>(deepest),
+                   "ops", JsonReporter::kInfo);
+}
 
 /// The Fig. 6/8 testbed: a 10-node wimpy cluster, data initially on two
 /// nodes (the master and node 1), TPC-C-derived workload throttled by

@@ -84,7 +84,8 @@ struct ArmResult {
 
 /// One full arm: converge, measure throughput, then crash the hot-range
 /// owner and time how long its data is unservable.
-ArmResult RunArm(const Setup& s, bool replicated) {
+ArmResult RunArm(const Setup& s, bool replicated, JsonReporter* json,
+                 const std::string& prefix) {
   DbOptions options = DbOptions()
                           .WithNodes(5)
                           .WithActiveNodes(4)
@@ -121,6 +122,9 @@ ArmResult RunArm(const Setup& s, bool replicated) {
   const int64_t tax_before = db.replicas().replication_bytes();
   driver.ResetStats();
   db.RunFor(s.measure_window);
+  // End-of-measurement backlog: read fan-out should show as a flatter
+  // depth profile across owner + replica hosts.
+  if (json != nullptr) ReportQueueDepths(json, &db, prefix);
 
   ArmResult r;
   const double secs = ToSeconds(s.measure_window);
@@ -200,8 +204,8 @@ void Run() {
       "Each arm then loses that owner and we time crash -> serving.\n\n",
       s.offered_qps);
 
-  const ArmResult plain = RunArm(s, /*replicated=*/false);
-  const ArmResult repl = RunArm(s, /*replicated=*/true);
+  const ArmResult plain = RunArm(s, /*replicated=*/false, &json, "plain");
+  const ArmResult repl = RunArm(s, /*replicated=*/true, &json, "replicated");
 
   std::printf("%-12s | %12s %12s %9s | %12s %9s\n", "arm", "key-ops/s",
               "txn/s", "p99 ms", "failover ms", "caught-up");

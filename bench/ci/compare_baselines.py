@@ -34,12 +34,24 @@ from pathlib import Path
 
 
 def load(path: Path) -> dict:
-    with open(path) as f:
-        return json.load(f)
+    """Parse one reporter file; a clear error beats a traceback in CI."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        raise SystemExit(f"error: cannot read {path}: {e}")
+    if not isinstance(doc, dict):
+        raise SystemExit(f"error: {path}: expected a JSON object, got "
+                         f"{type(doc).__name__}")
+    return doc
 
 
-def metric_map(doc: dict) -> dict:
-    return {m["name"]: m for m in doc.get("metrics", [])}
+def metric_map(doc: dict, path: Path) -> dict:
+    metrics = doc.get("metrics", [])
+    for m in metrics:
+        if not isinstance(m, dict) or "name" not in m or "value" not in m:
+            raise SystemExit(f"error: {path}: malformed metric entry {m!r}")
+    return {m["name"]: m for m in metrics}
 
 
 def main() -> int:
@@ -53,6 +65,17 @@ def main() -> int:
     baselines = sorted(args.baselines_dir.glob("BENCH_*.json"))
     if not baselines:
         print(f"no baselines under {args.baselines_dir}", file=sys.stderr)
+        return 1
+    if not args.results_dir.is_dir():
+        # The bench step silently producing nothing must read as a failure,
+        # not as "no regressions".
+        print(f"results dir {args.results_dir} does not exist — did the "
+              "bench step run?", file=sys.stderr)
+        return 1
+    if not any(args.results_dir.glob("BENCH_*.json")):
+        print(f"no BENCH_*.json results under {args.results_dir} but "
+              f"{len(baselines)} baseline(s) are committed — did the bench "
+              "step run?", file=sys.stderr)
         return 1
 
     failures = []
@@ -71,8 +94,8 @@ def main() -> int:
         if not result_path.exists():
             failures.append(f"{base_path.name}: no result produced")
             continue
-        base = metric_map(load(base_path))
-        result = metric_map(load(result_path))
+        base = metric_map(load(base_path), base_path)
+        result = metric_map(load(result_path), result_path)
         for name, bm in base.items():
             direction = bm.get("direction", "info")
             if name not in result:

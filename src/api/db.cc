@@ -148,6 +148,29 @@ StatusOr<std::unique_ptr<Db>> Db::Open(DbOptions options) {
         "ReplicaPolicy.drop_cold_after must be >= 0, got " +
         std::to_string(rp.drop_cold_after));
   }
+  // AdmissionPolicy is validated even when disabled, for the same reason as
+  // BalancePolicy above.
+  const admission::AdmissionPolicy& ap = mp.admission;
+  if (ap.max_queue_ops < 1) {
+    return Status::InvalidArgument(
+        "AdmissionPolicy.max_queue_ops must be >= 1, got " +
+        std::to_string(ap.max_queue_ops));
+  }
+  if (ap.batch_share <= 0.0 || ap.batch_share > 1.0) {
+    return Status::InvalidArgument(
+        "AdmissionPolicy.batch_share must lie in (0, 1], got " +
+        std::to_string(ap.batch_share));
+  }
+  if (ap.overload_ratio <= 0.0 || ap.overload_ratio > 1.0) {
+    return Status::InvalidArgument(
+        "AdmissionPolicy.overload_ratio must lie in (0, 1], got " +
+        std::to_string(ap.overload_ratio));
+  }
+  if (ap.overload_trigger_after < 1) {
+    return Status::InvalidArgument(
+        "AdmissionPolicy.overload_trigger_after must be >= 1, got " +
+        std::to_string(ap.overload_trigger_after));
+  }
   for (const fault::FaultPlan::Crash& crash : options.fault_plan.crashes) {
     if (!crash.node.valid() ||
         crash.node.value() >= static_cast<uint32_t>(options.cluster.num_nodes)) {
@@ -196,6 +219,11 @@ StatusOr<std::unique_ptr<Db>> Db::Open(DbOptions options) {
 
   db->cluster_ = std::make_unique<cluster::Cluster>(opts.cluster);
   db->cluster_->set_auto_vacuum(opts.auto_vacuum);
+  // The routing layer enforces the queue caps; the master only watches the
+  // resulting depths for sustained overload. Installed before any load so
+  // even the TPC-C loader's ops are tracked (as system txns they are never
+  // refused).
+  db->cluster_->admission().set_policy(opts.master.admission);
 
   if (opts.load_tpcc) {
     db->tpcc_ =
@@ -400,6 +428,20 @@ StatusOr<workload::KvWorkload*> Db::AddKvWorkload(
     return Status::InvalidArgument(
         "KvConfig.zipf_offset must lie in [0, num_keys), got " +
         std::to_string(cfg.zipf_offset));
+  }
+  if (cfg.shed_retries < 0) {
+    return Status::InvalidArgument(
+        "KvConfig.shed_retries must be >= 0, got " +
+        std::to_string(cfg.shed_retries));
+  }
+  if (cfg.shed_retries > 0 && cfg.retry_backoff <= 0) {
+    return Status::InvalidArgument(
+        "KvConfig.retry_backoff must be > 0 when shed_retries is set, got " +
+        std::to_string(cfg.retry_backoff));
+  }
+  if (cfg.slo_us < 0) {
+    return Status::InvalidArgument("KvConfig.slo_us must be >= 0, got " +
+                                   std::to_string(cfg.slo_us));
   }
   // One table per attached driver so several KV workloads can coexist.
   const std::string table_name = "kv-" + std::to_string(drivers_.size());

@@ -186,6 +186,12 @@ class Db {
   // --- Components (read-mostly escape hatches) ----------------------------
   cluster::Cluster& cluster() { return *cluster_; }
   const cluster::Cluster& cluster() const { return *cluster_; }
+  /// Per-node admission queues (src/admission): depth gauges and per-class
+  /// admitted/shed counters. Tracking is always on; shedding only under an
+  /// enabled WithAdmissionPolicy.
+  admission::AdmissionController& admission() {
+    return cluster_->admission();
+  }
   cluster::Master& master() { return *master_; }
   cluster::Monitor& monitor() { return master_->monitor(); }
   cluster::LoadForecaster& forecaster() { return master_->forecaster(); }

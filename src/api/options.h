@@ -136,6 +136,15 @@ struct DbOptions {
     return *this;
   }
 
+  /// Per-node admission queue caps with priority-class shedding
+  /// (src/admission). Enforcement lives in the routing layer, so this does
+  /// NOT imply starting the master loop — only overload *detection* (the
+  /// kOverloadDetected events and scale-out pressure) needs the loop.
+  DbOptions& WithAdmissionPolicy(admission::AdmissionPolicy policy) {
+    master.admission = policy;
+    return *this;
+  }
+
   // --- Faults -------------------------------------------------------------
   DbOptions& WithFaultPlan(fault::FaultPlan plan) {
     fault_plan = std::move(plan);

@@ -153,9 +153,11 @@ void TxnHandle::Abort() {
   txn_ = nullptr;
 }
 
-TxnHandle Session::Begin(bool read_only) {
+TxnHandle Session::Begin(bool read_only, bool batch_priority) {
   if (cluster_ == nullptr) return TxnHandle(nullptr, nullptr);
-  return TxnHandle(cluster_, cluster_->BeginTxn(read_only));
+  tx::Txn* txn = cluster_->BeginTxn(read_only);
+  txn->batch_priority = batch_priority;
+  return TxnHandle(cluster_, txn);
 }
 
 StatusOr<storage::Record> Session::Get(TableId table, Key key) {

@@ -169,9 +169,12 @@ class Session {
   }
 
   /// Start a transaction (read_only transactions skip write locks and can
-  /// read old snapshots under MVCC). On a moved-from session the returned
-  /// handle is inert: every operation fails with FailedPrecondition.
-  TxnHandle Begin(bool read_only = false);
+  /// read old snapshots under MVCC). `batch_priority` marks the transaction
+  /// as batch-class for admission control: under overload its ops are shed
+  /// (ResourceExhausted) before latency-sensitive traffic. On a moved-from
+  /// session the returned handle is inert: every operation fails with
+  /// FailedPrecondition.
+  TxnHandle Begin(bool read_only = false, bool batch_priority = false);
 
   /// Autocommit point read.
   StatusOr<storage::Record> Get(TableId table, Key key);

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "admission/admission.h"
 #include "catalog/global_partition_table.h"
 #include "cluster/node.h"
 #include "common/rng.h"
@@ -53,6 +54,13 @@ class Cluster {
   storage::SegmentManager& segments() { return segments_; }
   catalog::GlobalPartitionTable& catalog() { return catalog_; }
   tx::TransactionManager& tm() { return tm_; }
+  /// Per-node admission queues. Always tracking (depth gauges work in
+  /// every scenario); refuses work only when the policy installed at
+  /// Db::Open enables shedding.
+  admission::AdmissionController& admission() { return admission_; }
+  const admission::AdmissionController& admission() const {
+    return admission_;
+  }
   Rng& rng() { return rng_; }
   const ClusterConfig& config() const { return config_; }
 
@@ -161,6 +169,7 @@ class Cluster {
   storage::SegmentManager segments_;
   catalog::GlobalPartitionTable catalog_;
   tx::TransactionManager tm_;
+  admission::AdmissionController admission_;
   Rng rng_;
 
   std::vector<std::unique_ptr<Node>> nodes_;

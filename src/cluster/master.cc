@@ -35,6 +35,8 @@ const char* ToString(ControlEventType type) {
     case ControlEventType::kReplicaCaughtUp: return "replica-caught-up";
     case ControlEventType::kReplicaPromoted: return "replica-promoted";
     case ControlEventType::kReplicaDropped: return "replica-dropped";
+    case ControlEventType::kOverloadDetected: return "overload-detected";
+    case ControlEventType::kOverloadCleared: return "overload-cleared";
   }
   return "unknown";
 }
@@ -77,6 +79,7 @@ void Master::ControlTick() {
   }
   forecaster_.Observe(cluster_->Now(), max_cpu);
   CheckHeartbeats(stats);
+  CheckOverload();
   MaybeBalanceHeat();
   if (policy_.replica.enabled && replica_hooks_.tick) {
     // The replica selector consumes the same per-segment heat EWMA the
@@ -348,6 +351,12 @@ void Master::MaybeScaleOut(const std::vector<NodeStats>& stats) {
       forecaster_.Forecast(policy_.forecast_horizon) > policy_.cpu_upper) {
     overloaded = true;  // Proactive: the trend will cross the bound.
   }
+  if (OverloadPressure()) {
+    // Sustained admission-queue overload is demand the CPU gauge may not
+    // show (shed work never runs): more capacity is the durable fix, the
+    // shedding only keeps admitted latency bounded meanwhile.
+    overloaded = true;
+  }
   if (!overloaded) {
     over_count_ = 0;
     return;
@@ -413,6 +422,45 @@ void Master::MaybeScaleIn(const std::vector<NodeStats>& stats) {
   });
 }
 
+void Master::CheckOverload() {
+  const admission::AdmissionPolicy& ap = policy_.admission;
+  if (!ap.enabled) return;
+  const int64_t line = std::max<int64_t>(
+      1, static_cast<int64_t>(ap.overload_ratio * ap.max_queue_ops));
+  int over_nodes = 0;
+  int64_t deepest = 0;
+  NodeId deepest_node = NodeId::Invalid();
+  for (const auto& g : monitor_.QueueDepths()) {
+    if (g.queued_ops < line) continue;
+    ++over_nodes;
+    if (g.queued_ops > deepest) {
+      deepest = g.queued_ops;
+      deepest_node = g.node;
+    }
+  }
+  if (over_nodes == 0) {
+    if (overload_announced_) {
+      Emit(ControlEventType::kOverloadCleared, last_overload_node_,
+           "queue depths back under " + std::to_string(line) + " ops");
+    }
+    overload_streak_ = 0;
+    overload_announced_ = false;
+    return;
+  }
+  last_overload_node_ = deepest_node;
+  ++overload_streak_;
+  if (overload_streak_ >= ap.overload_trigger_after && !overload_announced_) {
+    overload_announced_ = true;
+    ++overload_events_;
+    Emit(ControlEventType::kOverloadDetected, deepest_node,
+         std::to_string(over_nodes) + " node(s) past " + std::to_string(line) +
+             " queued ops for " + std::to_string(overload_streak_) +
+             " ticks (deepest " + std::to_string(deepest) + " ops); shed " +
+             std::to_string(cluster_->admission().shed_total()) +
+             " so far — treating as scale-out/balance pressure");
+  }
+}
+
 void Master::MaybeBalanceHeat() {
   const BalancePolicy& bp = policy_.balance;
   if (!bp.enabled || repartitioner_ == nullptr) return;
@@ -444,7 +492,13 @@ void Master::MaybeBalanceHeat() {
     return;
   }
   const double mean = total / serving;
-  if (hot_heat <= bp.trigger_ratio * mean) {
+  // Under sustained admission-queue overload the trigger relaxes: even a
+  // mild skew (hottest node a hair over the mean) is worth spreading when
+  // work is being refused somewhere. Without pressure the normal ratio
+  // applies so noise does not shuffle segments.
+  const bool pressured = OverloadPressure();
+  if (hot_heat <= bp.trigger_ratio * mean &&
+      !(pressured && hot_heat > 1.05 * mean)) {
     heat_over_count_ = 0;
     return;
   }

@@ -7,6 +7,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "admission/admission.h"
 #include "cluster/cluster.h"
 #include "cluster/forecast.h"
 #include "cluster/monitor.h"
@@ -200,6 +201,8 @@ enum class ControlEventType {
   kReplicaCaughtUp, ///< A replica's lag fell under the staleness bound.
   kReplicaPromoted, ///< Catch-up-and-flip failover: replica became owner.
   kReplicaDropped,  ///< A replica was discarded (cooled, moved, host lost).
+  kOverloadDetected,///< Admission queues sustained past overload_ratio.
+  kOverloadCleared, ///< Queue depths fell back under the overload line.
 };
 
 const char* ToString(ControlEventType type);
@@ -231,6 +234,11 @@ struct MasterPolicy {
   BalancePolicy balance;
   /// Warm standbys of hot segments (read scale-out + fast failover).
   ReplicaPolicy replica;
+  /// Per-node admission queue caps + the overload signal (src/admission).
+  /// The queue caps themselves are enforced at the routing layer; the
+  /// master only *watches* sustained overload and treats it as scale-out
+  /// and heat-balance pressure.
+  admission::AdmissionPolicy admission;
 };
 
 /// The master node's control plane: watches node utilization, decides when
@@ -342,6 +350,17 @@ class Master {
   /// Drained, powered off, and barred from future recruitment.
   bool IsExcluded(NodeId node) const { return excluded_.count(node) > 0; }
 
+  // --- Overload observers ---------------------------------------------------
+  /// Sustained-overload episodes detected so far (kOverloadDetected events).
+  int overload_events() const { return overload_events_; }
+  /// Overload pressure is currently sustained: queue depths have sat past
+  /// overload_ratio × max_queue_ops for overload_trigger_after ticks. Feeds
+  /// MaybeScaleOut and relaxes the heat-balance trigger.
+  bool OverloadPressure() const {
+    return policy_.admission.enabled &&
+           overload_streak_ >= policy_.admission.overload_trigger_after;
+  }
+
   // --- Heat-balancing observers -------------------------------------------
   /// Rebalance rounds the heat balancer started.
   int heat_rebalances() const { return heat_rebalances_; }
@@ -354,6 +373,10 @@ class Master {
   void ControlTick();
   void MaybeScaleOut(const std::vector<NodeStats>& stats);
   void MaybeScaleIn(const std::vector<NodeStats>& stats);
+  /// Count nodes whose admission-queue depth sits past the overload line
+  /// and keep the sustained-overload streak; emits kOverloadDetected /
+  /// kOverloadCleared at the streak edges.
+  void CheckOverload();
 
   // Heat balancing internals.
   /// Update the monitor's heat EWMA and, when the imbalance trigger has
@@ -424,6 +447,12 @@ class Master {
   int nodes_declared_dead_ = 0;
   int auto_restarts_ = 0;
   int helper_failovers_ = 0;
+
+  // Overload-detection state.
+  int overload_streak_ = 0;        ///< Consecutive ticks with a node overloaded.
+  bool overload_announced_ = false;///< kOverloadDetected emitted this episode.
+  NodeId last_overload_node_;      ///< Deepest queue in the latest check.
+  int overload_events_ = 0;
 
   // Heat balancing state.
   int heat_over_count_ = 0;        ///< Consecutive imbalanced ticks.

@@ -100,4 +100,16 @@ std::unordered_map<NodeId, double> Monitor::NodeHeats() const {
   return out;
 }
 
+std::vector<QueueDepthGauge> Monitor::QueueDepths() const {
+  std::vector<QueueDepthGauge> out;
+  const SimTime now = cluster_->Now();
+  for (int i = 0; i < cluster_->num_nodes(); ++i) {
+    Node* n = cluster_->node(NodeId(i));
+    if (!n->IsActive()) continue;
+    out.push_back(
+        QueueDepthGauge{n->id(), cluster_->admission().QueueDepth(n->id(), now)});
+  }
+  return out;
+}
+
 }  // namespace wattdb::cluster

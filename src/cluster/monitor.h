@@ -33,6 +33,14 @@ struct SegmentHeat {
   int64_t writes = 0;
 };
 
+/// Outstanding admitted operations on one node, as sampled from the
+/// cluster's admission controller. The master's overload detector and the
+/// bench snapshots read these instead of poking the controller directly.
+struct QueueDepthGauge {
+  NodeId node;
+  int64_t queued_ops = 0;
+};
+
 /// Smoothed activity of one segment: an exponentially weighted moving
 /// average of its access rate, attributed to the node currently storing it.
 /// The master's BalancePolicy ranks segments and nodes by this value.
@@ -72,6 +80,10 @@ class Monitor {
 
   /// Per-node roll-up: sum of the heat of the segments each node stores.
   std::unordered_map<NodeId, double> NodeHeats() const;
+
+  /// Admission-queue depth of every *active* node as of now. Works whether
+  /// or not shedding is enabled — the controller tracks depths regardless.
+  std::vector<QueueDepthGauge> QueueDepths() const;
 
  private:
   Cluster* cluster_;

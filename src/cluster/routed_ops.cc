@@ -7,6 +7,38 @@
 
 namespace wattdb::cluster {
 
+namespace {
+
+/// The admission class of a transaction's point ops; scans always go
+/// through the batch class regardless of the flag.
+admission::OpClass ClassOf(const tx::Txn* txn) {
+  return txn != nullptr && txn->batch_priority
+             ? admission::OpClass::kBatch
+             : admission::OpClass::kLatencySensitive;
+}
+
+/// Admission gate of one routed op (or one owner-group of `ops` batch
+/// keys): refused work returns ResourceExhausted before any hop is charged
+/// or any node op runs — rejection is master-local and cheap, which is
+/// what makes shedding better than queueing. System transactions
+/// (migration, replication internals) are never refused.
+Status AdmitOps(Cluster* c, tx::Txn* txn, NodeId owner, admission::OpClass cls,
+                int ops = 1) {
+  if (txn == nullptr || txn->system) return Status::OK();
+  return c->admission().Admit(owner, cls, c->Now(), ops);
+}
+
+/// Book the admitted ops' departure from `owner`'s queue at the txn's
+/// private completion time. §4.3 straggler retries and replica-fallback
+/// visits ride the original admission — one admitted op, wherever its
+/// record turns out to live.
+void CompleteOps(Cluster* c, tx::Txn* txn, NodeId owner, int ops = 1) {
+  if (txn == nullptr || txn->system) return;
+  c->admission().Complete(owner, txn->now, ops);
+}
+
+}  // namespace
+
 Status RoutedRead(Cluster* c, tx::Txn* txn, TableId table, Key key,
                   storage::Record* out) {
   // Reads (and only reads) may land on a serving warm replica instead of
@@ -14,6 +46,7 @@ Status RoutedRead(Cluster* c, tx::Txn* txn, TableId table, Key key,
   // so bounded staleness can cost a retry but never a wrong NotFound.
   auto [part, second] = c->RouteForRead(txn, table, key);
   if (part == nullptr) return Status::NotFound("no route");
+  WATTDB_RETURN_IF_ERROR(AdmitOps(c, txn, part->owner(), ClassOf(txn)));
   Status s = c->node(part->owner())->Read(txn, part, key, out);
   c->ChargeClientHop(txn, part->owner(), 96,
                      32 + (s.ok() ? out->StoredSize() : 0));
@@ -30,6 +63,7 @@ Status RoutedRead(Cluster* c, tx::Txn* txn, TableId table, Key key,
     // "absent": the key may well exist on the downed node.
     if (!(s.IsUnavailable() && retry.IsNotFound())) s = retry;
   }
+  CompleteOps(c, txn, part->owner());
   return s;
 }
 
@@ -37,6 +71,7 @@ Status RoutedUpdate(Cluster* c, tx::Txn* txn, TableId table, Key key,
                     const std::vector<uint8_t>& payload) {
   auto [part, second] = c->RouteBoth(txn, table, key);
   if (part == nullptr) return Status::NotFound("no route");
+  WATTDB_RETURN_IF_ERROR(AdmitOps(c, txn, part->owner(), ClassOf(txn)));
   c->ChargeClientHop(txn, part->owner(), 96 + payload.size(), 32);
   Status s = c->node(part->owner())->Update(txn, part, key, payload);
   if ((s.IsNotFound() || s.IsUnavailable()) && second != nullptr) {
@@ -45,6 +80,7 @@ Status RoutedUpdate(Cluster* c, tx::Txn* txn, TableId table, Key key,
         c->node(second->owner())->Update(txn, second, key, payload);
     if (!(s.IsUnavailable() && retry.IsNotFound())) s = retry;
   }
+  CompleteOps(c, txn, part->owner());
   return s;
 }
 
@@ -52,13 +88,17 @@ Status RoutedInsert(Cluster* c, tx::Txn* txn, TableId table, Key key,
                     const std::vector<uint8_t>& payload) {
   catalog::Partition* part = c->Route(txn, table, key);
   if (part == nullptr) return Status::NotFound("no route");
+  WATTDB_RETURN_IF_ERROR(AdmitOps(c, txn, part->owner(), ClassOf(txn)));
   c->ChargeClientHop(txn, part->owner(), 96 + payload.size(), 32);
-  return c->node(part->owner())->Insert(txn, part, key, payload);
+  const Status s = c->node(part->owner())->Insert(txn, part, key, payload);
+  CompleteOps(c, txn, part->owner());
+  return s;
 }
 
 Status RoutedDelete(Cluster* c, tx::Txn* txn, TableId table, Key key) {
   auto [part, second] = c->RouteBoth(txn, table, key);
   if (part == nullptr) return Status::NotFound("no route");
+  WATTDB_RETURN_IF_ERROR(AdmitOps(c, txn, part->owner(), ClassOf(txn)));
   c->ChargeClientHop(txn, part->owner(), 96, 32);
   Status s = c->node(part->owner())->Delete(txn, part, key);
   if ((s.IsNotFound() || s.IsUnavailable()) && second != nullptr) {
@@ -66,6 +106,7 @@ Status RoutedDelete(Cluster* c, tx::Txn* txn, TableId table, Key key) {
     const Status retry = c->node(second->owner())->Delete(txn, second, key);
     if (!(s.IsUnavailable() && retry.IsNotFound())) s = retry;
   }
+  CompleteOps(c, txn, part->owner());
   return s;
 }
 
@@ -122,6 +163,17 @@ Status RoutedMultiRead(Cluster* c, tx::Txn* txn, TableId table,
 
   const NodeId master_id = c->master()->id();
   for (const auto& [owner, idxs] : GroupByOwner(routes)) {
+    // Whole-group admission: the group is one queued unit of idxs.size()
+    // ops on the owner. A refused group fails its keys with
+    // ResourceExhausted and the batch moves on — other owners' groups may
+    // still be admitted (partial shedding, like a partial owner outage).
+    const Status admit =
+        AdmitOps(c, txn, owner, ClassOf(txn), static_cast<int>(idxs.size()));
+    if (!admit.ok()) {
+      for (size_t i : idxs) (*out)[i] = StatusOr<storage::Record>(admit);
+      local.shed_ops += static_cast<int>(idxs.size());
+      continue;
+    }
     // One request listing the group's keys, one response carrying its
     // records: the whole group rides a single round trip.
     size_t resp_bytes = 32;
@@ -134,6 +186,7 @@ Status RoutedMultiRead(Cluster* c, tx::Txn* txn, TableId table,
     }
     c->ChargeClientHop(txn, owner, 96 + 8 * idxs.size(), resp_bytes);
     if (owner != master_id) ++local.owner_round_trips;
+    CompleteOps(c, txn, owner, static_cast<int>(idxs.size()));
   }
 
   // Two-pointer protocol (§4.3): mid-move a record may already live at the
@@ -174,6 +227,14 @@ Status RoutedMultiWrite(Cluster* c, tx::Txn* txn, TableId table,
 
   const NodeId master_id = c->master()->id();
   for (const auto& [owner, idxs] : GroupByOwner(routes)) {
+    // Whole-group admission, as in RoutedMultiRead.
+    const Status admit =
+        AdmitOps(c, txn, owner, ClassOf(txn), static_cast<int>(idxs.size()));
+    if (!admit.ok()) {
+      for (size_t i : idxs) (*out)[i] = admit;
+      local.shed_ops += static_cast<int>(idxs.size());
+      continue;
+    }
     // The request ships every payload of the group at once (mirroring the
     // per-op order: charge, then write).
     size_t req_bytes = 96;
@@ -211,6 +272,7 @@ Status RoutedMultiWrite(Cluster* c, tx::Txn* txn, TableId table,
       }
       (*out)[i] = s;
     }
+    CompleteOps(c, txn, owner, static_cast<int>(idxs.size()));
   }
 
   if (stats != nullptr) stats->Add(local);
@@ -231,6 +293,11 @@ Status RoutedScan(Cluster* c, tx::Txn* txn, TableId table,
     const KeyRange sub{std::max(range.lo, route.range.lo),
                        std::min(range.hi, route.range.hi)};
     if (sub.Empty()) continue;
+    // Scans always ride the batch class: under pressure a refused range
+    // chunk aborts the scan (retryable at leisure) while point lookups
+    // keep their reserved headroom.
+    WATTDB_RETURN_IF_ERROR(
+        AdmitOps(c, txn, part->owner(), admission::OpClass::kBatch));
     // Response sized by this route's records only (the historical scan
     // charged a running total across routes, double-billing earlier ones).
     size_t shipped = 0;
@@ -242,6 +309,7 @@ Status RoutedScan(Cluster* c, tx::Txn* txn, TableId table,
                    });
     if (!s.ok()) return s;
     c->ChargeClientHop(txn, part->owner(), 96, 32 + shipped);
+    CompleteOps(c, txn, part->owner());
     if (stopped) break;
   }
   return Status::OK();

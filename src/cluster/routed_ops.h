@@ -59,11 +59,13 @@ struct BatchStats {
   int owner_round_trips = 0;  ///< Hops charged to non-master owner groups.
   int straggler_retries = 0;  ///< Per-key second-location visits (§4.3).
   int inserts = 0;            ///< MultiWrite keys that fell through to insert.
+  int shed_ops = 0;           ///< Keys refused by admission control.
 
   void Add(const BatchStats& other) {
     owner_round_trips += other.owner_round_trips;
     straggler_retries += other.straggler_retries;
     inserts += other.inserts;
+    shed_ops += other.shed_ops;
   }
 };
 

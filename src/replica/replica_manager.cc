@@ -417,7 +417,17 @@ void ReplicaManager::FinishBootstrap(const std::shared_ptr<ReplicaInfo>& rep,
 int ReplicaManager::PromoteReplicasOf(NodeId dead) {
   if (!policy_.enabled) return 0;
   const SimTime now = cluster_->Now();
-  // Freshest bootstrapped standby per segment of the dead owner.
+  // Freshest bootstrapped standby per segment of the dead owner. Equally
+  // fresh candidates (same applied LSN — common right after a catch-up
+  // tick) break the tie toward the *coldest* host: the promoted node
+  // inherits the dead owner's traffic on top of its own, so of two
+  // identical copies the one on the least-loaded node wins.
+  std::unordered_map<NodeId, double> node_heat;
+  if (monitor_ != nullptr) node_heat = monitor_->NodeHeats();
+  const auto heat_of = [&node_heat](NodeId node) {
+    auto it = node_heat.find(node);
+    return it == node_heat.end() ? 0.0 : it->second;
+  };
   std::unordered_map<SegmentId, std::shared_ptr<ReplicaInfo>> chosen;
   for (const auto& rep : replicas_) {
     if (rep->src_node != dead) continue;
@@ -425,7 +435,11 @@ int ReplicaManager::PromoteReplicasOf(NodeId dead) {
     cluster::Node* host = cluster_->node(rep->host);
     if (host == nullptr || !host->IsActive()) continue;
     auto& slot = chosen[rep->src_segment];
-    if (slot == nullptr || rep->applied_lsn > slot->applied_lsn) slot = rep;
+    if (slot == nullptr || rep->applied_lsn > slot->applied_lsn ||
+        (rep->applied_lsn == slot->applied_lsn &&
+         heat_of(rep->host) < heat_of(slot->host))) {
+      slot = rep;
+    }
   }
   int promoted = 0;
   for (auto& [segment, rep] : chosen) {

@@ -31,6 +31,11 @@ struct Txn {
   /// System transactions guarantee serializability of record movement
   /// (§3.5); they are invisible to user-level monitoring.
   bool system = false;
+  /// Admission-control priority class: batch-priority transactions (bulk
+  /// loads, analytics) are shed before latency-sensitive ones when a
+  /// node's admission queue fills up. Scans are always treated as batch
+  /// traffic regardless of this flag.
+  bool batch_priority = false;
   /// Simulated start time and running completion estimate.
   SimTime start_time = 0;
   SimTime now = 0;

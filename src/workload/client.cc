@@ -1,5 +1,7 @@
 #include "workload/client.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace wattdb::workload {
@@ -26,8 +28,15 @@ void ClientPool::Start() {
 
 void ClientPool::ClientLoop(int client_idx) {
   if (!running_) return;
+  RunClient(client_idx, config_.mix.Pick(rngs_[client_idx].get()), 0);
+}
+
+void ClientPool::RunClient(int client_idx, TpccTxnType type, int attempt) {
+  if (!running_) return;
   Rng* rng = rngs_[client_idx].get();
-  const TpccTxnResult result = runner_.RunMixed(config_.mix, rng);
+  const TpccTxnResult result = runner_.Run(type, rng);
+  const bool shed = result.status.IsResourceExhausted();
+  if (shed) ++shed_;
   if (result.committed) {
     ++completed_;
     latencies_.Add(static_cast<double>(result.latency_us));
@@ -37,8 +46,24 @@ void ClientPool::ClientLoop(int client_idx) {
     if (breakdown_ != nullptr) {
       breakdown_->AddTxn(result.profile);
     }
+  } else if (shed && attempt < config_.shed_retries) {
+    // Shed by admission control with retries left: re-submit the *same*
+    // transaction type after a jittered exponential backoff instead of
+    // booking an abort — from the user's side the request is still pending.
+    ++retried_;
+    const double base =
+        static_cast<double>(config_.retry_backoff) *
+        static_cast<double>(int64_t{1} << std::min(attempt, 16));
+    const SimTime backoff = std::max<SimTime>(
+        1, static_cast<SimTime>(base * (0.5 + rng->UniformDouble())));
+    db_->cluster()->events().ScheduleAt(
+        result.completed_at + backoff, [this, client_idx, type, attempt]() {
+          RunClient(client_idx, type, attempt + 1);
+        });
+    return;
   } else {
     ++aborted_;
+    if (shed) ++dropped_;
   }
   // Closed loop: next submission after the answer plus think time.
   const SimTime think = static_cast<SimTime>(

@@ -24,6 +24,13 @@ struct ClientPoolConfig {
   /// Mean think time between a completion and the next submission.
   SimTime think_time = 100 * kUsPerMs;
   TpccMix mix;
+  /// Times a transaction shed by admission control (ResourceExhausted) is
+  /// retried — same type, jittered exponential backoff — before the client
+  /// gives up and moves on. 0 = shed work counts as an abort outright.
+  int shed_retries = 0;
+  /// Base backoff before the first retry; doubles per attempt with a
+  /// uniform 0.5-1.5x jitter.
+  SimTime retry_backoff = 50 * kUsPerMs;
   uint64_t seed = 1234;
 };
 
@@ -50,10 +57,25 @@ class ClientPool : public WorkloadDriver {
   void ResetStats() override {
     completed_ = 0;
     aborted_ = 0;
+    shed_ = 0;
+    retried_ = 0;
+    dropped_ = 0;
     latencies_.Reset();
   }
 
+  /// Attempts refused by admission control (each shed retry counts again).
+  int64_t shed() const { return shed_; }
+  /// Backoff retries taken after a shed attempt (<= shed()).
+  int64_t retried() const { return retried_; }
+  /// Transactions counted aborted because a shed attempt had no retries
+  /// left.
+  int64_t dropped() const { return dropped_; }
+
  private:
+  /// One attempt of one client's current transaction: attempt 0 picks the
+  /// type from the mix, retries keep it (the user re-submits the same
+  /// request, not a fresh roll of the dice).
+  void RunClient(int client_idx, TpccTxnType type, int attempt);
   void ClientLoop(int client_idx);
 
   TpccDatabase* db_;
@@ -66,6 +88,9 @@ class ClientPool : public WorkloadDriver {
   metrics::TimeBreakdown* breakdown_ = nullptr;
   int64_t completed_ = 0;
   int64_t aborted_ = 0;
+  int64_t shed_ = 0;
+  int64_t retried_ = 0;
+  int64_t dropped_ = 0;
   Histogram latencies_;
 };
 

@@ -67,9 +67,14 @@ Status KvWorkload::Load() {
     for (int64_t k = lo; k < hi; ++k) {
       kvs.push_back(KeyValue{static_cast<Key>(k), MakeValue(rng)});
     }
-    StatusOr<MultiPutResult> r = session_.MultiPut(table_, kvs);
+    // System transaction: bulk loading must not be refused (or even
+    // counted) by admission control, like the TPC-C loader.
+    TxnHandle txn = session_.Begin();
+    txn.txn()->system = true;
+    StatusOr<MultiPutResult> r = txn.MultiPut(table_, kvs);
     WATTDB_RETURN_IF_ERROR(r.status());
     for (const Status& s : r->statuses) WATTDB_RETURN_IF_ERROR(s);
+    WATTDB_RETURN_IF_ERROR(txn.Commit());
   }
   loaded_ = true;
   return Status::OK();
@@ -89,18 +94,30 @@ void KvWorkload::Start() {
     // not thunder in lock-step.
     const SimTime offset = static_cast<SimTime>(
         rngs_[i]->UniformDouble() * static_cast<double>(config_.think_time));
-    events_->ScheduleAfter(offset, [this, i]() { ClientLoop(i); });
+    events_->ScheduleAfter(offset, [this, i]() { ClientLoop(i, 0); });
   }
 }
 
-SimTime KvWorkload::RunOnce(Rng* rng) {
+SimTime KvWorkload::Backoff(Rng* rng, int attempt) const {
+  // Exponential in the attempt number, jittered uniformly over 0.5-1.5x so
+  // a wave of sheds does not retry in lock-step and shed again together.
+  const double base = static_cast<double>(config_.retry_backoff) *
+                      static_cast<double>(int64_t{1} << std::min(attempt, 16));
+  return std::max<SimTime>(
+      1, static_cast<SimTime>(base * (0.5 + rng->UniformDouble())));
+}
+
+KvWorkload::RunResult KvWorkload::RunOnce(Rng* rng, int attempt) {
   const bool updater = rng->UniformDouble() >= config_.read_ratio;
 
   std::vector<Key> keys(static_cast<size_t>(config_.batch_size));
   for (Key& k : keys) k = NextKey(rng);
 
-  ++issued_;
-  TxnHandle txn = session_.Begin(/*read_only=*/!updater);
+  // A retry re-runs an already-issued transaction; only fresh arrivals
+  // count toward the offered load.
+  if (attempt == 0) ++issued_;
+  TxnHandle txn =
+      session_.Begin(/*read_only=*/!updater, config_.batch_priority);
   Status status;
   int64_t ops = 0;
   if (updater) {
@@ -162,14 +179,24 @@ SimTime KvWorkload::RunOnce(Rng* rng) {
   if (status.ok()) status = txn.Commit();
   if (!status.ok()) txn.Abort();
   const bool committed = status.ok();
+  const bool shed = status.IsResourceExhausted();
+  const bool will_retry = shed && attempt < config_.shed_retries;
   const double latency = static_cast<double>(txn.latency_us());
-  auto book = [this, committed, ops, latency]() {
+  auto book = [this, committed, shed, will_retry, ops, latency]() {
+    if (shed) ++shed_;
     if (committed) {
       ++committed_;
       key_ops_ += ops;
       latencies_.Add(latency);
-    } else {
+      if (config_.slo_us > 0 &&
+          latency <= static_cast<double>(config_.slo_us)) {
+        ++slo_met_;
+      }
+    } else if (!will_retry) {
+      // A shed attempt with retries left is neither committed nor aborted
+      // yet — its retry (or retry_abandoned_) closes the books.
       ++aborted_;
+      if (shed) ++dropped_;
     }
   };
   if (config_.count_at_completion) {
@@ -180,16 +207,46 @@ SimTime KvWorkload::RunOnce(Rng* rng) {
   } else {
     book();
   }
-  return txn.completed_at();
+  return RunResult{txn.completed_at(), will_retry};
 }
 
-void KvWorkload::ClientLoop(int idx) {
-  if (!running_) return;
+void KvWorkload::ClientLoop(int idx, int attempt) {
+  if (!running_) {
+    // The stop raced a scheduled backoff retry: its transaction was issued
+    // but never resolved — account for it so issued == committed + aborted
+    // + retry_abandoned holds after the queue drains.
+    if (attempt > 0) ++retry_abandoned_;
+    return;
+  }
   Rng* rng = rngs_[idx].get();
-  const SimTime completed_at = RunOnce(rng);
+  const RunResult r = RunOnce(rng, attempt);
+  if (r.retry) {
+    // The client sits out the backoff instead of thinking — a shed
+    // transaction is unfinished business, not a completed one.
+    ++retried_;
+    events_->ScheduleAt(
+        r.completed_at + Backoff(rng, attempt),
+        [this, idx, attempt]() { ClientLoop(idx, attempt + 1); });
+    return;
+  }
   const SimTime think = static_cast<SimTime>(
       rng->Exponential(static_cast<double>(config_.think_time)));
-  events_->ScheduleAt(completed_at + think, [this, idx]() { ClientLoop(idx); });
+  events_->ScheduleAt(r.completed_at + think,
+                      [this, idx]() { ClientLoop(idx, 0); });
+}
+
+void KvWorkload::Dispatch(int attempt) {
+  if (!running_) {
+    if (attempt > 0) ++retry_abandoned_;
+    return;
+  }
+  Rng* rng = rngs_[0].get();
+  const RunResult r = RunOnce(rng, attempt);
+  if (r.retry) {
+    ++retried_;
+    events_->ScheduleAt(r.completed_at + Backoff(rng, attempt),
+                        [this, attempt]() { Dispatch(attempt + 1); });
+  }
 }
 
 void KvWorkload::ArrivalLoop() {
@@ -202,7 +259,7 @@ void KvWorkload::ArrivalLoop() {
              rng->Exponential(static_cast<double>(kUsPerSec) /
                               config_.arrival_qps)));
   events_->ScheduleAfter(gap, [this]() { ArrivalLoop(); });
-  (void)RunOnce(rng);
+  Dispatch(0);
 }
 
 }  // namespace wattdb::workload

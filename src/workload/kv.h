@@ -65,6 +65,19 @@ struct KvConfig {
   /// capped by the bottleneck node — which is exactly what a throughput
   /// bench must see. Off by default (the historical accounting).
   bool count_at_completion = false;
+  /// Run every transaction batch-priority: under an enabled admission
+  /// policy its ops are shed before latency-sensitive traffic.
+  bool batch_priority = false;
+  /// Times a transaction shed by admission control (ResourceExhausted) is
+  /// retried with jittered exponential backoff before counting as aborted.
+  /// 0 = shed work is dropped outright.
+  int shed_retries = 0;
+  /// Base backoff before the first retry; doubles per attempt, with a
+  /// uniform 0.5-1.5x jitter so retries do not thunder back in lock-step.
+  SimTime retry_backoff = 20 * kUsPerMs;
+  /// > 0: also count commits whose latency is within this bound (slo_met()
+  /// — the numerator of SLO-goodput). 0 = goodput accounting off.
+  SimTime slo_us = 0;
   uint64_t seed = 2024;
 };
 
@@ -94,6 +107,11 @@ class KvWorkload : public WorkloadDriver {
     key_ops_ = 0;
     owner_round_trips_ = 0;
     straggler_retries_ = 0;
+    shed_ = 0;
+    retried_ = 0;
+    dropped_ = 0;
+    slo_met_ = 0;
+    retry_abandoned_ = 0;
     latencies_.Reset();
   }
 
@@ -107,15 +125,41 @@ class KvWorkload : public WorkloadDriver {
   int64_t owner_round_trips() const { return owner_round_trips_; }
   /// §4.3 second-location retries batches had to take mid-move.
   int64_t straggler_retries() const { return straggler_retries_; }
+  /// Attempts refused by admission control (each retry that sheds again
+  /// counts again). Disjoint from committed/aborted only per attempt:
+  /// a shed-then-retried-then-committed transaction counts in both.
+  int64_t shed() const { return shed_; }
+  /// Backoff retries taken after a shed attempt (<= shed()).
+  int64_t retried() const { return retried_; }
+  /// Transactions finally dropped because a shed attempt had no retries
+  /// left — the subset of aborted() caused by admission control.
+  int64_t dropped() const { return dropped_; }
+  /// Commits within KvConfig.slo_us (0 while the SLO knob is off).
+  int64_t slo_met() const { return slo_met_; }
+  /// Scheduled retries abandoned because the driver stopped first; closes
+  /// the books: issued == committed + aborted + retry_abandoned once the
+  /// event queue drains.
+  int64_t retry_abandoned() const { return retry_abandoned_; }
   TableId table() const { return table_; }
   const KvConfig& config() const { return config_; }
 
  private:
-  void ClientLoop(int idx);
+  /// What one attempt did: when `retry` is set the transaction shed and a
+  /// backoff retry is owed (nothing was booked as aborted yet).
+  struct RunResult {
+    SimTime completed_at = 0;
+    bool retry = false;
+  };
+
+  void ClientLoop(int idx, int attempt);
   void ArrivalLoop();
-  /// One transaction (read or update batch per `config_`); returns its
-  /// completion time on the submitting client's private clock.
-  SimTime RunOnce(Rng* rng);
+  /// Open-loop attempt runner: books the attempt and schedules the backoff
+  /// retry chain (closed loop chains inside ClientLoop instead).
+  void Dispatch(int attempt);
+  /// One transaction (read or update batch per `config_`). `attempt` > 0
+  /// marks a shed retry: it is not a new issued transaction.
+  RunResult RunOnce(Rng* rng, int attempt);
+  SimTime Backoff(Rng* rng, int attempt) const;
   Key NextKey(Rng* rng) const;
   std::vector<uint8_t> MakeValue(Rng* rng) const;
 
@@ -135,6 +179,11 @@ class KvWorkload : public WorkloadDriver {
   int64_t key_ops_ = 0;
   int64_t owner_round_trips_ = 0;
   int64_t straggler_retries_ = 0;
+  int64_t shed_ = 0;
+  int64_t retried_ = 0;
+  int64_t dropped_ = 0;
+  int64_t slo_met_ = 0;
+  int64_t retry_abandoned_ = 0;
   Histogram latencies_;
 };
 

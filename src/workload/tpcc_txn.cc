@@ -86,6 +86,7 @@ TpccTxnResult TpccRunner::Run(TpccTxnType type, Rng* rng) {
   }
   TpccTxnResult result;
   result.type = type;
+  result.status = s;
   if (s.ok()) {
     c->CommitTxn(c->master(), txn);
     result.committed = true;

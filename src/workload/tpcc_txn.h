@@ -28,6 +28,9 @@ const char* TpccTxnName(TpccTxnType t);
 struct TpccTxnResult {
   TpccTxnType type = TpccTxnType::kNewOrder;
   bool committed = false;
+  /// Why an uncommitted transaction aborted (OK when committed) — lets the
+  /// pool tell shed work (ResourceExhausted) from real aborts.
+  Status status;
   SimTime latency_us = 0;
   SimTime completed_at = 0;
   /// Component times, copied from the Txn before release (Fig. 7).

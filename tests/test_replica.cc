@@ -412,5 +412,87 @@ TEST(Replica, RebalanceMovingSourceRangeDropsTheReplica) {
   }
 }
 
+// ------------------------------------------------- promotion tie-breaking
+
+TEST(Replica, PromotionTieBreakPicksColdestHost) {
+  DbOptions options = ReplicaOptions().WithNodes(5).WithActiveNodes(4);
+  options.master.recovery.auto_heal = false;
+  options.master.replica.drop_cold_after = 120 * kUsPerSec;
+  // Two standbys of the hot segment -> the failover has a real choice.
+  options.master.replica.replicas_per_segment = 2;
+  // One replicated segment only: the heating phase below makes another
+  // segment hot on purpose and must not grow standbys of it.
+  options.master.replica.max_replicated_segments = 1;
+  auto opened = Db::Open(options);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  Db& db = **opened;
+  Session session = db.OpenSession();
+  // Four active nodes: [0,512) master, [512,1024) node 1, [1024,1536)
+  // node 2, [1536,2048) node 3. Node 1 owns the range we replicate; nodes
+  // 2 and 3 are the only eligible standby hosts.
+  StatusOr<TableId> table = db.CreateKvTable("kv", 64, 2048, 2);
+  ASSERT_TRUE(table.ok());
+  for (Key k = 520; k < 584; ++k) {
+    ASSERT_TRUE(session.Put(*table, k, std::vector<uint8_t>(64, 0xA0)).ok());
+  }
+  // Seed the ranges of both candidate hosts for the heating phase below.
+  for (Key k = 1040; k < 1104; ++k) {
+    ASSERT_TRUE(session.Put(*table, k, std::vector<uint8_t>(64, 0xB0)).ok());
+  }
+  for (Key k = 1560; k < 1624; ++k) {
+    ASSERT_TRUE(session.Put(*table, k, std::vector<uint8_t>(64, 0xB0)).ok());
+  }
+
+  const SimTime t0 = db.Now();
+  while (db.replicas().replicas_caught_up() < 2 &&
+         db.Now() < t0 + 40 * kUsPerSec) {
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(session.Get(*table, 520 + (i % 64)).ok());
+    }
+    db.RunFor(kUsPerSec);
+  }
+  ASSERT_GE(db.replicas().replicas_caught_up(), 2) << "need two standbys";
+  const auto reps = db.replicas().replicas();
+  ASSERT_EQ(reps.size(), 2u);
+  ASSERT_NE(reps[0]->host, reps[1]->host);
+  // The tie the heat rule breaks must be real: both standbys applied the
+  // same source-log prefix (no writes since catch-up).
+  ASSERT_EQ(reps[0]->applied_lsn, reps[1]->applied_lsn);
+
+  // Make one host hot by hammering its *own* range; promotion freshness is
+  // tied, so the colder of the two hosts must win the flip.
+  const NodeId hot = reps[0]->host;
+  const NodeId cold = reps[1]->host;
+  const Key hot_base = hot == NodeId(2) ? 1040 : 1560;
+  for (int tick = 0; tick < 4; ++tick) {
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(session.Get(*table, hot_base + (i % 64)).ok());
+    }
+    db.RunFor(kUsPerSec / 2);
+  }
+  const auto heats = db.monitor().NodeHeats();
+  ASSERT_GT(heats.at(hot), heats.at(cold))
+      << "heating phase failed to skew the monitor's node heat";
+
+  const SimTime crash_at = db.Now();
+  ASSERT_TRUE(db.CrashNode(NodeId(1)).ok());
+  const SimTime wait0 = db.Now();
+  while (CountEvents(db, cluster::ControlEventType::kReplicaPromoted) == 0 &&
+         db.Now() < wait0 + 20 * kUsPerSec) {
+    // Keep the hot host hot across detection ticks so the EWMA cannot
+    // decay back into a coin flip before the promotion runs.
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(session.Get(*table, hot_base + (i % 64)).ok());
+    }
+    db.RunFor(kUsPerSec / 2);
+  }
+  ASSERT_GE(db.replicas().replicas_promoted(), 1) << "no promotion happened";
+  EXPECT_GT(FirstEventAt(db, cluster::ControlEventType::kReplicaPromoted),
+            crash_at);
+  EXPECT_EQ(OwnerOf(db, *table, 520), cold)
+      << "equally fresh standbys: the flip must land on the colder host";
+  EXPECT_TRUE(db.cluster().catalog().CheckInvariants());
+}
+
 }  // namespace
 }  // namespace wattdb
