@@ -1,0 +1,330 @@
+// Intra-node parallel data plane bench (no paper figure — the per-core
+// shared-nothing worker lanes layered under §3.2's nodes, KVell-style).
+// Two experiments on a Zipf-skewed KV workload:
+//
+//   sweep — lanes/node 1 -> 8 at a fixed offered load, with the segment
+//           index as an ablation axis (B+-tree vs hash). One lane is the
+//           serial baseline; per-node throughput should multiply until the
+//           offered load is met, because each lane is an independent
+//           execution timeline and batches fan out per lane.
+//   rebal — reaction-time duel at identical skew: the hot node's segments
+//           are stacked onto one lane (simulating drift), then the master
+//           either re-lanes them locally (intra arm, balance_lanes on) or
+//           migrates them to other nodes (cross arm, balance_lanes off).
+//           Re-laning is an in-memory remap — no pages, no network — so its
+//           time-to-rebalance should beat the migration by orders.
+//
+// Committed stats are booked at transaction completion time, so saturation
+// shows up as throughput loss, not just latency.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "api/db.h"
+#include "bench/bench_util.h"
+
+namespace wattdb::bench {
+namespace {
+
+constexpr SimTime kWarmup = 2 * kUsPerSec;
+
+struct LaneSetup {
+  double sweep_qps = 3000;  ///< Offered load (txn/s) of the lane sweep.
+  double rebal_qps = 1400;  ///< Offered load of the reaction-time duel.
+  double zipf_theta = 0.99;
+  int batch_size = 8;
+  int64_t num_keys = 16384;
+  int segments_per_partition = 32;
+  SimTime measure_window = 10 * kUsPerSec;
+  SimTime rebal_window = 30 * kUsPerSec;  ///< Balancer reacts in here.
+};
+
+workload::KvConfig KvCfg(const LaneSetup& s, double qps) {
+  workload::KvConfig cfg;
+  cfg.arrival_qps = qps;
+  cfg.count_at_completion = true;
+  cfg.read_ratio = 0.95;
+  cfg.batch_size = s.batch_size;
+  cfg.num_keys = s.num_keys;
+  cfg.value_bytes = 100;
+  cfg.zipf_theta = s.zipf_theta;
+  cfg.segments_per_partition = s.segments_per_partition;
+  cfg.seed = 23;
+  return cfg;
+}
+
+lanes::LanePolicy Lanes(int per_node, bool balance) {
+  lanes::LanePolicy lp;
+  lp.enabled = true;
+  lp.lanes_per_node = per_node;
+  lp.balance_lanes = balance;
+  lp.lane_trigger_ratio = 1.3;
+  lp.relane_cooldown = 4 * kUsPerSec;
+  return lp;
+}
+
+DbOptions BaseOptions(const LaneSetup& s) {
+  (void)s;
+  DbOptions options = DbOptions()
+                          .WithNodes(4)
+                          .WithActiveNodes(4)
+                          .WithBufferPages(8000)
+                          .WithSeed(23)
+                          .WithoutTpccLoad();
+  // Atom-class CPU costs scaled up so the CPU — the resource lanes
+  // multiply — is the bottleneck, not disks or network.
+  options.cluster.costs.cpu_record_read_us = 300;
+  options.cluster.costs.cpu_record_write_us = 600;
+  return options;
+}
+
+Db& MustOpen(StatusOr<std::unique_ptr<Db>>& opened) {
+  if (!opened.ok()) {
+    std::fprintf(stderr, "Db::Open failed: %s\n",
+                 opened.status().ToString().c_str());
+    std::abort();
+  }
+  return **opened;
+}
+
+workload::KvWorkload& MustAddKv(Db& db, const workload::KvConfig& cfg) {
+  auto kv = db.AddKvWorkload(cfg);
+  if (!kv.ok()) {
+    std::fprintf(stderr, "AddKvWorkload failed: %s\n",
+                 kv.status().ToString().c_str());
+    std::abort();
+  }
+  return **kv;
+}
+
+struct SweepResult {
+  double committed_ops_per_s = 0;
+  double p99_ms = 0;
+};
+
+SweepResult RunSweepArm(const LaneSetup& s, int lanes_per_node,
+                        index::IndexKind kind, JsonReporter* json,
+                        const std::string& prefix) {
+  DbOptions options = BaseOptions(s)
+                          .WithLanePolicy(Lanes(lanes_per_node,
+                                                /*balance=*/false))
+                          .WithIndexKind(kind);
+  auto opened = Db::Open(options);
+  Db& db = MustOpen(opened);
+  workload::KvWorkload& driver = MustAddKv(db, KvCfg(s, s.sweep_qps));
+
+  driver.Start();
+  db.RunFor(kWarmup);
+  driver.ResetStats();
+  db.RunFor(s.measure_window);
+  // End-of-measurement per-lane backlog: with one lane, everything queues
+  // on it; with enough lanes the backlog flattens out.
+  if (json != nullptr) ReportLaneBacklogs(json, &db, prefix);
+
+  SweepResult r;
+  r.committed_ops_per_s =
+      static_cast<double>(driver.key_ops()) / ToSeconds(s.measure_window);
+  r.p99_ms = driver.latencies().Percentile(99.0) / kUsPerMs;
+  driver.Stop();
+  return r;
+}
+
+cluster::MasterPolicy RebalPolicy() {
+  cluster::MasterPolicy policy;
+  policy.check_period = kUsPerSec / 2;
+  policy.stats_window = kUsPerSec;
+  // Isolate heat reaction from CPU-threshold elasticity.
+  policy.enable_scale_out = false;
+  policy.enable_scale_in = false;
+  policy.balance.enabled = true;
+  policy.balance.trigger_ratio = 1.3;
+  policy.balance.ewma_alpha = 0.5;
+  policy.balance.trigger_after = 2;
+  policy.balance.cooldown = 4 * kUsPerSec;
+  policy.balance.max_moves_per_round = 6;
+  policy.balance.min_total_heat = 100.0;
+  return policy;
+}
+
+struct RebalResult {
+  double time_to_rebalance_ms = -1;  ///< Stack -> first completed round.
+  int segments_relaned = 0;
+  int heat_moves_completed = 0;
+};
+
+RebalResult RunRebalArm(const LaneSetup& s, bool intra, JsonReporter* json,
+                        const std::string& prefix) {
+  DbOptions options = BaseOptions(s)
+                          .WithLanePolicy(Lanes(4, /*balance=*/intra))
+                          .WithMasterLoop(RebalPolicy());
+  auto opened = Db::Open(options);
+  Db& db = MustOpen(opened);
+  workload::KvWorkload& driver = MustAddKv(db, KvCfg(s, s.rebal_qps));
+
+  driver.Start();
+  db.RunFor(kWarmup);
+
+  // Find the hot node by EWMA heat (the Zipf head's owner) and stack every
+  // one of its segments onto lane 0 — the drift scenario both arms must
+  // fix: intra by re-laning locally, cross by migrating off-node.
+  NodeId hot = NodeId(0);
+  double hot_heat = -1.0;
+  for (const auto& [node, heat] : db.monitor().NodeHeats()) {
+    if (heat > hot_heat) {
+      hot_heat = heat;
+      hot = node;
+    }
+  }
+  for (storage::Segment* seg : db.cluster().segments().SegmentsOn(hot)) {
+    db.cluster().lanes().Relane(seg, 0);
+  }
+  const SimTime stacked_at = db.Now();
+
+  db.RunFor(s.rebal_window);
+  if (json != nullptr) ReportLaneBacklogs(json, &db, prefix);
+
+  RebalResult r;
+  for (const auto& e : db.control_events()) {
+    if (e.at < stacked_at) continue;
+    if (e.type == cluster::ControlEventType::kLaneRebalanced ||
+        e.type == cluster::ControlEventType::kHeatRebalanced) {
+      r.time_to_rebalance_ms =
+          static_cast<double>(e.at - stacked_at) / kUsPerMs;
+      break;
+    }
+  }
+  r.segments_relaned = db.master().segments_relaned();
+  r.heat_moves_completed = db.master().heat_moves_completed();
+  driver.Stop();
+  return r;
+}
+
+const char* KindName(index::IndexKind kind) {
+  return kind == index::IndexKind::kBTree ? "btree" : "hash";
+}
+
+void Run() {
+  PrintHeader("Parallel lanes",
+              "per-core shared-nothing worker lanes + intra-node balancing");
+  JsonReporter json("parallel_lanes");
+
+  LaneSetup s;
+  std::vector<int> lane_counts = {1, 2, 4, 8};
+  if (SmokeMode()) {
+    s.measure_window = 4 * kUsPerSec;
+    s.rebal_window = 15 * kUsPerSec;
+    lane_counts = {1, 4};
+  }
+
+  json.Config("sweep_qps", s.sweep_qps);
+  json.Config("rebal_qps", s.rebal_qps);
+  json.Config("zipf_theta", s.zipf_theta);
+  json.Config("batch_size", s.batch_size);
+  json.Config("num_keys", static_cast<double>(s.num_keys));
+  json.Config("segments_per_partition",
+              static_cast<double>(s.segments_per_partition));
+  json.Config("measure_window_s", ToSeconds(s.measure_window));
+  json.Config("rebal_window_s", ToSeconds(s.rebal_window));
+  json.Config("smoke", SmokeMode() ? 1.0 : 0.0);
+
+  std::printf(
+      "Zipf(theta=%.2f) over %lld keys on 4 nodes, %g txn/s offered\n"
+      "(batch %d, 95%% reads), CPU-bound. Sweeping lanes/node with the\n"
+      "segment index as ablation axis.\n\n",
+      s.zipf_theta, static_cast<long long>(s.num_keys), s.sweep_qps,
+      s.batch_size);
+
+  // --- Lane sweep × index ablation ---------------------------------------
+  std::printf("%-6s %-6s | %12s %9s\n", "lanes", "index", "key-ops/s",
+              "p99 ms");
+  double ops_lanes1_btree = 0;
+  double ops_lanes4_btree = 0;
+  double ops_lanes4_hash = 0;
+  for (int lanes : lane_counts) {
+    for (index::IndexKind kind :
+         {index::IndexKind::kBTree, index::IndexKind::kHash}) {
+      const std::string prefix =
+          "lanes" + std::to_string(lanes) + "_" + KindName(kind);
+      const SweepResult r = RunSweepArm(
+          s, lanes, kind,
+          (lanes == 4 && kind == index::IndexKind::kBTree) ? &json : nullptr,
+          prefix);
+      std::printf("%-6d %-6s | %12.0f %9.2f\n", lanes, KindName(kind),
+                  r.committed_ops_per_s, r.p99_ms);
+      json.Metric(prefix + "_committed_ops_per_s", r.committed_ops_per_s,
+                  "ops/s",
+                  (lanes == 4 && kind == index::IndexKind::kBTree)
+                      ? JsonReporter::kHigherIsBetter
+                      : JsonReporter::kInfo);
+      json.Metric(prefix + "_p99_ms", r.p99_ms, "ms", JsonReporter::kInfo);
+      if (lanes == 1 && kind == index::IndexKind::kBTree) {
+        ops_lanes1_btree = r.committed_ops_per_s;
+      }
+      if (lanes == 4 && kind == index::IndexKind::kBTree) {
+        ops_lanes4_btree = r.committed_ops_per_s;
+      }
+      if (lanes == 4 && kind == index::IndexKind::kHash) {
+        ops_lanes4_hash = r.committed_ops_per_s;
+      }
+    }
+  }
+  const double sweep_ratio =
+      ops_lanes1_btree > 0 ? ops_lanes4_btree / ops_lanes1_btree : 0;
+  const double hash_ratio =
+      ops_lanes4_btree > 0 ? ops_lanes4_hash / ops_lanes4_btree : 0;
+  std::printf(
+      "\n4 lanes commit %.2fx the 1-lane key-ops/s (btree); hash index at\n"
+      "4 lanes runs %.2fx of btree (cheaper probes, same record costs).\n\n",
+      sweep_ratio, hash_ratio);
+  json.Metric("throughput_ratio_lanes4_vs_1", sweep_ratio, "ratio",
+              JsonReporter::kHigherIsBetter);
+  json.Metric("hash_vs_btree_ratio_lanes4", hash_ratio, "ratio",
+              JsonReporter::kInfo);
+
+  // --- Reaction-time duel: re-lane vs migrate -----------------------------
+  std::printf(
+      "Reaction duel: hot node's segments stacked onto lane 0, then the\n"
+      "master reacts — intra re-lanes locally, cross migrates off-node.\n\n");
+  const RebalResult intra = RunRebalArm(s, /*intra=*/true, &json, "intra");
+  const RebalResult cross = RunRebalArm(s, /*intra=*/false, nullptr, "cross");
+
+  std::printf("%-6s | %14s %10s %10s\n", "arm", "t-rebal ms", "relanes",
+              "moves");
+  std::printf("%-6s | %14.0f %10d %10d\n", "intra", intra.time_to_rebalance_ms,
+              intra.segments_relaned, intra.heat_moves_completed);
+  std::printf("%-6s | %14.0f %10d %10d\n", "cross", cross.time_to_rebalance_ms,
+              cross.segments_relaned, cross.heat_moves_completed);
+
+  const double advantage_ms =
+      (cross.time_to_rebalance_ms >= 0 && intra.time_to_rebalance_ms >= 0)
+          ? cross.time_to_rebalance_ms - intra.time_to_rebalance_ms
+          : -1;
+  std::printf(
+      "\nIntra-node re-lane settles %.0f ms before the cross-node move\n"
+      "(%.0f vs %.0f ms) — no pages shipped, no network.\n",
+      advantage_ms, intra.time_to_rebalance_ms, cross.time_to_rebalance_ms);
+
+  // Raw arm times stay info: the gated contract is the *advantage* below
+  // (a 0 ms baseline would turn any future nonzero intra time into a
+  // spurious >25% regression).
+  json.Metric("intra_time_to_rebalance_ms", intra.time_to_rebalance_ms, "ms",
+              JsonReporter::kInfo);
+  json.Metric("crossnode_time_to_rebalance_ms", cross.time_to_rebalance_ms,
+              "ms", JsonReporter::kInfo);
+  json.Metric("relane_advantage_ms", advantage_ms, "ms",
+              JsonReporter::kHigherIsBetter);
+  json.Metric("intra_segments_relaned", intra.segments_relaned, "segments",
+              JsonReporter::kInfo);
+  json.Metric("cross_segments_moved", cross.heat_moves_completed, "segments",
+              JsonReporter::kInfo);
+}
+
+}  // namespace
+}  // namespace wattdb::bench
+
+int main() {
+  wattdb::bench::Run();
+  return 0;
+}

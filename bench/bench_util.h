@@ -176,6 +176,30 @@ inline void ReportQueueDepths(JsonReporter* reporter, Db* db,
                    "ops", JsonReporter::kInfo);
 }
 
+/// Snapshot every active node's per-lane backlog (outstanding scheduled
+/// work on each worker lane, in ms) into `reporter` as info metrics:
+/// `<prefix>_lane_backlog_node<N>_lane<L>` plus the max across all lanes.
+/// No-op when the lane policy is off, so open-loop benches can call it
+/// unconditionally next to ReportQueueDepths.
+inline void ReportLaneBacklogs(JsonReporter* reporter, Db* db,
+                               const std::string& prefix) {
+  if (!db->cluster().lanes().enabled()) return;
+  double deepest_ms = 0.0;
+  for (int i = 0; i < db->cluster().num_nodes(); ++i) {
+    const NodeId id(static_cast<uint32_t>(i));
+    if (!db->cluster().node(id)->IsActive()) continue;
+    for (const auto& ls : db->monitor().LaneStatsFor(id)) {
+      const double ms = static_cast<double>(ls.backlog_us) / kUsPerMs;
+      reporter->Metric(prefix + "_lane_backlog_node" + std::to_string(i) +
+                           "_lane" + std::to_string(ls.lane),
+                       ms, "ms", JsonReporter::kInfo);
+      deepest_ms = std::max(deepest_ms, ms);
+    }
+  }
+  reporter->Metric(prefix + "_lane_backlog_max", deepest_ms, "ms",
+                   JsonReporter::kInfo);
+}
+
 /// The Fig. 6/8 testbed: a 10-node wimpy cluster, data initially on two
 /// nodes (the master and node 1), TPC-C-derived workload throttled by
 /// client think times (§5.1).

@@ -171,6 +171,36 @@ StatusOr<std::unique_ptr<Db>> Db::Open(DbOptions options) {
         "AdmissionPolicy.overload_trigger_after must be >= 1, got " +
         std::to_string(ap.overload_trigger_after));
   }
+  // LanePolicy is validated even when disabled, for the same reason as
+  // BalancePolicy above.
+  const lanes::LanePolicy& lp = options.cluster.lanes;
+  if (lp.lanes_per_node < 1) {
+    return Status::InvalidArgument(
+        "LanePolicy.lanes_per_node must be >= 1, got " +
+        std::to_string(lp.lanes_per_node));
+  }
+  if (lp.lane_trigger_ratio <= 1.0) {
+    return Status::InvalidArgument(
+        "LanePolicy.lane_trigger_ratio must be > 1, got " +
+        std::to_string(lp.lane_trigger_ratio));
+  }
+  if (lp.max_relanes_per_round < 1) {
+    return Status::InvalidArgument(
+        "LanePolicy.max_relanes_per_round must be >= 1, got " +
+        std::to_string(lp.max_relanes_per_round));
+  }
+  if (lp.relane_cooldown < 0) {
+    return Status::InvalidArgument(
+        "LanePolicy.relane_cooldown must be >= 0, got " +
+        std::to_string(lp.relane_cooldown));
+  }
+  // Catch casts of arbitrary integers before the first segment is built
+  // with an index it cannot construct.
+  if (index::MakeRecordIndex(options.cluster.index_kind) == nullptr) {
+    return Status::InvalidArgument(
+        "DbOptions.cluster.index_kind is not a known IndexKind, got " +
+        std::to_string(static_cast<int>(options.cluster.index_kind)));
+  }
   for (const fault::FaultPlan::Crash& crash : options.fault_plan.crashes) {
     if (!crash.node.valid() ||
         crash.node.value() >= static_cast<uint32_t>(options.cluster.num_nodes)) {

@@ -136,6 +136,24 @@ struct DbOptions {
     return *this;
   }
 
+  /// Intra-node parallel data plane: per-core shared-nothing worker lanes
+  /// (src/lanes). Routing charges segment work to the owning lane; with
+  /// `balance_lanes` the master's heat tier re-lanes hot segments within a
+  /// node before considering a cross-node move. Enforcement lives in the
+  /// node/routing layers, so this does not imply starting the master loop —
+  /// only the balancing tier needs it.
+  DbOptions& WithLanePolicy(lanes::LanePolicy policy) {
+    cluster.lanes = policy;
+    return *this;
+  }
+
+  /// Structure backing every segment-local primary-key index (B+-tree by
+  /// default; hash trades ordered scans' speed for cheaper point probes).
+  DbOptions& WithIndexKind(index::IndexKind kind) {
+    cluster.index_kind = kind;
+    return *this;
+  }
+
   /// Per-node admission queue caps with priority-class shedding
   /// (src/admission). Enforcement lives in the routing layer, so this does
   /// NOT imply starting the master loop — only overload *detection* (the

@@ -51,11 +51,10 @@ StatusOr<storage::Record> TxnHandle::Get(TableId table, Key key) {
 Status TxnHandle::Put(TableId table, Key key,
                       const std::vector<uint8_t>& payload) {
   WATTDB_RETURN_IF_ERROR(CheckUsable());
-  Status s = cluster::RoutedUpdate(cluster_, txn_, table, key, payload);
-  if (s.IsNotFound()) {
-    s = cluster::RoutedInsert(cluster_, txn_, table, key, payload);
-  }
-  return s;
+  // Single admission unit: RoutedUpsert folds the update probe and the
+  // fresh-key insert into one queued op (the old Update-then-Insert pair
+  // took two admission decisions for one logical Put).
+  return cluster::RoutedUpsert(cluster_, txn_, table, key, payload);
 }
 
 Status TxnHandle::Insert(TableId table, Key key,

@@ -13,6 +13,8 @@
 #include "common/status.h"
 #include "hw/network.h"
 #include "hw/power.h"
+#include "index/record_index.h"
+#include "lanes/lane_manager.h"
 #include "metrics/time_series.h"
 #include "sim/clock.h"
 #include "sim/event_queue.h"
@@ -31,6 +33,10 @@ struct ClusterConfig {
   hw::PowerModelSpec power;
   NodeCostConfig costs;
   tx::CcScheme cc = tx::CcScheme::kMvcc;
+  /// Intra-node parallel data plane: per-core shared-nothing worker lanes.
+  lanes::LanePolicy lanes;
+  /// Structure backing every segment-local primary-key index.
+  index::IndexKind index_kind = index::IndexKind::kBTree;
   /// Power/metric sampling period.
   SimTime sample_period = kUsPerSec;
   uint64_t seed = 42;
@@ -61,6 +67,9 @@ class Cluster {
   const admission::AdmissionController& admission() const {
     return admission_;
   }
+  /// Per-node worker lanes (no-op shell when the lane policy is off).
+  lanes::LaneManager& lanes() { return lanes_; }
+  const lanes::LaneManager& lanes() const { return lanes_; }
   Rng& rng() { return rng_; }
   const ClusterConfig& config() const { return config_; }
 
@@ -170,6 +179,7 @@ class Cluster {
   catalog::GlobalPartitionTable catalog_;
   tx::TransactionManager tm_;
   admission::AdmissionController admission_;
+  lanes::LaneManager lanes_;
   Rng rng_;
 
   std::vector<std::unique_ptr<Node>> nodes_;

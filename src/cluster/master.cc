@@ -37,6 +37,9 @@ const char* ToString(ControlEventType type) {
     case ControlEventType::kReplicaDropped: return "replica-dropped";
     case ControlEventType::kOverloadDetected: return "overload-detected";
     case ControlEventType::kOverloadCleared: return "overload-cleared";
+    case ControlEventType::kLaneImbalance: return "lane-imbalance";
+    case ControlEventType::kSegmentRelaned: return "segment-relaned";
+    case ControlEventType::kLaneRebalanced: return "lane-rebalanced";
   }
   return "unknown";
 }
@@ -512,6 +515,12 @@ void Master::MaybeBalanceHeat() {
   if (cluster_->Now() < next_balance_at_) return;
   heat_over_count_ = 0;
 
+  // Tier 1 — intra-node: if the hot node's own lanes are skewed, remap hot
+  // segments between its lanes (in-memory, no pages or network move) and
+  // skip the cross-node tier this round. Only when the lanes are already
+  // even is the imbalance genuine node-level pressure worth a migration.
+  if (MaybeRelaneHot(hot)) return;
+
   std::vector<SegmentMove> plan = PlanHeatMoves(hot, mean, node_heat);
   if (plan.empty()) return;  // Imbalanced but nothing movable right now
                              // (cooldowns, or no move narrows the gap).
@@ -547,6 +556,95 @@ void Master::MaybeBalanceHeat() {
              " ops/s) node " + std::to_string(m.src_node.value()) + " -> " +
              std::to_string(m.dst_node.value()));
   }
+}
+
+bool Master::MaybeRelaneHot(NodeId hot) {
+  lanes::LaneManager& lanes = cluster_->lanes();
+  if (!lanes.enabled() || !lanes.policy().balance_lanes) return false;
+  if (lanes.lanes_per_node() < 2) return false;
+  const lanes::LanePolicy& lp = lanes.policy();
+
+  const auto lane_stats = monitor_.LaneStatsFor(hot);
+  double total = 0.0;
+  size_t hot_lane = 0;
+  size_t cold_lane = 0;
+  for (size_t l = 0; l < lane_stats.size(); ++l) {
+    total += lane_stats[l].heat;
+    if (lane_stats[l].heat > lane_stats[hot_lane].heat) hot_lane = l;
+    if (lane_stats[l].heat < lane_stats[cold_lane].heat) cold_lane = l;
+  }
+  const double mean = total / static_cast<double>(lane_stats.size());
+  if (mean <= 0.0 ||
+      lane_stats[hot_lane].heat <= lp.lane_trigger_ratio * mean) {
+    return false;
+  }
+
+  // Hot lane's segments, hottest first, skipping recent re-lanes.
+  struct Candidate {
+    storage::Segment* seg;
+    double heat;
+  };
+  const SimTime now = cluster_->Now();
+  std::vector<Candidate> candidates;
+  for (const auto& entry : monitor_.SegmentHeats()) {
+    if (entry.node != hot || entry.heat <= 0.0) continue;
+    storage::Segment* seg = cluster_->segments().Get(entry.segment);
+    if (seg == nullptr || seg->lane() != static_cast<int>(hot_lane)) continue;
+    auto cd = relane_cooldown_until_.find(entry.segment);
+    if (cd != relane_cooldown_until_.end() && now < cd->second) continue;
+    candidates.push_back({seg, entry.heat});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.heat > b.heat;
+            });
+
+  // Greedy, as in PlanHeatMoves one tier up: shed heat from the hot lane
+  // onto the coldest lane until it reaches the mean or the budget runs
+  // out, never creating a worse imbalance than the one being fixed.
+  double hot_left = lane_stats[hot_lane].heat;
+  double cold_now = lane_stats[cold_lane].heat;
+  std::vector<Candidate> moves;
+  for (const auto& c : candidates) {
+    if (static_cast<int>(moves.size()) >= lp.max_relanes_per_round) break;
+    if (hot_left <= mean) break;
+    const double hot_after = hot_left - c.heat;
+    const double cold_after = cold_now + c.heat;
+    // A segment so hot it would just swap the imbalance stays put — only a
+    // cross-node move (or a split) can help it.
+    if (cold_after > hot_after && cold_after > lp.lane_trigger_ratio * mean) {
+      continue;
+    }
+    moves.push_back(c);
+    hot_left = hot_after;
+    cold_now = cold_after;
+  }
+  if (moves.empty()) return false;
+
+  Emit(ControlEventType::kLaneImbalance, hot,
+       "lane " + std::to_string(hot_lane) + " heat " +
+           std::to_string(static_cast<int64_t>(lane_stats[hot_lane].heat)) +
+           " ops/s vs lane mean " +
+           std::to_string(static_cast<int64_t>(mean)) + " (trigger ratio " +
+           std::to_string(lp.lane_trigger_ratio) + "); re-laning " +
+           std::to_string(moves.size()) + " segment(s) to lane " +
+           std::to_string(cold_lane));
+  for (const auto& m : moves) {
+    lanes.Relane(m.seg, static_cast<int>(cold_lane));
+    relane_cooldown_until_[m.seg->id()] = now + lp.relane_cooldown;
+    ++segments_relaned_;
+    Emit(ControlEventType::kSegmentRelaned, hot,
+         "segment " + std::to_string(m.seg->id().value()) + " (heat " +
+             std::to_string(static_cast<int64_t>(m.heat)) + " ops/s) lane " +
+             std::to_string(hot_lane) + " -> " + std::to_string(cold_lane));
+  }
+  ++lane_rebalances_;
+  Emit(ControlEventType::kLaneRebalanced, hot,
+       std::to_string(moves.size()) + " segment(s) re-laned; hot lane heat " +
+           std::to_string(static_cast<int64_t>(lane_stats[hot_lane].heat)) +
+           " -> " + std::to_string(static_cast<int64_t>(hot_left)) +
+           " ops/s projected, no data moved");
+  return true;
 }
 
 std::vector<SegmentMove> Master::PlanHeatMoves(

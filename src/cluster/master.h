@@ -203,6 +203,9 @@ enum class ControlEventType {
   kReplicaDropped,  ///< A replica was discarded (cooled, moved, host lost).
   kOverloadDetected,///< Admission queues sustained past overload_ratio.
   kOverloadCleared, ///< Queue depths fell back under the overload line.
+  kLaneImbalance,   ///< Hot node's hottest lane over lane_trigger_ratio×mean.
+  kSegmentRelaned,  ///< One segment remapped to a colder lane (intra-node).
+  kLaneRebalanced,  ///< An intra-node re-lane round finished; detail: counts.
 };
 
 const char* ToString(ControlEventType type);
@@ -368,6 +371,9 @@ class Master {
   int heat_moves_planned() const { return heat_moves_planned_; }
   int heat_moves_completed() const { return heat_moves_completed_; }
   int heat_moves_abandoned() const { return heat_moves_abandoned_; }
+  /// Intra-node tier: re-lane rounds run and segments remapped so far.
+  int lane_rebalances() const { return lane_rebalances_; }
+  int segments_relaned() const { return segments_relaned_; }
 
  private:
   void ControlTick();
@@ -391,6 +397,12 @@ class Master {
   /// Completion bookkeeping for one round: verify which planned moves
   /// installed, stamp cooldowns, emit the completion/abandonment events.
   void FinishHeatRound(const std::vector<SegmentMove>& plan);
+  /// Intra-node tier of heat balancing: when the hot node's lanes are
+  /// themselves skewed, remap hot segments onto its coldest lane (cheap,
+  /// in-memory, no network) and report true — the cross-node tier is then
+  /// skipped this round. False when lanes are off/even: the imbalance is
+  /// genuine node-level pressure and escalates to a migration.
+  bool MaybeRelaneHot(NodeId hot);
 
   // Self-healing internals.
   void CheckHeartbeats(const std::vector<NodeStats>& stats);
@@ -464,6 +476,13 @@ class Master {
   int heat_moves_planned_ = 0;
   int heat_moves_completed_ = 0;
   int heat_moves_abandoned_ = 0;
+
+  // Intra-node (lane) balancing state.
+  /// Re-laned segments may not re-lane again before this time (ping-pong
+  /// guard, mirroring segment_cooldown_until_ one tier up).
+  std::unordered_map<SegmentId, SimTime> relane_cooldown_until_;
+  int lane_rebalances_ = 0;
+  int segments_relaned_ = 0;
 };
 
 }  // namespace wattdb::cluster

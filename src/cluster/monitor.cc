@@ -100,6 +100,26 @@ std::unordered_map<NodeId, double> Monitor::NodeHeats() const {
   return out;
 }
 
+std::vector<LaneStats> Monitor::LaneStatsFor(NodeId node) const {
+  const lanes::LaneManager& lanes = cluster_->lanes();
+  if (!lanes.enabled()) return {};
+  std::vector<LaneStats> out(lanes.lanes_per_node());
+  const SimTime now = cluster_->Now();
+  for (int l = 0; l < lanes.lanes_per_node(); ++l) {
+    out[l].lane = l;
+    out[l].backlog_us = lanes.Backlog(node, l, now);
+  }
+  for (const auto& [sid, entry] : heat_) {
+    if (entry.node != node) continue;
+    storage::Segment* seg = cluster_->segments().Get(sid);
+    if (seg == nullptr) continue;
+    const int l = seg->lane();
+    if (l < 0 || l >= lanes.lanes_per_node()) continue;  // Not yet assigned.
+    out[l].heat += entry.heat;
+  }
+  return out;
+}
+
 std::vector<QueueDepthGauge> Monitor::QueueDepths() const {
   std::vector<QueueDepthGauge> out;
   const SimTime now = cluster_->Now();

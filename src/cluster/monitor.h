@@ -41,6 +41,15 @@ struct QueueDepthGauge {
   int64_t queued_ops = 0;
 };
 
+/// Per-lane roll-up on one node (lane policy on): the EWMA heat of the
+/// segments mapped to the lane, and the lane's outstanding scheduled work.
+/// The master's intra-node balancing tier ranks lanes by these.
+struct LaneStats {
+  int lane = 0;
+  double heat = 0.0;       ///< Sum of mapped segments' EWMA heat.
+  SimTime backlog_us = 0;  ///< Work scheduled beyond "now" on the lane.
+};
+
 /// Smoothed activity of one segment: an exponentially weighted moving
 /// average of its access rate, attributed to the node currently storing it.
 /// The master's BalancePolicy ranks segments and nodes by this value.
@@ -84,6 +93,12 @@ class Monitor {
   /// Admission-queue depth of every *active* node as of now. Works whether
   /// or not shedding is enabled — the controller tracks depths regardless.
   std::vector<QueueDepthGauge> QueueDepths() const;
+
+  /// Per-lane heat/backlog roll-up for `node` (one entry per lane, in lane
+  /// order). Empty when the lane policy is off. Heat of segments whose lane
+  /// is not yet assigned (fresh, or just moved in from another node) is
+  /// omitted — they join a lane on first access.
+  std::vector<LaneStats> LaneStatsFor(NodeId node) const;
 
  private:
   Cluster* cluster_;

@@ -55,17 +55,36 @@ hw::Disk* Node::DataDisk(SimTime now) {
   return best != nullptr ? best : hw_.LeastLoadedDisk(now);
 }
 
-void Node::ChargeCpu(tx::Txn* txn, SimTime service_us) {
+void Node::ChargeCpu(tx::Txn* txn, SimTime service_us, storage::Segment* seg) {
   // Timeslice long computations so concurrent transactions share the cores
   // instead of demanding one contiguous reservation.
   constexpr SimTime kSliceUs = 4000;
+  // With the lane policy on, work targeting a known segment runs on that
+  // segment's worker lane — its private execution timeline. Ops on other
+  // lanes of this node proceed in parallel; the shared core pool is used
+  // only for work with no segment affinity (and when lanes are off).
+  sim::Resource* lane = nullptr;
+  if (lanes_ != nullptr && lanes_->enabled() && seg != nullptr) {
+    lane = lanes_->lane(id_, lanes_->LaneOf(seg));
+  }
   while (service_us > 0) {
     const SimTime slice = std::min(service_us, kSliceUs);
-    const SimTime done = hw_.cpu().Acquire(txn->now, slice);
+    const SimTime done = lane != nullptr ? lane->Acquire(txn->now, slice)
+                                         : hw_.cpu().Acquire(txn->now, slice);
     txn->cpu_us += done - txn->now;  // Queueing + service.
     txn->AdvanceTo(done);
     service_us -= slice;
   }
+}
+
+SimTime Node::ProbeCost(const storage::Segment* seg) const {
+  if (seg == nullptr) return costs_.cpu_index_probe_us;
+  // The pluggable index surfaces its point-probe cost relative to the
+  // B+-tree baseline (hash: no root-to-leaf walk).
+  return std::max<SimTime>(
+      1, static_cast<SimTime>(static_cast<double>(costs_.cpu_index_probe_us) *
+                                  seg->probe_cost_factor() +
+                              0.5));
 }
 
 void Node::FetchPage(tx::Txn* txn, SegmentId seg, uint16_t page,
@@ -123,7 +142,13 @@ Status Node::Read(tx::Txn* txn, catalog::Partition* part, Key key,
                   storage::Record* out) {
   if (!IsActive()) return Status::Unavailable("node in standby");
   LockForRead(txn, part, key);
-  ChargeCpu(txn, costs_.cpu_index_probe_us);
+  // Segment resolution is a free in-memory top-index walk; doing it before
+  // the probe charge lets the probe (and everything after) land on the
+  // segment's worker lane instead of the shared core pool.
+  const SegmentId sid = part->SegmentFor(key);
+  storage::Segment* seg = sid.valid() ? segments_->Get(sid) : nullptr;
+  if (sid.valid()) WATTDB_CHECK(seg != nullptr);
+  ChargeCpu(txn, ProbeCost(seg), seg);
 
   const auto view =
       tm_->versions().Read(part->table(), key, txn->begin_ts, txn->id);
@@ -134,7 +159,7 @@ Status Node::Read(tx::Txn* txn, catalog::Partition* part, Key key,
       return Status::NotFound("no visible version");
     case Source::kChain: {
       // Old version served from the (in-memory) version store.
-      ChargeCpu(txn, costs_.cpu_record_read_us);
+      ChargeCpu(txn, costs_.cpu_record_read_us, seg);
       out->key = key;
       out->payload = *view.payload;
       return Status::OK();
@@ -142,16 +167,13 @@ Status Node::Read(tx::Txn* txn, catalog::Partition* part, Key key,
     case Source::kPage:
       break;
   }
-  const SegmentId sid = part->SegmentFor(key);
-  if (!sid.valid()) return Status::NotFound("key outside partition");
-  storage::Segment* seg = segments_->Get(sid);
-  WATTDB_CHECK(seg != nullptr);
+  if (seg == nullptr) return Status::NotFound("key outside partition");
   auto pos = seg->Locate(key);
   if (!pos.ok()) return Status::NotFound("no such record");
   FetchPage(txn, sid, pos.value().page, /*for_write=*/false);
   auto rec = seg->ReadAt(pos.value());
   if (!rec.ok()) return rec.status();
-  ChargeCpu(txn, costs_.cpu_record_read_us);
+  ChargeCpu(txn, costs_.cpu_record_read_us, seg);
   *out = std::move(rec).value();
   return Status::OK();
 }
@@ -215,7 +237,7 @@ Result<storage::Segment*> Node::SegmentForInsert(SimTime now, tx::Txn* txn,
     auto ins = target->Insert(r.key, r.payload);
     WATTDB_CHECK(ins.ok());
     WATTDB_CHECK(seg->Delete(r.key).ok());
-    if (txn != nullptr) ChargeCpu(txn, costs_.cpu_record_write_us);
+    if (txn != nullptr) ChargeCpu(txn, costs_.cpu_record_write_us, target);
   }
   return target;
 }
@@ -224,16 +246,18 @@ Status Node::Insert(tx::Txn* txn, catalog::Partition* part, Key key,
                     const std::vector<uint8_t>& payload) {
   if (!IsActive()) return Status::Unavailable("node in standby");
   LockForWrite(txn, part, key);
-  ChargeCpu(txn, costs_.cpu_index_probe_us);
+  // Resolve the target segment first so the probe charge can be routed to
+  // its worker lane (allocation/split costs inside still charge normally).
   auto seg = SegmentForInsert(txn->now, txn, part, key, payload.size());
   if (!seg.ok()) return seg.status();
+  ChargeCpu(txn, ProbeCost(seg.value()), seg.value());
   auto pos = seg.value()->Insert(key, payload);
   if (!pos.ok()) return pos.status();
   FetchPage(txn, seg.value()->id(), pos.value().page, /*for_write=*/true);
   WATTDB_RETURN_IF_ERROR(tm_->versions().Write(
       part->table(), key, *txn, /*prior_in_page=*/std::nullopt, payload,
       /*deleted=*/false));
-  ChargeCpu(txn, costs_.cpu_record_write_us);
+  ChargeCpu(txn, costs_.cpu_record_write_us, seg.value());
   AppendWal(txn, tx::LogRecordType::kInsert, part, key, &payload);
   return Status::OK();
 }
@@ -242,11 +266,11 @@ Status Node::Update(tx::Txn* txn, catalog::Partition* part, Key key,
                     const std::vector<uint8_t>& payload) {
   if (!IsActive()) return Status::Unavailable("node in standby");
   LockForWrite(txn, part, key);
-  ChargeCpu(txn, costs_.cpu_index_probe_us);
   const SegmentId sid = part->SegmentFor(key);
-  if (!sid.valid()) return Status::NotFound("key outside partition");
-  storage::Segment* seg = segments_->Get(sid);
-  WATTDB_CHECK(seg != nullptr);
+  storage::Segment* seg = sid.valid() ? segments_->Get(sid) : nullptr;
+  if (sid.valid()) WATTDB_CHECK(seg != nullptr);
+  ChargeCpu(txn, ProbeCost(seg), seg);
+  if (seg == nullptr) return Status::NotFound("key outside partition");
   auto pos = seg->Locate(key);
   if (!pos.ok()) return Status::NotFound("no such record");
   // Read-modify-write: fetch for read, preserve pre-image for old
@@ -259,7 +283,7 @@ Status Node::Update(tx::Txn* txn, catalog::Partition* part, Key key,
       /*deleted=*/false));
   WATTDB_RETURN_IF_ERROR(seg->Update(key, payload));
   FetchPage(txn, sid, pos.value().page, /*for_write=*/true);
-  ChargeCpu(txn, costs_.cpu_record_write_us);
+  ChargeCpu(txn, costs_.cpu_record_write_us, seg);
   AppendWal(txn, tx::LogRecordType::kUpdate, part, key, &payload);
   return Status::OK();
 }
@@ -267,11 +291,11 @@ Status Node::Update(tx::Txn* txn, catalog::Partition* part, Key key,
 Status Node::Delete(tx::Txn* txn, catalog::Partition* part, Key key) {
   if (!IsActive()) return Status::Unavailable("node in standby");
   LockForWrite(txn, part, key);
-  ChargeCpu(txn, costs_.cpu_index_probe_us);
   const SegmentId sid = part->SegmentFor(key);
-  if (!sid.valid()) return Status::NotFound("key outside partition");
-  storage::Segment* seg = segments_->Get(sid);
-  WATTDB_CHECK(seg != nullptr);
+  storage::Segment* seg = sid.valid() ? segments_->Get(sid) : nullptr;
+  if (sid.valid()) WATTDB_CHECK(seg != nullptr);
+  ChargeCpu(txn, ProbeCost(seg), seg);
+  if (seg == nullptr) return Status::NotFound("key outside partition");
   auto pos = seg->Locate(key);
   if (!pos.ok()) return Status::NotFound("no such record");
   FetchPage(txn, sid, pos.value().page, /*for_write=*/false);
@@ -282,7 +306,7 @@ Status Node::Delete(tx::Txn* txn, catalog::Partition* part, Key key) {
       std::nullopt, /*deleted=*/true));
   WATTDB_RETURN_IF_ERROR(seg->Delete(key));
   FetchPage(txn, sid, pos.value().page, /*for_write=*/true);
-  ChargeCpu(txn, costs_.cpu_record_write_us);
+  ChargeCpu(txn, costs_.cpu_record_write_us, seg);
   AppendWal(txn, tx::LogRecordType::kDelete, part, key, nullptr);
   return Status::OK();
 }
@@ -327,7 +351,7 @@ Status Node::ScanRange(tx::Txn* txn, catalog::Partition* part,
                        last_page = pos.value().page;
                        FetchPage(txn, seg->id(), last_page, false);
                      }
-                     ChargeCpu(txn, costs_.cpu_scan_record_us);
+                     ChargeCpu(txn, costs_.cpu_scan_record_us, seg);
                      auto ov = overlay.find(rec.key);
                      if (ov != overlay.end()) {
                        ov->second.consumed = true;
@@ -361,7 +385,7 @@ Status Node::ScanRange(tx::Txn* txn, catalog::Partition* part,
           storage::Record old;
           old.key = k;
           old.payload = *ov.payload;
-          ChargeCpu(txn, costs_.cpu_scan_record_us);
+          ChargeCpu(txn, costs_.cpu_scan_record_us, seg);
           keep_going = fn(old);
           if (!keep_going) break;
         }

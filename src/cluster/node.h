@@ -10,6 +10,7 @@
 #include "common/types.h"
 #include "hw/network.h"
 #include "hw/node_hardware.h"
+#include "lanes/lane_manager.h"
 #include "storage/buffer_manager.h"
 #include "storage/record.h"
 #include "storage/segment_manager.h"
@@ -51,6 +52,10 @@ class Node {
 
   hw::NodeHardware& hardware() { return hw_; }
   const hw::NodeHardware& hardware() const { return hw_; }
+  /// Cluster-owned worker lanes; when the lane policy is enabled, CPU work
+  /// on a known segment is charged to the segment's lane instead of the
+  /// shared core pool (shared-nothing intra-node parallelism).
+  void set_lane_manager(lanes::LaneManager* lanes) { lanes_ = lanes; }
   storage::BufferManager& buffer() { return buffer_; }
   tx::LogManager& log() { return *log_; }
   tx::CcScheme cc_scheme() const { return cc_; }
@@ -118,8 +123,16 @@ class Node {
   hw::Disk* DataDisk(SimTime now);
 
  private:
-  /// Charge CPU work: queueing + service on this node's core pool.
-  void ChargeCpu(tx::Txn* txn, SimTime service_us);
+  /// Charge CPU work: queueing + service on this node's core pool — or,
+  /// when the lane policy is on and the work targets a known segment, on
+  /// that segment's worker lane (its private execution timeline). Ops on
+  /// different lanes never queue behind each other; ops on one lane
+  /// serialize, which is exactly the shared-nothing contract.
+  void ChargeCpu(tx::Txn* txn, SimTime service_us,
+                 storage::Segment* seg = nullptr);
+  /// Index-probe service time against `seg`'s index structure (nullptr:
+  /// the B+-tree baseline cost).
+  SimTime ProbeCost(const storage::Segment* seg) const;
   /// Fetch a page on behalf of `txn`, folding component times into it.
   void FetchPage(tx::Txn* txn, SegmentId seg, uint16_t page, bool for_write);
   /// Acquire a lock on behalf of `txn`, folding wait time into it.
@@ -141,6 +154,7 @@ class Node {
   storage::SegmentManager* segments_;
   tx::TransactionManager* tm_;
   hw::Network* network_;
+  lanes::LaneManager* lanes_ = nullptr;
 };
 
 }  // namespace wattdb::cluster

@@ -84,6 +84,39 @@ Status RoutedUpdate(Cluster* c, tx::Txn* txn, TableId table, Key key,
   return s;
 }
 
+Status RoutedUpsert(Cluster* c, tx::Txn* txn, TableId table, Key key,
+                    const std::vector<uint8_t>& payload) {
+  auto [part, second] = c->RouteBoth(txn, table, key);
+  if (part == nullptr) return Status::NotFound("no route");
+  // One admission decision for the whole logical op: the update probe, a
+  // possible §4.3 secondary retry, and the insert fall-through are one
+  // queued unit, not two (the old Update-then-Insert path double-charged
+  // the owner's queue depth on every fresh key).
+  WATTDB_RETURN_IF_ERROR(AdmitOps(c, txn, part->owner(), ClassOf(txn)));
+  c->ChargeClientHop(txn, part->owner(), 96 + payload.size(), 32);
+  Status s = c->node(part->owner())->Update(txn, part, key, payload);
+  if ((s.IsNotFound() || s.IsUnavailable()) && second != nullptr) {
+    c->ChargeClientHop(txn, second->owner(), 96 + payload.size(), 32);
+    const Status retry =
+        c->node(second->owner())->Update(txn, second, key, payload);
+    if (!(s.IsUnavailable() && retry.IsNotFound())) s = retry;
+  }
+  if (s.IsNotFound()) {
+    // Insert at the currently-routed location (may have shifted mid-move),
+    // exactly like RoutedMultiWrite's upsert tail. A same-owner insert
+    // rides the hop already charged above.
+    catalog::Partition* ins = c->Route(txn, table, key);
+    if (ins != nullptr) {
+      if (ins->owner() != part->owner()) {
+        c->ChargeClientHop(txn, ins->owner(), 96 + payload.size(), 32);
+      }
+      s = c->node(ins->owner())->Insert(txn, ins, key, payload);
+    }
+  }
+  CompleteOps(c, txn, part->owner());
+  return s;
+}
+
 Status RoutedInsert(Cluster* c, tx::Txn* txn, TableId table, Key key,
                     const std::vector<uint8_t>& payload) {
   catalog::Partition* part = c->Route(txn, table, key);
@@ -140,6 +173,40 @@ std::vector<std::pair<NodeId, std::vector<size_t>>> GroupByOwner(
   return groups;
 }
 
+/// Worker lane of `key` at its routed partition, or -1 when no segment is
+/// resolvable (a mid-move gap charges the shared pool like any work with
+/// no segment affinity).
+int LaneOfKey(Cluster* c, catalog::Partition* part, Key key) {
+  if (!c->lanes().enabled() || part == nullptr) return -1;
+  const SegmentId sid = part->SegmentFor(key);
+  if (!sid.valid()) return -1;
+  storage::Segment* seg = c->segments().Get(sid);
+  if (seg == nullptr) return -1;
+  return c->lanes().LaneOf(seg);
+}
+
+/// Sub-group one owner group's key indexes by the worker lane of each key's
+/// segment, in first-appearance order. With lanes disabled everything lands
+/// in a single group, so the caller's fan-out loop degenerates to the plain
+/// serial batch.
+std::vector<std::vector<size_t>> GroupByLane(
+    Cluster* c, const std::vector<size_t>& idxs,
+    const std::function<int(size_t)>& lane_of) {
+  if (!c->lanes().enabled()) return {idxs};
+  std::vector<std::vector<size_t>> groups;
+  std::unordered_map<int, size_t> group_of;
+  group_of.reserve(idxs.size());
+  for (size_t i : idxs) {
+    auto [it, inserted] = group_of.emplace(lane_of(i), groups.size());
+    if (inserted) {
+      groups.push_back({i});
+    } else {
+      groups[it->second].push_back(i);
+    }
+  }
+  return groups;
+}
+
 }  // namespace
 
 Status RoutedMultiRead(Cluster* c, tx::Txn* txn, TableId table,
@@ -175,15 +242,29 @@ Status RoutedMultiRead(Cluster* c, tx::Txn* txn, TableId table,
       continue;
     }
     // One request listing the group's keys, one response carrying its
-    // records: the whole group rides a single round trip.
+    // records: the whole group rides a single round trip. On the owner the
+    // group fans out over the worker lanes of its keys' segments —
+    // shared-nothing intra-node parallelism: every lane's sub-batch starts
+    // at the same instant and runs on that lane's private timeline, and the
+    // group completes when its slowest lane does.
     size_t resp_bytes = 32;
-    for (size_t i : idxs) {
-      storage::Record rec;
-      Status s = c->node(owner)->Read(txn, routes[i].part, keys[i], &rec);
-      resp_bytes += s.ok() ? 32 + rec.StoredSize() : 8;
-      (*out)[i] = s.ok() ? StatusOr<storage::Record>(std::move(rec))
-                         : StatusOr<storage::Record>(s);
+    const SimTime group_start = txn->now;
+    SimTime group_done = group_start;
+    for (const auto& lane_idxs : GroupByLane(c, idxs, [&](size_t i) {
+           return LaneOfKey(c, routes[i].part, keys[i]);
+         })) {
+      txn->now = group_start;
+      for (size_t i : lane_idxs) {
+        storage::Record rec;
+        Status s = c->node(owner)->Read(txn, routes[i].part, keys[i], &rec);
+        resp_bytes += s.ok() ? 32 + rec.StoredSize() : 8;
+        (*out)[i] = s.ok() ? StatusOr<storage::Record>(std::move(rec))
+                           : StatusOr<storage::Record>(s);
+      }
+      group_done = std::max(group_done, txn->now);
     }
+    txn->now = group_start;
+    txn->AdvanceTo(group_done);
     c->ChargeClientHop(txn, owner, 96 + 8 * idxs.size(), resp_bytes);
     if (owner != master_id) ++local.owner_round_trips;
     CompleteOps(c, txn, owner, static_cast<int>(idxs.size()));
@@ -242,36 +323,50 @@ Status RoutedMultiWrite(Cluster* c, tx::Txn* txn, TableId table,
     c->ChargeClientHop(txn, owner, req_bytes, 32);
     if (owner != master_id) ++local.owner_round_trips;
 
-    for (size_t i : idxs) {
-      const Key key = kvs[i].key;
-      const std::vector<uint8_t>& payload = kvs[i].payload;
-      Status s = c->node(owner)->Update(txn, routes[i].part, key, payload);
-      if ((s.IsNotFound() || s.IsUnavailable()) &&
-          routes[i].second != nullptr) {
-        // §4.3 straggler: the record already moved; re-ship the payload.
-        const NodeId second_owner = routes[i].second->owner();
-        c->ChargeClientHop(txn, second_owner, 96 + payload.size(), 32);
-        ++local.straggler_retries;
-        const Status retry =
-            c->node(second_owner)->Update(txn, routes[i].second, key, payload);
-        // An unreachable primary stays Unavailable (never NotFound, which
-        // would fall through to the insert tail and shadow the dead copy).
-        if (!(s.IsUnavailable() && retry.IsNotFound())) s = retry;
-      }
-      if (s.IsNotFound()) {
-        // Upsert tail: insert at the currently-routed location (which may
-        // have shifted under the batch mid-move).
-        catalog::Partition* ins = c->Route(txn, table, key);
-        if (ins != nullptr) {
-          if (ins->owner() != owner) {
-            c->ChargeClientHop(txn, ins->owner(), 96 + payload.size(), 32);
-          }
-          s = c->node(ins->owner())->Insert(txn, ins, key, payload);
-          ++local.inserts;
+    // Fan the group out over worker lanes exactly as RoutedMultiRead does:
+    // each lane's sub-batch starts at the fan-out instant, the group
+    // completes when its slowest lane does.
+    const SimTime group_start = txn->now;
+    SimTime group_done = group_start;
+    for (const auto& lane_idxs : GroupByLane(c, idxs, [&](size_t i) {
+           return LaneOfKey(c, routes[i].part, kvs[i].key);
+         })) {
+      txn->now = group_start;
+      for (size_t i : lane_idxs) {
+        const Key key = kvs[i].key;
+        const std::vector<uint8_t>& payload = kvs[i].payload;
+        Status s = c->node(owner)->Update(txn, routes[i].part, key, payload);
+        if ((s.IsNotFound() || s.IsUnavailable()) &&
+            routes[i].second != nullptr) {
+          // §4.3 straggler: the record already moved; re-ship the payload.
+          const NodeId second_owner = routes[i].second->owner();
+          c->ChargeClientHop(txn, second_owner, 96 + payload.size(), 32);
+          ++local.straggler_retries;
+          const Status retry = c->node(second_owner)
+                                   ->Update(txn, routes[i].second, key,
+                                            payload);
+          // An unreachable primary stays Unavailable (never NotFound, which
+          // would fall through to the insert tail and shadow the dead copy).
+          if (!(s.IsUnavailable() && retry.IsNotFound())) s = retry;
         }
+        if (s.IsNotFound()) {
+          // Upsert tail: insert at the currently-routed location (which may
+          // have shifted under the batch mid-move).
+          catalog::Partition* ins = c->Route(txn, table, key);
+          if (ins != nullptr) {
+            if (ins->owner() != owner) {
+              c->ChargeClientHop(txn, ins->owner(), 96 + payload.size(), 32);
+            }
+            s = c->node(ins->owner())->Insert(txn, ins, key, payload);
+            ++local.inserts;
+          }
+        }
+        (*out)[i] = s;
       }
-      (*out)[i] = s;
+      group_done = std::max(group_done, txn->now);
     }
+    txn->now = group_start;
+    txn->AdvanceTo(group_done);
     CompleteOps(c, txn, owner, static_cast<int>(idxs.size()));
   }
 

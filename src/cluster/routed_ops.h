@@ -34,6 +34,16 @@ Status RoutedUpdate(Cluster* c, tx::Txn* txn, TableId table, Key key,
 Status RoutedInsert(Cluster* c, tx::Txn* txn, TableId table, Key key,
                     const std::vector<uint8_t>& payload);
 
+/// Update-or-insert as ONE admission unit. The historical Put path ran
+/// RoutedUpdate and, on NotFound, RoutedInsert — two admission decisions
+/// (and potentially one shed) for a single logical op, double-counting
+/// queue depth exactly when the cluster is loaded enough for it to matter.
+/// Here the update probe, the §4.3 secondary retry, and the insert
+/// fall-through all ride one Admit/Complete pair, mirroring how
+/// RoutedMultiWrite's upsert tail rides its group admission.
+Status RoutedUpsert(Cluster* c, tx::Txn* txn, TableId table, Key key,
+                    const std::vector<uint8_t>& payload);
+
 Status RoutedDelete(Cluster* c, tx::Txn* txn, TableId table, Key key);
 
 /// Visit visible records with keys in `range`. A range may span several

@@ -1,0 +1,182 @@
+#ifndef WATTDB_INDEX_RECORD_INDEX_H_
+#define WATTDB_INDEX_RECORD_INDEX_H_
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "index/btree.h"
+#include "storage/record.h"
+
+namespace wattdb::index {
+
+/// Which structure backs a segment's primary-key index. KVell's
+/// `in-memory-index-generic.h` makes exactly this pluggable — every worker
+/// owns its slice's index behind one interface, and the concrete structure
+/// is an ablation knob, not an architecture decision.
+enum class IndexKind {
+  kBTree,  ///< Ordered B+-tree (the historical default; cheap range scans).
+  kHash,   ///< Hash map (cheaper point probes; scans collect + sort).
+};
+
+inline std::string ToString(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kBTree:
+      return "btree";
+    case IndexKind::kHash:
+      return "hash";
+  }
+  return "unknown";
+}
+
+/// Segment-local primary-key index behind one interface (the KVell
+/// `in-memory-index-generic.h` shape): Key -> RecordPos, with ordered
+/// iteration required even from unordered implementations so ScanRange
+/// semantics do not depend on the chosen structure.
+///
+/// Not thread-safe, like everything under the single-threaded sim kernel;
+/// the cost difference between implementations is surfaced to the CPU
+/// model through `probe_cost_factor()` rather than wall-clock.
+class RecordIndex {
+ public:
+  virtual ~RecordIndex() = default;
+
+  /// Insert or overwrite. Returns true if the key was newly inserted.
+  virtual bool Insert(Key key, const storage::RecordPos& pos) = 0;
+  /// Remove a key. Returns true if it was present.
+  virtual bool Erase(Key key) = 0;
+  /// Position of `key`, or nullptr. The pointer is invalidated by mutation.
+  virtual const storage::RecordPos* Find(Key key) const = 0;
+  bool Contains(Key key) const { return Find(key) != nullptr; }
+
+  /// Visit entries with keys in [lo, hi) in ASCENDING KEY ORDER; `fn`
+  /// returns false to stop early. Returns the number visited.
+  virtual size_t Scan(
+      Key lo, Key hi,
+      const std::function<bool(Key, const storage::RecordPos&)>& fn) const = 0;
+  /// Smallest key >= lo, if any.
+  virtual bool LowerBound(Key lo, Key* out_key,
+                          storage::RecordPos* out_pos = nullptr) const = 0;
+
+  virtual size_t size() const = 0;
+  bool empty() const { return size() == 0; }
+  /// Approximate heap footprint (storage-overhead metric).
+  virtual size_t MemoryBytes() const = 0;
+  virtual bool CheckInvariants() const = 0;
+
+  virtual IndexKind kind() const = 0;
+  /// Simulated cost of one point probe relative to the B+-tree baseline.
+  /// The hash index resolves a probe in O(1) instead of a root-to-leaf
+  /// walk, which the CPU model reflects by scaling cpu_index_probe_us.
+  virtual double probe_cost_factor() const = 0;
+};
+
+/// The historical default: wraps the segment-local B+-tree.
+class BTreeRecordIndex final : public RecordIndex {
+ public:
+  bool Insert(Key key, const storage::RecordPos& pos) override {
+    return tree_.Insert(key, pos);
+  }
+  bool Erase(Key key) override { return tree_.Erase(key); }
+  const storage::RecordPos* Find(Key key) const override {
+    return tree_.Find(key);
+  }
+  size_t Scan(Key lo, Key hi,
+              const std::function<bool(Key, const storage::RecordPos&)>& fn)
+      const override {
+    return tree_.Scan(lo, hi, fn);
+  }
+  bool LowerBound(Key lo, Key* out_key,
+                  storage::RecordPos* out_pos) const override {
+    return tree_.LowerBound(lo, out_key, out_pos);
+  }
+  size_t size() const override { return tree_.size(); }
+  size_t MemoryBytes() const override { return tree_.MemoryBytes(); }
+  bool CheckInvariants() const override { return tree_.CheckInvariants(); }
+  IndexKind kind() const override { return IndexKind::kBTree; }
+  double probe_cost_factor() const override { return 1.0; }
+
+ private:
+  BTree<storage::RecordPos> tree_;
+};
+
+/// Hash-map option (KVell ships the same pair: a tree and a faster
+/// unordered structure behind one generic interface). Point probes are
+/// cheaper — no root-to-leaf walk — but ordered scans must collect and
+/// sort the qualifying keys, so scan-heavy workloads prefer the B+-tree.
+class HashRecordIndex final : public RecordIndex {
+ public:
+  bool Insert(Key key, const storage::RecordPos& pos) override {
+    auto [it, inserted] = map_.insert_or_assign(key, pos);
+    (void)it;
+    return inserted;
+  }
+  bool Erase(Key key) override { return map_.erase(key) > 0; }
+  const storage::RecordPos* Find(Key key) const override {
+    auto it = map_.find(key);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+  size_t Scan(Key lo, Key hi,
+              const std::function<bool(Key, const storage::RecordPos&)>& fn)
+      const override {
+    std::vector<Key> keys;
+    for (const auto& [k, pos] : map_) {
+      if (k >= lo && k < hi) keys.push_back(k);
+    }
+    std::sort(keys.begin(), keys.end());
+    size_t visited = 0;
+    for (Key k : keys) {
+      ++visited;
+      if (!fn(k, map_.at(k))) break;
+    }
+    return visited;
+  }
+  bool LowerBound(Key lo, Key* out_key,
+                  storage::RecordPos* out_pos) const override {
+    bool found = false;
+    Key best = 0;
+    for (const auto& [k, pos] : map_) {
+      if (k < lo) continue;
+      if (!found || k < best) {
+        best = k;
+        found = true;
+      }
+    }
+    if (!found) return false;
+    if (out_key != nullptr) *out_key = best;
+    if (out_pos != nullptr) *out_pos = map_.at(best);
+    return true;
+  }
+  size_t size() const override { return map_.size(); }
+  size_t MemoryBytes() const override {
+    // Node-based buckets: entry + two pointers per element, one bucket
+    // pointer per slot.
+    return map_.size() *
+               (sizeof(Key) + sizeof(storage::RecordPos) + 2 * sizeof(void*)) +
+           map_.bucket_count() * sizeof(void*);
+  }
+  bool CheckInvariants() const override { return true; }
+  IndexKind kind() const override { return IndexKind::kHash; }
+  double probe_cost_factor() const override { return 0.5; }
+
+ private:
+  std::unordered_map<Key, storage::RecordPos> map_;
+};
+
+inline std::unique_ptr<RecordIndex> MakeRecordIndex(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kBTree:
+      return std::make_unique<BTreeRecordIndex>();
+    case IndexKind::kHash:
+      return std::make_unique<HashRecordIndex>();
+  }
+  return nullptr;
+}
+
+}  // namespace wattdb::index
+
+#endif  // WATTDB_INDEX_RECORD_INDEX_H_

@@ -1,0 +1,67 @@
+#include "lanes/lane_manager.h"
+
+#include <string>
+
+#include "common/logging.h"
+
+namespace wattdb::lanes {
+
+LaneManager::LaneManager(const LanePolicy& policy, int num_nodes)
+    : policy_(policy) {
+  if (!policy_.enabled) return;
+  lanes_.resize(num_nodes);
+  next_lane_.assign(num_nodes, 0);
+  for (int n = 0; n < num_nodes; ++n) {
+    lanes_[n].reserve(policy_.lanes_per_node);
+    for (int l = 0; l < policy_.lanes_per_node; ++l) {
+      lanes_[n].emplace_back("node" + std::to_string(n) + "/lane" +
+                             std::to_string(l));
+    }
+  }
+}
+
+int LaneManager::LaneOf(storage::Segment* seg) {
+  WATTDB_CHECK_MSG(policy_.enabled, "LaneOf with lanes disabled");
+  const int lane = seg->lane();
+  if (lane >= 0 && lane < policy_.lanes_per_node) return lane;
+  const uint32_t node = seg->storage_node().value();
+  WATTDB_CHECK_MSG(node < lanes_.size(),
+                   "segment on unknown node " << node);
+  const int assigned = next_lane_[node];
+  next_lane_[node] = (next_lane_[node] + 1) % policy_.lanes_per_node;
+  seg->set_lane(assigned);
+  return assigned;
+}
+
+void LaneManager::Relane(storage::Segment* seg, int lane) {
+  WATTDB_CHECK_MSG(policy_.enabled, "Relane with lanes disabled");
+  WATTDB_CHECK_MSG(lane >= 0 && lane < policy_.lanes_per_node,
+                   "lane " << lane << " out of range");
+  if (seg->lane() == lane) return;
+  seg->set_lane(lane);
+  ++relanes_;
+}
+
+sim::Resource* LaneManager::lane(NodeId node, int lane) {
+  WATTDB_CHECK_MSG(node.value() < lanes_.size(),
+                   "no lanes for node " << node.value());
+  WATTDB_CHECK_MSG(lane >= 0 && lane < policy_.lanes_per_node,
+                   "lane " << lane << " out of range");
+  return &lanes_[node.value()][lane];
+}
+
+const sim::Resource* LaneManager::lane(NodeId node, int lane) const {
+  return const_cast<LaneManager*>(this)->lane(node, lane);
+}
+
+SimTime LaneManager::Backlog(NodeId node, int lane, SimTime now) const {
+  return this->lane(node, lane)->Backlog(now);
+}
+
+void LaneManager::Prune(SimTime before) {
+  for (auto& node_lanes : lanes_) {
+    for (auto& l : node_lanes) l.Prune(before);
+  }
+}
+
+}  // namespace wattdb::lanes

@@ -1,0 +1,69 @@
+#ifndef WATTDB_LANES_LANE_MANAGER_H_
+#define WATTDB_LANES_LANE_MANAGER_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "lanes/lane_policy.h"
+#include "sim/resource.h"
+#include "storage/segment.h"
+
+namespace wattdb::lanes {
+
+/// Per-node shared-nothing worker lanes (KVell's slab workers, modeled).
+/// Each node owns `lanes_per_node` independent `sim::Resource` execution
+/// timelines — deliberately NOT a `sim::ResourcePool`: a pool routes work
+/// to the least-loaded member (work stealing), while a lane owns its
+/// segments exclusively, so a hot lane stays hot until the balancer
+/// re-lanes a segment. That ownership is the whole point — single-lane
+/// ops need no cross-worker locks, and skew is visible as lane imbalance
+/// the master can fix locally.
+///
+/// The lane map itself lives on the segments (`Segment::lane()`), so it
+/// survives exactly as long as the segment object: a crash/redo cycle
+/// keeps assignments, while a cross-node move resets the lane and the
+/// destination node assigns a fresh one here on first access.
+class LaneManager {
+ public:
+  LaneManager(const LanePolicy& policy, int num_nodes);
+  LaneManager(const LaneManager&) = delete;
+  LaneManager& operator=(const LaneManager&) = delete;
+
+  bool enabled() const { return policy_.enabled; }
+  int lanes_per_node() const { return policy_.lanes_per_node; }
+  const LanePolicy& policy() const { return policy_; }
+
+  /// Lane owning `seg` on its storage node. Unassigned (or out-of-range,
+  /// e.g. after a config change) segments get a lane round-robin per node,
+  /// spreading fresh segments evenly before any heat is known.
+  int LaneOf(storage::Segment* seg);
+
+  /// Move `seg` to `lane` on its current storage node. Intra-node and
+  /// in-memory: no pages move, no network — the cheap balancing tier.
+  void Relane(storage::Segment* seg, int lane);
+
+  /// Execution timeline of (node, lane).
+  sim::Resource* lane(NodeId node, int lane);
+  const sim::Resource* lane(NodeId node, int lane) const;
+
+  /// Outstanding scheduled work beyond `now` on (node, lane).
+  SimTime Backlog(NodeId node, int lane, SimTime now) const;
+
+  /// Drop interval bookkeeping older than `before` on every lane.
+  void Prune(SimTime before);
+
+  /// Lifetime count of Relane() calls (observability).
+  int64_t relanes() const { return relanes_; }
+
+ private:
+  LanePolicy policy_;
+  /// [node][lane] execution timelines; empty when disabled.
+  std::vector<std::vector<sim::Resource>> lanes_;
+  /// Per-node round-robin cursor for lazy assignment.
+  std::vector<int> next_lane_;
+  int64_t relanes_ = 0;
+};
+
+}  // namespace wattdb::lanes
+
+#endif  // WATTDB_LANES_LANE_MANAGER_H_

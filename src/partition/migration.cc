@@ -10,6 +10,24 @@ MigrationManagerBase::MigrationManagerBase(cluster::Cluster* cluster,
                                            MigrationConfig config)
     : cluster_(cluster), config_(config) {}
 
+namespace {
+
+/// True when `node` hosts a warm replica overlapping `range` of `table`.
+/// Landing the authoritative copy next to its own standby silently halves
+/// the replica's fan-out benefit until the ReplicaManager re-places it, so
+/// rebalance planning treats such nodes as ineligible destinations.
+bool HostsReplicaOf(cluster::Cluster* cluster, TableId table,
+                    const KeyRange& range, NodeId node) {
+  for (const auto& rr : cluster->catalog().ReplicaRoutes(table)) {
+    if (!rr.range.Overlaps(range)) continue;
+    const catalog::Partition* p = cluster->catalog().GetPartition(rr.partition);
+    if (p != nullptr && p->owner() == node) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 std::vector<MigrationManagerBase::MoveTask>
 MigrationManagerBase::PlanRebalance(const std::vector<NodeId>& targets,
                                     double fraction) {
@@ -54,13 +72,26 @@ MigrationManagerBase::PlanRebalance(const std::vector<NodeId>& targets,
           std::min(pool.size() - 1, static_cast<size_t>(cursor + 0.5));
       cursor += stride;
       const Candidate& c = pool[idx];
+      // Replica anti-affinity: starting at the round-robin cursor, take the
+      // first target NOT already hosting a replica of this segment's range.
+      // If every target hosts one, the segment stays put this round rather
+      // than degrade a standby to a same-node copy.
+      NodeId dst = NodeId::Invalid();
+      for (size_t probe = 0; probe < targets.size(); ++probe) {
+        const NodeId cand = targets[(rr + probe) % targets.size()];
+        if (HostsReplicaOf(cluster_, table, c.entry.range, cand)) continue;
+        dst = cand;
+        rr = (rr + probe + 1) % targets.size();
+        break;
+      }
+      if (!dst.valid()) continue;
       MoveTask t;
       t.table = table;
       t.segment = c.entry.segment;
       t.range = c.entry.range;
       t.src_partition = c.part->id();
       t.src_node = c.part->owner();
-      t.dst_node = targets[rr++ % targets.size()];
+      t.dst_node = dst;
       t.dst_partition = PartitionId::Invalid();  // Resolved at execution.
       tasks.push_back(t);
     }

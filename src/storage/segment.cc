@@ -6,8 +6,15 @@
 
 namespace wattdb::storage {
 
-Segment::Segment(SegmentId id, NodeId storage_node, DiskId disk)
-    : id_(id), storage_node_(storage_node), disk_(disk) {}
+Segment::Segment(SegmentId id, NodeId storage_node, DiskId disk,
+                 index::IndexKind index_kind)
+    : id_(id),
+      storage_node_(storage_node),
+      disk_(disk),
+      pk_index_(index::MakeRecordIndex(index_kind)) {
+  WATTDB_CHECK_MSG(pk_index_ != nullptr,
+                   "unknown IndexKind " << static_cast<int>(index_kind));
+}
 
 Page* Segment::PageWithRoom(size_t record_size, uint16_t* out_idx) {
   for (size_t i = insert_cursor_; i < pages_.size(); ++i) {
@@ -28,7 +35,7 @@ Page* Segment::PageWithRoom(size_t record_size, uint16_t* out_idx) {
 }
 
 Result<RecordPos> Segment::Insert(Key key, const std::vector<uint8_t>& payload) {
-  if (pk_index_.Contains(key)) {
+  if (pk_index_->Contains(key)) {
     return Status::AlreadyExists("duplicate key in segment");
   }
   const std::vector<uint8_t> body = EncodeRecord(key, payload);
@@ -40,13 +47,13 @@ Result<RecordPos> Segment::Insert(Key key, const std::vector<uint8_t>& payload) 
   auto slot = page->Insert(body.data(), body.size());
   if (!slot.ok()) return slot.status();
   const RecordPos pos{page_idx, slot.value()};
-  pk_index_.Insert(key, pos);
+  pk_index_->Insert(key, pos);
   ++writes_;
   return pos;
 }
 
 Result<RecordPos> Segment::Locate(Key key) const {
-  const RecordPos* pos = pk_index_.Find(key);
+  const RecordPos* pos = pk_index_->Find(key);
   if (pos == nullptr) return Status::NotFound("key not in segment");
   return *pos;
 }
@@ -66,7 +73,7 @@ Result<Record> Segment::ReadAt(RecordPos pos) const {
 }
 
 Status Segment::Update(Key key, const std::vector<uint8_t>& payload) {
-  const RecordPos* posp = pk_index_.Find(key);
+  const RecordPos* posp = pk_index_->Find(key);
   if (posp == nullptr) return Status::NotFound("key not in segment");
   const RecordPos pos = *posp;
   const std::vector<uint8_t> body = EncodeRecord(key, payload);
@@ -83,23 +90,23 @@ Status Segment::Update(Key key, const std::vector<uint8_t>& payload) {
   if (page == nullptr) return Status::ResourceExhausted("segment full");
   auto slot = page->Insert(body.data(), body.size());
   if (!slot.ok()) return slot.status();
-  pk_index_.Insert(key, RecordPos{page_idx, slot.value()});
+  pk_index_->Insert(key, RecordPos{page_idx, slot.value()});
   ++writes_;
   return Status::OK();
 }
 
 Status Segment::Delete(Key key) {
-  const RecordPos* posp = pk_index_.Find(key);
+  const RecordPos* posp = pk_index_->Find(key);
   if (posp == nullptr) return Status::NotFound("key not in segment");
   WATTDB_RETURN_IF_ERROR(pages_[posp->page]->Delete(posp->slot));
-  pk_index_.Erase(key);
+  pk_index_->Erase(key);
   ++writes_;
   return Status::OK();
 }
 
 size_t Segment::ScanRange(Key lo, Key hi,
                           const std::function<bool(const Record&)>& fn) const {
-  return pk_index_.Scan(lo, hi, [&](Key key, const RecordPos& pos) {
+  return pk_index_->Scan(lo, hi, [&](Key key, const RecordPos& pos) {
     auto rec = ReadAt(pos);
     WATTDB_CHECK_MSG(rec.ok(), "index points at missing record, key=" << key);
     return fn(rec.value());
@@ -118,13 +125,13 @@ size_t Segment::LiveBytes() const {
 
 Key Segment::MinKey() const {
   Key k = 0;
-  if (!pk_index_.LowerBound(kMinKey, &k)) return 0;
+  if (!pk_index_->LowerBound(kMinKey, &k)) return 0;
   return k;
 }
 
 Key Segment::MaxKey() const {
   Key last = 0;
-  pk_index_.Scan(kMinKey, kMaxKey, [&](Key k, const RecordPos&) {
+  pk_index_->Scan(kMinKey, kMaxKey, [&](Key k, const RecordPos&) {
     last = k;
     return true;
   });
@@ -132,15 +139,15 @@ Key Segment::MaxKey() const {
 }
 
 bool Segment::CheckInvariants() const {
-  if (!pk_index_.CheckInvariants()) return false;
+  if (!pk_index_->CheckInvariants()) return false;
   size_t live = 0;
   for (const auto& p : pages_) {
     if (!p->CheckInvariants()) return false;
     live += p->record_count();
   }
-  if (live != pk_index_.size()) return false;
+  if (live != pk_index_->size()) return false;
   bool ok = true;
-  pk_index_.Scan(kMinKey, kMaxKey, [&](Key key, const RecordPos& pos) {
+  pk_index_->Scan(kMinKey, kMaxKey, [&](Key key, const RecordPos& pos) {
     auto rec = ReadAt(pos);
     if (!rec.ok() || rec.value().key != key) {
       ok = false;

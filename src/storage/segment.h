@@ -7,7 +7,7 @@
 #include "common/constants.h"
 #include "common/status.h"
 #include "common/types.h"
-#include "index/btree.h"
+#include "index/record_index.h"
 #include "storage/page.h"
 #include "storage/record.h"
 
@@ -24,7 +24,13 @@ namespace wattdb::storage {
 /// remote fetch (the physical-partitioning penalty).
 class Segment {
  public:
-  Segment(SegmentId id, NodeId storage_node, DiskId disk);
+  /// A lane value of kLaneUnassigned means "not yet sharded": the node's
+  /// LaneManager assigns one lazily on first access and a cross-node move
+  /// resets it (the destination node re-lanes by its own map).
+  static constexpr int kLaneUnassigned = -1;
+
+  Segment(SegmentId id, NodeId storage_node, DiskId disk,
+          index::IndexKind index_kind = index::IndexKind::kBTree);
 
   Segment(const Segment&) = delete;
   Segment& operator=(const Segment&) = delete;
@@ -38,7 +44,15 @@ class Segment {
   void Relocate(NodeId node, DiskId disk) {
     storage_node_ = node;
     disk_ = disk;
+    // The lane shard is a per-node notion: after a cross-node move the
+    // destination's LaneManager assigns a fresh lane on first access.
+    lane_ = kLaneUnassigned;
   }
+
+  /// Worker lane owning this segment on its storage node (intra-node
+  /// shared-nothing sharding), or kLaneUnassigned.
+  int lane() const { return lane_; }
+  void set_lane(int lane) { lane_ = lane; }
 
   /// Insert a record. Fails with ResourceExhausted when all 4096 pages are
   /// full, AlreadyExists on duplicate key.
@@ -55,7 +69,7 @@ class Segment {
 
   Status Delete(Key key);
 
-  bool Contains(Key key) const { return pk_index_.Contains(key) ; }
+  bool Contains(Key key) const { return pk_index_->Contains(key); }
   Result<RecordPos> Locate(Key key) const;
 
   /// Visit records with keys in [lo, hi) in key order; fn returns false to
@@ -66,7 +80,7 @@ class Segment {
   /// Visit every record in key order.
   size_t ScanAll(const std::function<bool(const Record&)>& fn) const;
 
-  size_t record_count() const { return pk_index_.size(); }
+  size_t record_count() const { return pk_index_->size(); }
   /// Number of materialized pages.
   size_t page_count() const { return pages_.size(); }
   /// Index of the page holding `pos` for buffer-manager addressing.
@@ -78,7 +92,12 @@ class Segment {
   /// Bytes this segment occupies on disk (whole pages).
   size_t DiskBytes() const { return pages_.size() * kPageSize; }
   /// Heap bytes of the segment-local index.
-  size_t IndexBytes() const { return pk_index_.MemoryBytes(); }
+  size_t IndexBytes() const { return pk_index_->MemoryBytes(); }
+
+  /// Structure backing the segment-local index, and its relative point-
+  /// probe cost (the CPU model scales cpu_index_probe_us by this).
+  index::IndexKind index_kind() const { return pk_index_->kind(); }
+  double probe_cost_factor() const { return pk_index_->probe_cost_factor(); }
 
   /// Smallest/largest key present (0/0 when empty).
   Key MinKey() const;
@@ -107,8 +126,9 @@ class Segment {
   SegmentId id_;
   NodeId storage_node_;
   DiskId disk_;
+  int lane_ = kLaneUnassigned;
   std::vector<std::unique_ptr<Page>> pages_;
-  index::BTree<RecordPos> pk_index_;
+  std::unique_ptr<index::RecordIndex> pk_index_;
   /// First page that might have room, to keep inserts O(1) amortized.
   size_t insert_cursor_ = 0;
   mutable int64_t reads_ = 0;

@@ -4,7 +4,7 @@ namespace wattdb::storage {
 
 Segment* SegmentManager::Create(NodeId node, DiskId disk) {
   const SegmentId id(next_id_++);
-  auto seg = std::make_unique<Segment>(id, node, disk);
+  auto seg = std::make_unique<Segment>(id, node, disk, index_kind_);
   Segment* raw = seg.get();
   segments_.emplace(id, std::move(seg));
   return raw;

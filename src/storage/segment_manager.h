@@ -20,6 +20,11 @@ class SegmentManager {
   SegmentManager(const SegmentManager&) = delete;
   SegmentManager& operator=(const SegmentManager&) = delete;
 
+  /// Structure backing every subsequently-created segment's local index
+  /// (cluster-wide, fixed at Db::Open; see DbOptions::WithIndexKind).
+  void set_index_kind(index::IndexKind kind) { index_kind_ = kind; }
+  index::IndexKind index_kind() const { return index_kind_; }
+
   /// Create a fresh segment stored on (node, disk).
   Segment* Create(NodeId node, DiskId disk);
 
@@ -42,6 +47,7 @@ class SegmentManager {
 
  private:
   uint32_t next_id_ = 1;
+  index::IndexKind index_kind_ = index::IndexKind::kBTree;
   std::unordered_map<SegmentId, std::unique_ptr<Segment>> segments_;
 };
 

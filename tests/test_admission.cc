@@ -149,9 +149,10 @@ TEST(Admission, AddKvWorkloadValidatesRetryKnobs) {
 TEST(Admission, ShedSurfacesAsResourceExhaustedAndDrains) {
   admission::AdmissionPolicy ap;
   ap.enabled = true;
-  // An upsert of a fresh key is two admissions (update probe + insert), so
-  // cap 2 lets exactly one autocommit Put through.
-  ap.max_queue_ops = 2;
+  // An upsert of a fresh key is ONE admission (RoutedUpsert folds the
+  // update probe and the insert into a single queued unit), so cap 1 lets
+  // exactly one autocommit Put through.
+  ap.max_queue_ops = 1;
   auto opened = Db::Open(DbOptions()
                              .WithNodes(2)
                              .WithActiveNodes(2)
@@ -180,6 +181,49 @@ TEST(Admission, ShedSurfacesAsResourceExhaustedAndDrains) {
   EXPECT_TRUE(session.Put(*table, 601, std::vector<uint8_t>(64, 0x02)).ok());
   db.RunFor(kUsPerSec);
   EXPECT_TRUE(session.Get(*table, 601).ok());
+}
+
+TEST(Admission, UpsertOfFreshKeyIsOneAdmissionUnit) {
+  // Regression (PR 7 follow-up): Session::Put of a fresh key used to run
+  // RoutedUpdate + RoutedInsert — two admission decisions (and two queued
+  // ops of depth) for one logical upsert. RoutedUpsert must take exactly
+  // one decision whether the key is fresh (update -> insert fall-through)
+  // or already present (plain update).
+  admission::AdmissionPolicy ap;
+  ap.enabled = true;
+  ap.max_queue_ops = 64;  // Roomy: counting decisions, not shedding.
+  auto opened = Db::Open(DbOptions()
+                             .WithNodes(2)
+                             .WithActiveNodes(2)
+                             .WithoutTpccLoad()
+                             .WithAdmissionPolicy(ap));
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  Db& db = **opened;
+  Session session = db.OpenSession();
+  StatusOr<TableId> table = db.CreateKvTable("kv", 64, 1024);
+  ASSERT_TRUE(table.ok());
+  const auto lat = admission::OpClass::kLatencySensitive;
+
+  // Fresh key: update probe misses, insert fall-through — one admission.
+  int64_t before = db.admission().admitted(lat);
+  ASSERT_TRUE(session.Put(*table, 600, std::vector<uint8_t>(64, 0x01)).ok());
+  EXPECT_EQ(db.admission().admitted(lat) - before, 1)
+      << "fresh-key upsert must be a single admission unit";
+
+  // Existing key: plain update — still one admission.
+  db.RunFor(kUsPerSec);
+  before = db.admission().admitted(lat);
+  ASSERT_TRUE(session.Put(*table, 600, std::vector<uint8_t>(64, 0x02)).ok());
+  EXPECT_EQ(db.admission().admitted(lat) - before, 1);
+  EXPECT_EQ(db.admission().shed_total(), 0);
+
+  // And the depth gauge agrees: one outstanding op right after the Put.
+  db.RunFor(kUsPerSec);
+  before = db.admission().admitted(lat);
+  ASSERT_TRUE(session.Put(*table, 601, std::vector<uint8_t>(64, 0x03)).ok());
+  EXPECT_EQ(db.admission().admitted(lat) - before, 1);
+  EXPECT_LE(TotalQueueDepth(db), 1)
+      << "a fresh-key upsert must occupy at most one queue slot";
 }
 
 TEST(Admission, BatchClassShedBeforeLatencySensitive) {

@@ -412,6 +412,68 @@ TEST(Replica, RebalanceMovingSourceRangeDropsTheReplica) {
   }
 }
 
+// --------------------------------------------------- placement anti-affinity
+
+TEST(Replica, PlanRebalanceAvoidsNodesHostingTheSegmentsReplica) {
+  DbOptions options = ReplicaOptions();
+  options.master.replica.drop_cold_after = 120 * kUsPerSec;
+  auto opened = Db::Open(options);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  Db& db = **opened;
+  Session session = db.OpenSession();
+  // Three active nodes: [0,512) master, [512,1024) node 1, [1024,1536)
+  // node 2; two segments per partition, so node 1 holds [512,768) and
+  // [768,1024).
+  StatusOr<TableId> table = db.CreateKvTable("kv", 64, 1536, 2);
+  ASSERT_TRUE(table.ok());
+  for (Key k = 520; k < 584; ++k) {
+    ASSERT_TRUE(session.Put(*table, k, std::vector<uint8_t>(64, 0xA0)).ok());
+  }
+  const SimTime t0 = db.Now();
+  while (db.replicas().replicas_caught_up() == 0 &&
+         db.Now() < t0 + 30 * kUsPerSec) {
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(session.Get(*table, 520 + (i % 64)).ok());
+    }
+    db.RunFor(kUsPerSec);
+  }
+  ASSERT_FALSE(db.replicas().replicas().empty());
+  // The only eligible standby host among 3 active nodes (not the master,
+  // not the source) is node 2.
+  const NodeId host = db.replicas().replicas().front()->host;
+  ASSERT_EQ(host, NodeId(2));
+  ASSERT_EQ(OwnerOf(db, *table, 520), NodeId(1));
+
+  // Rebalance everything onto the replica's host: every segment may move
+  // EXCEPT the replicated one — landing the authoritative copy next to its
+  // own standby would silently void the fan-out. The guard drops that move
+  // instead of redirecting it (the host is the only target).
+  const StatusOr<SimTime> moved = db.RebalanceAndWait({host}, 1.0);
+  ASSERT_TRUE(moved.ok()) << moved.status().ToString();
+  EXPECT_EQ(OwnerOf(db, *table, 520), NodeId(1))
+      << "replicated segment moved onto its replica's host";
+  EXPECT_EQ(OwnerOf(db, *table, 800), host)
+      << "anti-affinity must only protect the replicated range";
+  // The standby survives (its source range never changed owners) and the
+  // data plane is intact.
+  db.RunFor(3 * kUsPerSec);
+  EXPECT_EQ(db.replicas().replicas_dropped(), 0);
+  EXPECT_FALSE(db.cluster().catalog().ReplicaRoutes(*table).empty());
+  EXPECT_TRUE(db.cluster().catalog().CheckInvariants());
+  for (Key k = 520; k < 584; ++k) {
+    StatusOr<storage::Record> rec = session.Get(*table, k);
+    ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+    EXPECT_EQ(rec->payload, std::vector<uint8_t>(64, 0xA0));
+  }
+
+  // Control: a target NOT hosting the replica is still a legal destination
+  // for the same segment — the guard is replica-specific, not a blanket
+  // pin.
+  const StatusOr<SimTime> moved2 = db.RebalanceAndWait({NodeId(3)}, 1.0);
+  ASSERT_TRUE(moved2.ok()) << moved2.status().ToString();
+  EXPECT_EQ(OwnerOf(db, *table, 520), NodeId(3));
+}
+
 // ------------------------------------------------- promotion tie-breaking
 
 TEST(Replica, PromotionTieBreakPicksColdestHost) {
