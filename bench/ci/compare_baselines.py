@@ -25,10 +25,15 @@ any regression or missing file/metric.
 The benches run on simulated time, so the numbers are deterministic across
 machines — the 25% default margin absorbs intentional small recalibrations,
 not noise.
+
+When running under GitHub Actions (GITHUB_STEP_SUMMARY is set), the same
+comparison is appended to the job's step summary as a markdown table, so a
+reviewer sees every metric/baseline/current/delta without opening the log.
 """
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -52,6 +57,39 @@ def metric_map(doc: dict, path: Path) -> dict:
         if not isinstance(m, dict) or "name" not in m or "value" not in m:
             raise SystemExit(f"error: {path}: malformed metric entry {m!r}")
     return {m["name"]: m for m in metrics}
+
+
+def write_step_summary(rows, failures, warnings, threshold) -> None:
+    """Mirror the comparison into the GitHub job's step summary, if any."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    lines = ["## Bench comparison", ""]
+    if failures:
+        lines += [f"**{len(failures)} regression(s)** "
+                  f"(threshold {threshold:.0%}):", ""]
+        lines += [f"- {f}" for f in failures]
+        lines.append("")
+    else:
+        lines += [f"All gated metrics within {threshold:.0%} of baselines.",
+                  ""]
+    lines += ["| metric | dir | baseline | current | delta | status |",
+              "|---|---|---:|---:|---:|---|"]
+    for bench, name, direction, old, new, delta, status in rows:
+        old_s = f"{old:g}" if old is not None else "-"
+        new_s = f"{new:g}" if new is not None else "-"
+        marker = "**REGRESSED**" if status == "REGRESSED" else status
+        lines.append(f"| {bench}/{name} | {direction} | {old_s} | {new_s} "
+                     f"| {delta:+.1%} | {marker} |")
+    if warnings:
+        lines.append("")
+        lines += [f"- :warning: {w}" for w in warnings]
+    try:
+        with open(path, "a") as f:
+            f.write("\n".join(lines) + "\n")
+    except OSError as e:
+        # The summary is a convenience; never let it mask the real verdict.
+        print(f"warning: cannot write step summary: {e}", file=sys.stderr)
 
 
 def main() -> int:
@@ -143,6 +181,8 @@ def main() -> int:
         print(f"\n{len(warnings)} warning(s):", file=sys.stderr)
         for w in warnings:
             print(f"  WARNING: {w}", file=sys.stderr)
+
+    write_step_summary(rows, failures, warnings, args.threshold)
 
     if failures:
         print(f"\n{len(failures)} regression(s) against "

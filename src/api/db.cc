@@ -230,6 +230,19 @@ StatusOr<std::unique_ptr<Db>> Db::Open(DbOptions options) {
           std::to_string(crash.at_replica_progress));
     }
   }
+  for (const fault::FaultPlan::NetSplit& split : options.fault_plan.splits) {
+    if (!split.node.valid() ||
+        split.node.value() >= static_cast<uint32_t>(options.cluster.num_nodes)) {
+      return Status::InvalidArgument(
+          "fault plan partitions node " + std::to_string(split.node.value()) +
+          " outside the cluster of " +
+          std::to_string(options.cluster.num_nodes) + " nodes");
+    }
+    if (split.node.value() == 0) {
+      return Status::InvalidArgument(
+          "fault plan cannot partition the master (node 0) from itself");
+    }
+  }
   if (options.load_tpcc && options.load.home_nodes.empty()) {
     return Status::InvalidArgument("TPC-C load needs at least one home node");
   }
@@ -545,5 +558,11 @@ StatusOr<fault::RecoveryReport> Db::RestartNodeAndWait(NodeId node,
   }
   return **report;
 }
+
+Status Db::PartitionNode(NodeId node) {
+  return cluster_->PartitionNode(node);
+}
+
+Status Db::HealPartition(NodeId node) { return cluster_->HealPartition(node); }
 
 }  // namespace wattdb

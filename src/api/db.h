@@ -143,6 +143,17 @@ class Db {
   StatusOr<fault::RecoveryReport> RestartNodeAndWait(
       NodeId node, SimTime max_wait = 60 * kUsPerSec);
 
+  /// Cut the master<->node control link: the failure detector stops seeing
+  /// `node`'s heartbeats while its data path keeps serving — the master
+  /// will declare it dead and fail its replicated ranges over, and epoch
+  /// fencing keeps the still-alive owner from serving a moved route.
+  /// Never the master (InvalidArgument).
+  Status PartitionNode(NodeId node);
+
+  /// Restore the control link and reconcile the node's stale copies (see
+  /// cluster::Cluster::HealPartition).
+  Status HealPartition(NodeId node);
+
   /// The crash scheduler (armed from DbOptions::WithFaultPlan; scenarios
   /// can Schedule more, e.g. "crash the target at 50% progress").
   fault::FaultInjector& fault() { return *fault_; }

@@ -289,7 +289,8 @@ std::vector<ReplicaRoute> GlobalPartitionTable::ReplicaRoutes(
 
 Status GlobalPartitionTable::PromoteReplica(TableId table,
                                             const KeyRange& range,
-                                            PartitionId replica) {
+                                            PartitionId replica,
+                                            uint64_t fence_epoch) {
   auto pit = partitions_.find(replica);
   if (pit == partitions_.end()) return Status::NotFound("unknown partition");
   if (pit->second->table() != table) {
@@ -303,6 +304,15 @@ Status GlobalPartitionTable::PromoteReplica(TableId table,
   for (const RouteEntry& e : RoutesInRange(table, range)) {
     if (e.secondary.valid()) {
       return Status::FailedPrecondition("move in flight over range");
+    }
+    // Conditional flip: an entry restamped past the fence means the deposed
+    // owner reclaimed the range (full redo) after the standby's state cut —
+    // installing the standby now would drop every write served since.
+    if (fence_epoch > 0 && e.epoch > fence_epoch) {
+      return Status::FailedPrecondition(
+          "fence superseded (entry epoch " + std::to_string(e.epoch) +
+          " > fence " + std::to_string(fence_epoch) +
+          "): range reclaimed since the promotion's state cut");
     }
   }
   RangeMap& rm = rit->second;
@@ -320,6 +330,26 @@ Status GlobalPartitionTable::PromoteReplica(TableId table,
   (void)RemoveReplicaRoute(table, replica);
   pit->second->set_is_replica(false);
   return Status::OK();
+}
+
+uint64_t GlobalPartitionTable::FenceRange(TableId table,
+                                          const KeyRange& range) {
+  auto rit = routes_.find(table);
+  if (rit == routes_.end() || range.Empty()) return 0;
+  RangeMap& rm = rit->second;
+  SplitAt(&rm, range.lo);
+  SplitAt(&rm, range.hi);
+  uint64_t fence = 0;
+  for (auto it = rm.lower_bound(range.lo);
+       it != rm.end() && it->second.range.lo < range.hi; ++it) {
+    // Bump the entry's epoch but deliberately do NOT mirror it into the
+    // primary's route_epoch: the owner's claim token is now behind the
+    // entry, which is exactly the "fenced" condition the routing layer
+    // and ReclaimRange test for.
+    it->second.epoch = ++next_epoch_;
+    fence = it->second.epoch;
+  }
+  return fence;
 }
 
 uint64_t GlobalPartitionTable::EpochOf(TableId table, Key key) const {
@@ -347,7 +377,23 @@ Status GlobalPartitionTable::ReclaimRange(TableId table, const KeyRange& range,
           std::to_string(claim_epoch) + ")");
     }
   }
-  if (all_claimant) return Status::OK();  // Routes survived the crash intact.
+  if (all_claimant) {
+    // Routes survived the crash intact. Heal any orphaned fence: entries
+    // still naming the claimant as primary but stamped past its token mean
+    // a promotion fenced the range and never flipped (the standby died
+    // first). The claimant just replayed its full WAL, so its copy is
+    // authoritative again — restamp so routing serves it once more.
+    RangeMap& rm = routes_.find(table)->second;
+    auto it = rm.upper_bound(range.lo);
+    if (it != rm.begin()) --it;  // Predecessor may straddle range.lo.
+    for (; it != rm.end() && it->second.range.lo < range.hi; ++it) {
+      if (it->second.range.hi <= range.lo) continue;
+      if (it->second.primary == claimant && it->second.epoch > claim_epoch) {
+        StampEpoch(&it->second);
+      }
+    }
+    return Status::OK();
+  }
   return AssignRange(table, range, claimant);
 }
 

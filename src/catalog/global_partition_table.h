@@ -119,8 +119,26 @@ class GlobalPartitionTable {
   /// `range`, bumping the covered entries' epoch so the deposed owner's
   /// later reclaim is fenced off. Refused (FailedPrecondition) while a
   /// move is in flight over the range. Consumes the replica route.
+  ///
+  /// `fence_epoch` > 0 makes the flip conditional (compare-and-swap): it is
+  /// refused when any covered entry's epoch moved past the fence since
+  /// FenceRange stamped it — the deposed owner finished a full redo in the
+  /// meantime and reclaimed the range, so the standby's snapshot (cut at
+  /// fence time) would silently drop the writes the owner served since.
   Status PromoteReplica(TableId table, const KeyRange& range,
-                        PartitionId replica);
+                        PartitionId replica, uint64_t fence_epoch = 0);
+
+  /// Seal the current primary of every entry covering `range`: bump the
+  /// entries' epoch WITHOUT mirroring it into the primary partition's
+  /// route_epoch. The owner's claim token is now stale, so (a) the routing
+  /// layer's epoch check refuses to serve the range through it and (b) a
+  /// later ReclaimRange under the old token is superseded. Promotion calls
+  /// this before reading the deposed owner's final log tail — from that
+  /// instant no write can land on the old owner and miss the flip, even if
+  /// the owner is merely partitioned from the master and still alive.
+  /// Returns the fence epoch (to pass to the conditional PromoteReplica),
+  /// or 0 when nothing covers the range.
+  uint64_t FenceRange(TableId table, const KeyRange& range);
 
   /// Epoch of the entry covering `key` (0 if unrouted).
   uint64_t EpochOf(TableId table, Key key) const;
@@ -129,7 +147,11 @@ class GlobalPartitionTable {
   /// covering entries already name the claimant; FailedPrecondition if any
   /// covering entry carries an epoch newer than `claim_epoch` (the range
   /// was promoted away while the claimant was down — its copy is stale);
-  /// otherwise assigns the range like AssignRange.
+  /// otherwise assigns the range like AssignRange. Entries that still name
+  /// the claimant as primary but were fenced past its token (a promotion
+  /// started and never flipped — the standby died first) are restamped:
+  /// the claimant just replayed its full WAL, so its copy is authoritative
+  /// again and the orphaned fence must not refuse it forever.
   Status ReclaimRange(TableId table, const KeyRange& range,
                       PartitionId claimant, uint64_t claim_epoch);
 

@@ -1,0 +1,454 @@
+// The chaos scenario runner: one seed -> one randomized topology, master
+// policy, fault schedule, and KV workload, all drawn from a single Rng so
+// the whole scenario replays deterministically. The shapes it throws at
+// the cluster are the ones the self-healing stack claims to survive:
+// simultaneous crashes, crash loops bouncing against exclude_after_crashes,
+// crashes at migration/replica-catch-up progress (a survivor dying
+// mid-drain while a heat move is in flight falls out of the combinations),
+// and master<->node partitions where the deposed owner keeps committing
+// until epoch fencing cuts it off.
+
+#include <string>
+#include <vector>
+
+#include "api/db.h"
+#include "chaos/chaos.h"
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace wattdb::chaos {
+
+std::vector<uint8_t> EncodePayload(Key key, uint64_t seq) {
+  std::vector<uint8_t> p(16);
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<uint8_t>((key >> (8 * i)) & 0xff);
+    p[8 + i] = static_cast<uint8_t>((seq >> (8 * i)) & 0xff);
+  }
+  return p;
+}
+
+bool DecodePayload(const std::vector<uint8_t>& payload, Key* key,
+                   uint64_t* seq) {
+  if (payload.size() != 16) return false;
+  *key = 0;
+  *seq = 0;
+  for (int i = 0; i < 8; ++i) {
+    *key |= static_cast<Key>(payload[i]) << (8 * i);
+    *seq |= static_cast<uint64_t>(payload[8 + i]) << (8 * i);
+  }
+  return true;
+}
+
+namespace {
+
+/// One workload transaction: 1-4 randomized ops (Zipf-skewed keys so some
+/// segments run hot enough to earn replicas and heat moves), then commit,
+/// deliberate abort, or — when the data path refused an op mid-txn — a
+/// forced abort. Ground truth is updated only from *definite* outcomes; a
+/// failed Commit() leaves its keys fuzzy (the fault may have landed after
+/// the commit point, so asserting either outcome would be wrong).
+void RunOneTxn(Session* session, TableId table, const ChaosConfig& config,
+               Rng* rng, uint64_t* next_seq, GroundTruth* truth) {
+  struct StagedOp {
+    bool is_delete;
+    Key key;
+    uint64_t seq;  // 0 for deletes
+  };
+  TxnHandle txn = session->Begin();
+  std::vector<StagedOp> staged;
+  bool doomed = false;
+  const int ops = static_cast<int>(rng->UniformInt(1, 4));
+  for (int i = 0; i < ops && !doomed; ++i) {
+    const Key key =
+        rng->UniformDouble() < 0.5
+            ? static_cast<Key>(rng->Zipf(config.max_key, 0.8))
+            : static_cast<Key>(
+                  rng->UniformInt(0, static_cast<int64_t>(config.max_key) - 1));
+    const double roll = rng->UniformDouble();
+    if (roll < 0.55) {
+      const uint64_t seq = (*next_seq)++;
+      const Status put = txn.Put(table, key, EncodePayload(key, seq));
+      if (put.ok()) {
+        staged.push_back({false, key, seq});
+      } else {
+        ++truth->refused_ops;
+        doomed = true;
+      }
+    } else if (roll < 0.65) {
+      const Status del = txn.Delete(table, key);
+      if (del.ok()) {
+        staged.push_back({true, key, 0});
+      } else if (!del.IsNotFound()) {
+        ++truth->refused_ops;
+        doomed = true;
+      }
+    } else if (roll < 0.90) {
+      (void)txn.Get(table, key);
+    } else {
+      const KeyRange r{key, std::min<Key>(key + 64, config.max_key)};
+      (void)txn.Scan(table, r, [](const storage::Record&) { return true; });
+    }
+  }
+  if (doomed || rng->UniformDouble() < 0.08) {
+    txn.Abort();
+    for (const StagedOp& op : staged) {
+      if (!op.is_delete) truth->aborted.insert({op.key, op.seq});
+    }
+    ++truth->aborted_txns;
+    return;
+  }
+  const Status committed = txn.Commit();
+  if (committed.ok()) {
+    for (const StagedOp& op : staged) {
+      if (op.is_delete) {
+        truth->committed.erase(op.key);
+      } else {
+        truth->committed[op.key] = op.seq;
+      }
+      // A definite outcome supersedes any earlier indeterminate one.
+      truth->fuzzy.erase(op.key);
+    }
+    ++truth->committed_txns;
+  } else {
+    for (const StagedOp& op : staged) truth->fuzzy.insert(op.key);
+    ++truth->indeterminate_txns;
+  }
+}
+
+/// Occasional batched upsert exercising the owner-grouped MultiPut path. A
+/// committed batch applies exactly the per-key OK statuses; a refused key
+/// inside a committed batch definitely did not apply, so its seq joins the
+/// aborted set (it must never surface).
+void RunMultiPut(Session* session, TableId table, const ChaosConfig& config,
+                 Rng* rng, uint64_t* next_seq, GroundTruth* truth) {
+  const int n = static_cast<int>(rng->UniformInt(2, 8));
+  std::vector<cluster::KeyValue> kvs;
+  std::vector<uint64_t> seqs;
+  kvs.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const Key key = static_cast<Key>(
+        rng->UniformInt(0, static_cast<int64_t>(config.max_key) - 1));
+    const uint64_t seq = (*next_seq)++;
+    kvs.push_back({key, EncodePayload(key, seq)});
+    seqs.push_back(seq);
+  }
+  auto batch = session->MultiPut(table, kvs);
+  if (!batch.ok()) {
+    for (const auto& kv : kvs) truth->fuzzy.insert(kv.key);
+    ++truth->indeterminate_txns;
+    return;
+  }
+  for (int i = 0; i < n; ++i) {
+    if (batch.value().statuses[i].ok()) {
+      truth->committed[kvs[i].key] = seqs[i];
+      truth->fuzzy.erase(kvs[i].key);
+    } else {
+      truth->aborted.insert({kvs[i].key, seqs[i]});
+      ++truth->refused_ops;
+    }
+  }
+  ++truth->committed_txns;
+}
+
+/// Empty string when the cluster has re-converged; otherwise the first
+/// condition still violated (reported when the settle timeout expires).
+std::string ConvergenceBlocker(Db& db, TableId table) {
+  const int n = db.cluster().num_nodes();
+  for (int i = 1; i < n; ++i) {
+    const NodeId id(static_cast<uint32_t>(i));
+    if (db.master().IsExcluded(id)) continue;
+    if (db.recovery().IsDown(id)) {
+      return "node " + std::to_string(i) + " still down";
+    }
+    if (db.cluster().IsPartitioned(id)) {
+      return "node " + std::to_string(i) + " still partitioned";
+    }
+  }
+  if (db.scheme().InProgress()) return "rebalance still in progress";
+  for (const auto& entry : db.cluster().catalog().AllRoutes(table)) {
+    if (entry.secondary.valid()) {
+      return "move still in flight over [" + std::to_string(entry.range.lo) +
+             ", " + std::to_string(entry.range.hi) + ")";
+    }
+    const catalog::Partition* p =
+        db.cluster().catalog().GetPartition(entry.primary);
+    if (p == nullptr) return "route names a dropped partition";
+    if (p->route_epoch() < entry.epoch) {
+      return "orphaned fence over [" + std::to_string(entry.range.lo) + ", " +
+             std::to_string(entry.range.hi) + ")";
+    }
+    if (p->state() != catalog::PartitionState::kNormal) {
+      // kForwarding is a legitimate post-move grace window; wait it out.
+      return "partition " + std::to_string(p->id().value()) +
+             " still in a move state";
+    }
+    cluster::Node* owner = db.cluster().node(p->owner());
+    if (owner == nullptr || !owner->IsActive()) {
+      return "range owned by inactive node " +
+             std::to_string(p->owner().value());
+    }
+  }
+  for (const auto& rep : db.replicas().replicas()) {
+    cluster::Node* host = db.cluster().node(rep->host);
+    if (host == nullptr || !host->IsActive()) {
+      return "replica hosted on inactive node " +
+             std::to_string(rep->host.value());
+    }
+  }
+  if (db.master().OverloadPressure()) return "overload pressure not cleared";
+  return "";
+}
+
+}  // namespace
+
+ScenarioResult RunScenario(const ChaosConfig& config) {
+  ScenarioResult result;
+  result.seed = config.seed;
+  Rng rng(config.seed);
+
+  // --- Topology + policy, drawn from the seed ----------------------------
+  const int num_nodes =
+      static_cast<int>(rng.UniformInt(config.min_nodes, config.max_nodes));
+  result.nodes = num_nodes;
+
+  cluster::MasterPolicy policy;
+  policy.check_period = 500 * kUsPerMs;
+  policy.stats_window = 2 * kUsPerSec;
+  policy.trigger_after = 1;
+  policy.enable_scale_out = false;
+  policy.enable_scale_in = false;
+  policy.recovery.auto_heal = true;
+  policy.recovery.declare_dead_after = 2;
+  policy.recovery.restart_backoff =
+      rng.UniformDouble() < 0.5 ? 0 : 500 * kUsPerMs;
+  policy.recovery.exclude_after_crashes =
+      rng.UniformDouble() < 0.35 ? static_cast<int>(rng.UniformInt(2, 3)) : 0;
+  if (rng.UniformDouble() < 0.8) {
+    policy.replica.enabled = true;
+    policy.replica.replicas_per_segment = 1;
+    policy.replica.heat_threshold = 1.0;
+    policy.replica.max_replicated_segments = 4;
+    policy.replica.max_lag_records = 64;
+    policy.replica.promote_on_failure = true;
+    policy.replica.drop_cold_after = 60 * kUsPerSec;
+  }
+  if (rng.UniformDouble() < 0.5) {
+    policy.balance.enabled = true;
+    policy.balance.trigger_ratio = 1.2;
+    policy.balance.trigger_after = 1;
+    policy.balance.min_total_heat = 1.0;
+    policy.balance.cooldown = 5 * kUsPerSec;
+    policy.balance.max_moves_per_round = 2;
+  }
+  result.timeline.push_back(
+      "plan: nodes=" + std::to_string(num_nodes) +
+      " replicas=" + std::string(policy.replica.enabled ? "on" : "off") +
+      " balance=" + std::string(policy.balance.enabled ? "on" : "off") +
+      " exclude_after=" +
+      std::to_string(policy.recovery.exclude_after_crashes) +
+      " fencing=" + std::string(config.epoch_fencing ? "on" : "off"));
+
+  // --- Fault schedule ----------------------------------------------------
+  const SimTime fault_lo = 2 * kUsPerSec;
+  const SimTime fault_hi = config.workload_duration > 4 * kUsPerSec
+                               ? config.workload_duration - 2 * kUsPerSec
+                               : config.workload_duration;
+  auto pick_node = [&]() {
+    return NodeId(static_cast<uint32_t>(rng.UniformInt(1, num_nodes - 1)));
+  };
+  auto pick_at = [&]() {
+    return static_cast<SimTime>(rng.UniformInt(fault_lo, fault_hi));
+  };
+  fault::FaultPlan plan;
+
+  // Every scenario carries at least one partition — the tentpole path
+  // (heartbeats lost, data path alive, fencing on the eventual handoff).
+  {
+    const NodeId node = pick_node();
+    const SimTime at = pick_at();
+    const SimTime heal =
+        rng.UniformDouble() < 0.5
+            ? static_cast<SimTime>(rng.UniformInt(4, 8)) * kUsPerSec
+            : 0;
+    plan.PartitionAt(node, at, heal);
+    result.timeline.push_back(
+        "plan: partition node " + std::to_string(node.value()) + " at " +
+        FormatSimTime(at) +
+        (heal > 0 ? " heal_after " + FormatSimTime(heal) : " (no auto-heal)"));
+  }
+  const int extra_faults = static_cast<int>(rng.UniformInt(1, 4));
+  for (int i = 0; i < extra_faults; ++i) {
+    const NodeId node = pick_node();
+    switch (rng.UniformInt(0, 6)) {
+      case 0: {  // Crash with auto-restart.
+        const SimTime at = pick_at();
+        const SimTime restart =
+            static_cast<SimTime>(rng.UniformInt(2, 6)) * kUsPerSec;
+        plan.CrashAt(node, at, restart);
+        result.timeline.push_back("plan: crash node " +
+                                  std::to_string(node.value()) + " at " +
+                                  FormatSimTime(at) + " restart_after " +
+                                  FormatSimTime(restart));
+        break;
+      }
+      case 1: {  // Crash that stays down until the heal phase.
+        const SimTime at = pick_at();
+        plan.CrashAt(node, at, 0);
+        result.timeline.push_back("plan: crash node " +
+                                  std::to_string(node.value()) + " at " +
+                                  FormatSimTime(at) + " (stays down)");
+        break;
+      }
+      case 2: {  // Two nodes at the same instant.
+        NodeId other = pick_node();
+        if (other == node) {
+          other = NodeId(static_cast<uint32_t>(node.value() % (num_nodes - 1) +
+                                               1));
+        }
+        const SimTime at = pick_at();
+        const SimTime restart =
+            static_cast<SimTime>(rng.UniformInt(3, 5)) * kUsPerSec;
+        plan.CrashAt(node, at, restart).CrashAt(other, at, restart);
+        result.timeline.push_back(
+            "plan: simultaneous crash of nodes " +
+            std::to_string(node.value()) + " and " +
+            std::to_string(other.value()) + " at " + FormatSimTime(at));
+        break;
+      }
+      case 3: {  // Crash loop (bounces against exclude_after_crashes).
+        const SimTime period =
+            static_cast<SimTime>(rng.UniformInt(4, 8)) * kUsPerSec;
+        const SimTime restart =
+            static_cast<SimTime>(rng.UniformInt(1, 2)) * kUsPerSec;
+        plan.CrashEvery(node, period, restart);
+        result.timeline.push_back(
+            "plan: crash loop on node " + std::to_string(node.value()) +
+            " every " + FormatSimTime(period));
+        break;
+      }
+      case 4: {  // Survivor dies while a heat move is in flight.
+        const double frac = 0.2 + 0.6 * rng.UniformDouble();
+        plan.CrashAtMigrationProgress(node, frac, 3 * kUsPerSec);
+        result.timeline.push_back("plan: crash node " +
+                                  std::to_string(node.value()) +
+                                  " at migration progress " +
+                                  std::to_string(frac));
+        break;
+      }
+      case 5: {  // Owner dies during replica catch-up.
+        const double frac = 0.3 + 0.6 * rng.UniformDouble();
+        plan.CrashAtReplicaProgress(node, frac, 3 * kUsPerSec);
+        result.timeline.push_back("plan: crash node " +
+                                  std::to_string(node.value()) +
+                                  " at replica progress " +
+                                  std::to_string(frac));
+        break;
+      }
+      default: {  // A second partition.
+        const SimTime at = pick_at();
+        const SimTime heal =
+            static_cast<SimTime>(rng.UniformInt(3, 7)) * kUsPerSec;
+        plan.PartitionAt(node, at, heal);
+        result.timeline.push_back("plan: partition node " +
+                                  std::to_string(node.value()) + " at " +
+                                  FormatSimTime(at) + " heal_after " +
+                                  FormatSimTime(heal));
+        break;
+      }
+    }
+  }
+
+  // --- Open --------------------------------------------------------------
+  auto opened = Db::Open(DbOptions()
+                             .WithNodes(num_nodes)
+                             .WithActiveNodes(num_nodes)
+                             .WithSeed(config.seed)
+                             .WithoutTpccLoad()
+                             .WithMasterLoop(policy)
+                             .WithFaultPlan(plan)
+                             .WithSampling(false));
+  if (!opened.ok()) {
+    result.violations.push_back("Db::Open failed: " +
+                                opened.status().ToString());
+    return result;
+  }
+  Db& db = *opened.value();
+  db.cluster().set_epoch_fencing(config.epoch_fencing);
+  auto created = db.CreateKvTable("chaos", 16, config.max_key,
+                                  /*segments_per_partition=*/2);
+  if (!created.ok()) {
+    result.violations.push_back("CreateKvTable failed: " +
+                                created.status().ToString());
+    return result;
+  }
+  const TableId table = created.value();
+
+  // --- Workload against the armed fault schedule -------------------------
+  Session session = db.OpenSession();
+  GroundTruth truth;
+  uint64_t next_seq = 1;
+  const SimTime t_end = db.Now() + config.workload_duration;
+  while (db.Now() < t_end) {
+    const int txns = static_cast<int>(rng.UniformInt(2, 5));
+    for (int i = 0; i < txns; ++i) {
+      RunOneTxn(&session, table, config, &rng, &next_seq, &truth);
+    }
+    if (rng.UniformDouble() < 0.2) {
+      RunMultiPut(&session, table, config, &rng, &next_seq, &truth);
+    }
+    db.RunFor(250 * kUsPerMs);
+  }
+
+  // --- Heal: disarm, reconnect, restart, wait for re-convergence ---------
+  db.fault().Disarm();
+  result.timeline.push_back("t=" + FormatSimTime(db.Now()) +
+                            " heal phase begins");
+  for (int i = 1; i < num_nodes; ++i) {
+    const NodeId id(static_cast<uint32_t>(i));
+    if (db.cluster().IsPartitioned(id)) (void)db.HealPartition(id);
+  }
+  const SimTime settle_deadline = db.Now() + config.settle_timeout;
+  std::string blocker = ConvergenceBlocker(db, table);
+  while (!blocker.empty() && db.Now() < settle_deadline) {
+    for (int i = 1; i < num_nodes; ++i) {
+      const NodeId id(static_cast<uint32_t>(i));
+      if (db.recovery().IsDown(id) && !db.master().IsExcluded(id)) {
+        (void)db.RestartNode(id);
+      }
+      if (db.cluster().IsPartitioned(id)) (void)db.HealPartition(id);
+    }
+    db.RunFor(kUsPerSec);
+    blocker = ConvergenceBlocker(db, table);
+  }
+  if (!blocker.empty()) {
+    result.violations.push_back(
+        "cluster failed to re-converge within settle timeout: " + blocker);
+  }
+
+  // --- Invariant audit ---------------------------------------------------
+  for (std::string& v : CheckInvariants(db, table, config.max_key, truth)) {
+    result.violations.push_back(std::move(v));
+  }
+
+  // --- Report ------------------------------------------------------------
+  for (const auto& e : db.control_events()) {
+    result.timeline.push_back("t=" + FormatSimTime(e.at) + " " +
+                              cluster::ToString(e.type) + " node=" +
+                              std::to_string(e.node.value()) +
+                              (e.detail.empty() ? "" : " " + e.detail));
+  }
+  result.crashes_injected = db.fault().crashes_injected();
+  result.partitions_injected = db.fault().partitions_injected();
+  result.restarts_injected = db.fault().restarts_injected();
+  result.nodes_declared_dead = db.master().nodes_declared_dead();
+  result.replicas_promoted = db.replicas().replicas_promoted();
+  result.stale_route_refusals = db.cluster().stale_route_refusals();
+  result.committed_txns = truth.committed_txns;
+  result.aborted_txns = truth.aborted_txns;
+  result.indeterminate_txns = truth.indeterminate_txns;
+  result.sim_end = db.Now();
+  result.passed = result.violations.empty();
+  return result;
+}
+
+}  // namespace wattdb::chaos

@@ -95,6 +95,92 @@ Status Cluster::PowerOff(NodeId id) {
   return Status::OK();
 }
 
+Status Cluster::PartitionNode(NodeId id) {
+  Node* n = node(id);
+  if (n == nullptr) return Status::NotFound("no such node");
+  if (n->IsMaster()) {
+    return Status::InvalidArgument(
+        "cannot partition the master from itself: it holds the catalog");
+  }
+  if (!n->IsActive()) {
+    return Status::FailedPrecondition(
+        "node " + std::to_string(id.value()) +
+        " is down; a partition separates a *live* node from the master");
+  }
+  if (!partitioned_.insert(id).second) {
+    return Status::AlreadyExists("node already partitioned");
+  }
+  WATTDB_INFO("net: node " << id.value() << " partitioned from master at t="
+                           << ToSeconds(clock_.Now()) << "s");
+  return Status::OK();
+}
+
+Status Cluster::HealPartition(NodeId id) {
+  Node* n = node(id);
+  if (n == nullptr) return Status::NotFound("no such node");
+  if (partitioned_.erase(id) == 0) {
+    return Status::NotFound("node is not partitioned");
+  }
+  // Reconcile what happened while the node was deposed. Unlike a crash
+  // restart there is no redo pass — the node never lost anything — so the
+  // catalog walk happens here.
+  for (catalog::Partition* p : catalog_.PartitionsOwnedBy(id)) {
+    if (p->is_replica()) continue;
+    // A fixed claim token for the whole walk: restamping one range must
+    // not inflate the claim the next range is judged under.
+    const uint64_t token = p->route_epoch();
+    for (const auto& entry : p->top_index().All()) {
+      const auto route = catalog_.Route(p->table(), entry.range.lo);
+      if (route.has_value() && route->primary == p->id()) {
+        // Still the owner. Heal any orphaned fence (promotion sealed the
+        // range but the flip never landed — the standby died first): the
+        // live owner lost nothing, so restamp it authoritative again.
+        // Per covering sub-entry, since a split range may be part-promoted.
+        for (const auto& sub :
+             catalog_.RoutesInRange(p->table(), entry.range)) {
+          if (sub.primary != p->id() || sub.epoch <= token) continue;
+          const Status heal =
+              catalog_.ReclaimRange(p->table(), sub.range, p->id(), token);
+          WATTDB_CHECK_MSG(heal.ok(),
+                           "fence heal failed: " << heal.ToString());
+        }
+        continue;
+      }
+      if (route.has_value() && route->secondary == p->id()) continue;
+      // The range was promoted away while this node was deposed. The
+      // catalog's owner has been taking writes — this copy is stale and
+      // must be dropped, never reclaimed (reclaiming would doubly-serve
+      // every write the new owner committed).
+      (void)p->DetachSegment(entry.segment);
+      n->buffer().InvalidateSegment(entry.segment);
+      (void)segments_.Drop(entry.segment);
+      WATTDB_INFO("net: node " << id.value() << " heal: stale copy of ["
+                               << entry.range.lo << "," << entry.range.hi
+                               << ") dropped");
+    }
+    if (p->top_index().All().empty() && catalog_.RouteRefs(p->id()) == 0) {
+      (void)catalog_.DropPartition(p->id());
+    }
+  }
+  WATTDB_INFO("net: node " << id.value() << " rejoined at t="
+                           << ToSeconds(clock_.Now()) << "s");
+  return Status::OK();
+}
+
+bool Cluster::EntryFenced(const catalog::RouteEntry& entry) const {
+  if (!epoch_fencing_) return false;
+  const catalog::Partition* p = catalog_.GetPartition(entry.primary);
+  return p != nullptr && p->route_epoch() < entry.epoch;
+}
+
+Status Cluster::NoRouteStatus(TableId table, Key key) const {
+  auto entry = catalog_.Route(table, key);
+  if (entry.has_value() && EntryFenced(*entry)) {
+    return Status::Unavailable("route fenced: ownership handoff in flight");
+  }
+  return Status::NotFound("no route");
+}
+
 double Cluster::WattsIn(SimTime from, SimTime to) const {
   if (to <= from) return 0.0;
   double watts = power_model_.SwitchWatts();
@@ -161,8 +247,14 @@ void Cluster::AbortTxn(tx::Txn* txn) {
       }
     }
     // Record exists at neither (aborted delete whose tombstone must be
-    // undone by re-insertion): prefer the newer location when a move is in
-    // flight, the primary otherwise.
+    // undone by re-insertion). The restore needs a partition whose top
+    // index covers the key: mid-move the newer location may not have
+    // attached its segment yet, and aiming the undo at a segmentless
+    // partition would silently drop the re-insertion (a committed record
+    // deleted-then-aborted would stay deleted). Prefer the newer location
+    // only when it can actually take the record.
+    if (second != nullptr && second->SegmentFor(key).valid()) return second;
+    if (first != nullptr && first->SegmentFor(key).valid()) return first;
     if (second != nullptr) return second;
     return first;
   };
@@ -224,6 +316,10 @@ catalog::Partition* Cluster::ResolveRoute(tx::Txn* txn,
 catalog::Partition* Cluster::Route(tx::Txn* txn, TableId table, Key key) {
   auto entry = catalog_.Route(table, key);
   if (!entry.has_value()) return nullptr;
+  if (EntryFenced(*entry)) {
+    ++stale_route_refusals_;
+    return nullptr;
+  }
   return ResolveRoute(txn, *entry, key);
 }
 
@@ -237,6 +333,7 @@ std::pair<catalog::Partition*, catalog::Partition*> Cluster::RouteForRead(
   // replicas: a bounded-stale copy must not mask the moving record.
   if (entry->secondary.valid()) return RouteBoth(txn, table, key);
 
+  const bool fenced = EntryFenced(*entry);
   catalog::Partition* primary = catalog_.GetPartition(entry->primary);
   std::vector<catalog::Partition*> standbys;
   for (const auto& rr : catalog_.ReplicasFor(table, key)) {
@@ -247,14 +344,21 @@ std::pair<catalog::Partition*, catalog::Partition*> Cluster::RouteForRead(
     if (host == nullptr || !host->IsActive()) continue;
     standbys.push_back(rp);
   }
-  if (standbys.empty()) return RouteBoth(txn, table, key);
+  if (standbys.empty()) {
+    if (fenced) ++stale_route_refusals_;
+    return fenced ? std::pair<catalog::Partition*, catalog::Partition*>{
+                        nullptr, nullptr}
+                  : RouteBoth(txn, table, key);
+  }
 
   Node* owner = primary != nullptr ? node(primary->owner()) : nullptr;
-  const bool owner_up = owner != nullptr && owner->IsActive();
+  const bool owner_up = !fenced && owner != nullptr && owner->IsActive();
   if (!owner_up) {
-    // Failover window: the owner crashed but promotion has not flipped
-    // the route yet — replicas carry the read traffic, with no fallback
-    // (the authoritative copy is down anyway).
+    // Failover window: the owner crashed (or its route is fenced mid-
+    // handoff) but promotion has not flipped the route yet — replicas
+    // carry the read traffic, with no fallback (the authoritative copy is
+    // down, or sealed against serving).
+    if (fenced) ++stale_route_refusals_;
     return {standbys[read_ticket_++ % standbys.size()], nullptr};
   }
   const size_t pick = read_ticket_++ % (standbys.size() + 1);
@@ -268,6 +372,13 @@ std::pair<catalog::Partition*, catalog::Partition*> Cluster::RouteBoth(
   // every data-plane operation.
   auto entry = catalog_.Route(table, key);
   if (!entry.has_value()) return {nullptr, nullptr};
+  // A fenced entry yields *neither* pointer: handing the sealed primary
+  // back as the retry target would let the two-pointer protocol serve the
+  // very route the fence exists to refuse.
+  if (EntryFenced(*entry)) {
+    ++stale_route_refusals_;
+    return {nullptr, nullptr};
+  }
   catalog::Partition* first = ResolveRoute(txn, *entry, key);
   catalog::Partition* primary = catalog_.GetPartition(entry->primary);
   catalog::Partition* second = nullptr;

@@ -4,6 +4,7 @@
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "admission/admission.h"
@@ -98,6 +99,38 @@ class Cluster {
   /// Cluster draw (all nodes + switch) over [from, to).
   double WattsIn(SimTime from, SimTime to) const;
 
+  // --- Network partitions ------------------------------------------------
+  /// Cut the master<->node control link: the node's heartbeats stop
+  /// reaching the failure detector, but the node stays active and its data
+  /// path keeps serving (distinct from a crash — nothing is wiped, nothing
+  /// stops committing). The master will declare it dead and promote its
+  /// replicated ranges; epoch fencing is what keeps the still-alive owner
+  /// from serving a range whose ownership moved on.
+  Status PartitionNode(NodeId id);
+  /// Restore the control link and reconcile: ranges promoted away while
+  /// the node was deposed leave it holding stale copies — those are
+  /// dropped (the catalog's view won; the node must not reclaim), while
+  /// ranges fenced but never flipped (the standby died first) are
+  /// restamped to the still-authoritative owner.
+  Status HealPartition(NodeId id);
+  bool IsPartitioned(NodeId id) const { return partitioned_.count(id) > 0; }
+
+  /// Epoch fencing on the route serve path (on by default): an entry whose
+  /// primary's claim token lags the entry's epoch was sealed by a
+  /// promotion in flight — routing refuses to hand it out, so a deposed
+  /// owner (dead or merely partitioned from the master) cannot take
+  /// writes that the flip would silently drop. The chaos harness turns
+  /// this off to demonstrate the invariant checker catching the bug.
+  void set_epoch_fencing(bool on) { epoch_fencing_ = on; }
+  bool epoch_fencing() const { return epoch_fencing_; }
+  /// Serve-path refusals of fenced routes (observability for chaos/tests).
+  uint64_t stale_route_refusals() const { return stale_route_refusals_; }
+
+  /// Why Route/RouteBoth returned no partition for (table, key):
+  /// Unavailable when the covering entry is fenced (ownership handoff in
+  /// flight — retry later), NotFound when the key is simply unrouted.
+  Status NoRouteStatus(TableId table, Key key) const;
+
   // --- Metrics -----------------------------------------------------------
   /// Start periodic sampling into `series` (may be null to sample only the
   /// energy meter). Sampling also prunes resource bookkeeping.
@@ -170,6 +203,11 @@ class Cluster {
   catalog::Partition* ResolveRoute(tx::Txn* txn,
                                    const catalog::RouteEntry& entry, Key key);
 
+  /// True when `entry`'s primary carries a claim token older than the
+  /// entry's epoch — the range was sealed by FenceRange and must not be
+  /// served through the primary. Always false with fencing disabled.
+  bool EntryFenced(const catalog::RouteEntry& entry) const;
+
   ClusterConfig config_;
   sim::Clock clock_;
   sim::EventQueue events_;
@@ -184,6 +222,12 @@ class Cluster {
 
   std::vector<std::unique_ptr<Node>> nodes_;
   std::unordered_map<DiskId, hw::Disk*> disk_index_;
+
+  /// Nodes whose master<->node control link is cut (heartbeats dropped,
+  /// data path alive).
+  std::unordered_set<NodeId> partitioned_;
+  bool epoch_fencing_ = true;
+  uint64_t stale_route_refusals_ = 0;
 
   bool sampling_ = false;
   bool auto_vacuum_ = true;

@@ -683,11 +683,16 @@ std::vector<SegmentMove> Master::PlanHeatMoves(
             });
 
   // Eligible targets: active serving nodes that are not suspected, healing,
-  // or (per ground truth) down.
+  // or (per ground truth) down. A node must also still be under watch — a
+  // declared-dead node leaves `watched_` (and, once its restart attempts
+  // are exhausted, `healing_`) without ever becoming ground-truth down when
+  // the cause is a network partition, and data must not be moved onto a
+  // node the master cannot reach.
   std::vector<std::pair<NodeId, double>> targets;
   for (Node* n : cluster_->ActiveNodes()) {
     if (n->id() == hot) continue;
     if (helper_assignments_.count(n->id()) > 0) continue;
+    if (watched_.count(n->id()) == 0) continue;
     if (healing_.count(n->id()) > 0 || missed_.count(n->id()) > 0) continue;
     if (is_down_fn_ && is_down_fn_(n->id())) continue;
     auto it = node_heat.find(n->id());

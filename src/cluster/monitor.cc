@@ -16,7 +16,10 @@ std::vector<NodeStats> Monitor::Sample(SimTime window) const {
     Node* n = cluster_->node(NodeId(i));
     NodeStats s;
     s.node = n->id();
-    s.active = n->IsActive();
+    // A partitioned node is alive but its heartbeats never reach the
+    // master — the failure detector (and everyone planning off this
+    // sample) must see it as gone, even though its data path still runs.
+    s.active = n->IsActive() && !cluster_->IsPartitioned(n->id());
     if (s.active) {
       s.cpu = n->hardware().CpuUtilizationIn(from, now);
       for (const auto& d : n->hardware().disks()) {

@@ -414,6 +414,14 @@ void Node::ApplyUndo(
         WATTDB_CHECK(seg->Update(e.key, *e.pre_image).ok());
       } else if (seg != nullptr) {
         WATTDB_CHECK(seg->Insert(e.key, *e.pre_image).ok());
+      } else {
+        // No segment covers the key here: the restore is silently lost and
+        // a committed record deleted-then-aborted stays deleted. The
+        // resolver is supposed to prefer a partition whose top index covers
+        // the key, so reaching this is a durability bug worth shouting.
+        WATTDB_WARN("undo restore dropped: no segment covers key "
+                    << e.key << " on node " << id_.value() << " partition "
+                    << part->id().value());
       }
     } else {
       // Aborted insert: remove the provisional record.

@@ -45,7 +45,7 @@ Status RoutedRead(Cluster* c, tx::Txn* txn, TableId table, Key key,
   // the owner; a replica miss falls back to the authoritative copy below,
   // so bounded staleness can cost a retry but never a wrong NotFound.
   auto [part, second] = c->RouteForRead(txn, table, key);
-  if (part == nullptr) return Status::NotFound("no route");
+  if (part == nullptr) return c->NoRouteStatus(table, key);
   WATTDB_RETURN_IF_ERROR(AdmitOps(c, txn, part->owner(), ClassOf(txn)));
   Status s = c->node(part->owner())->Read(txn, part, key, out);
   c->ChargeClientHop(txn, part->owner(), 96,
@@ -70,7 +70,7 @@ Status RoutedRead(Cluster* c, tx::Txn* txn, TableId table, Key key,
 Status RoutedUpdate(Cluster* c, tx::Txn* txn, TableId table, Key key,
                     const std::vector<uint8_t>& payload) {
   auto [part, second] = c->RouteBoth(txn, table, key);
-  if (part == nullptr) return Status::NotFound("no route");
+  if (part == nullptr) return c->NoRouteStatus(table, key);
   WATTDB_RETURN_IF_ERROR(AdmitOps(c, txn, part->owner(), ClassOf(txn)));
   c->ChargeClientHop(txn, part->owner(), 96 + payload.size(), 32);
   Status s = c->node(part->owner())->Update(txn, part, key, payload);
@@ -87,7 +87,7 @@ Status RoutedUpdate(Cluster* c, tx::Txn* txn, TableId table, Key key,
 Status RoutedUpsert(Cluster* c, tx::Txn* txn, TableId table, Key key,
                     const std::vector<uint8_t>& payload) {
   auto [part, second] = c->RouteBoth(txn, table, key);
-  if (part == nullptr) return Status::NotFound("no route");
+  if (part == nullptr) return c->NoRouteStatus(table, key);
   // One admission decision for the whole logical op: the update probe, a
   // possible §4.3 secondary retry, and the insert fall-through are one
   // queued unit, not two (the old Update-then-Insert path double-charged
@@ -111,6 +111,9 @@ Status RoutedUpsert(Cluster* c, tx::Txn* txn, TableId table, Key key,
         c->ChargeClientHop(txn, ins->owner(), 96 + payload.size(), 32);
       }
       s = c->node(ins->owner())->Insert(txn, ins, key, payload);
+    } else {
+      // A fenced route mid-handoff must not read as "key absent".
+      s = c->NoRouteStatus(table, key);
     }
   }
   CompleteOps(c, txn, part->owner());
@@ -120,7 +123,7 @@ Status RoutedUpsert(Cluster* c, tx::Txn* txn, TableId table, Key key,
 Status RoutedInsert(Cluster* c, tx::Txn* txn, TableId table, Key key,
                     const std::vector<uint8_t>& payload) {
   catalog::Partition* part = c->Route(txn, table, key);
-  if (part == nullptr) return Status::NotFound("no route");
+  if (part == nullptr) return c->NoRouteStatus(table, key);
   WATTDB_RETURN_IF_ERROR(AdmitOps(c, txn, part->owner(), ClassOf(txn)));
   c->ChargeClientHop(txn, part->owner(), 96 + payload.size(), 32);
   const Status s = c->node(part->owner())->Insert(txn, part, key, payload);
@@ -130,7 +133,7 @@ Status RoutedInsert(Cluster* c, tx::Txn* txn, TableId table, Key key,
 
 Status RoutedDelete(Cluster* c, tx::Txn* txn, TableId table, Key key) {
   auto [part, second] = c->RouteBoth(txn, table, key);
-  if (part == nullptr) return Status::NotFound("no route");
+  if (part == nullptr) return c->NoRouteStatus(table, key);
   WATTDB_RETURN_IF_ERROR(AdmitOps(c, txn, part->owner(), ClassOf(txn)));
   c->ChargeClientHop(txn, part->owner(), 96, 32);
   Status s = c->node(part->owner())->Delete(txn, part, key);
@@ -226,6 +229,11 @@ Status RoutedMultiRead(Cluster* c, tx::Txn* txn, TableId table,
     // standbys, so one Zipf-hot owner stops bounding the whole batch.
     auto [part, second] = c->RouteForRead(txn, table, keys[i]);
     routes[i] = KeyRoute{part, second};
+    if (part == nullptr) {
+      // Distinguish "unrouted" from "fenced mid-handoff" per key, like the
+      // point ops do.
+      (*out)[i] = StatusOr<storage::Record>(c->NoRouteStatus(table, keys[i]));
+    }
   }
 
   const NodeId master_id = c->master()->id();
@@ -304,6 +312,7 @@ Status RoutedMultiWrite(Cluster* c, tx::Txn* txn, TableId table,
   for (size_t i = 0; i < kvs.size(); ++i) {
     auto [part, second] = c->RouteBoth(txn, table, kvs[i].key);
     routes[i] = KeyRoute{part, second};
+    if (part == nullptr) (*out)[i] = c->NoRouteStatus(table, kvs[i].key);
   }
 
   const NodeId master_id = c->master()->id();
@@ -359,6 +368,9 @@ Status RoutedMultiWrite(Cluster* c, tx::Txn* txn, TableId table,
             }
             s = c->node(ins->owner())->Insert(txn, ins, key, payload);
             ++local.inserts;
+          } else {
+            // A fenced route mid-handoff must not read as "key absent".
+            s = c->NoRouteStatus(table, key);
           }
         }
         (*out)[i] = s;
@@ -384,7 +396,14 @@ Status RoutedScan(Cluster* c, tx::Txn* txn, TableId table,
   for (const auto& route : c->catalog().RoutesInRange(table, range)) {
     catalog::Partition* part =
         c->Route(txn, table, std::max(range.lo, route.range.lo));
-    if (part == nullptr) continue;
+    if (part == nullptr) {
+      // A fenced range must abort the scan, not be silently skipped — a
+      // committed-but-unscanned record would read as lost.
+      const Status rs =
+          c->NoRouteStatus(table, std::max(range.lo, route.range.lo));
+      if (rs.IsUnavailable()) return rs;
+      continue;
+    }
     const KeyRange sub{std::max(range.lo, route.range.lo),
                        std::min(range.hi, route.range.hi)};
     if (sub.Empty()) continue;

@@ -22,6 +22,30 @@ FaultInjector::FaultInjector(cluster::Cluster* cluster,
 
 void FaultInjector::Arm(const FaultPlan& plan) {
   for (const FaultPlan::Crash& spec : plan.crashes) Schedule(spec);
+  for (const FaultPlan::NetSplit& spec : plan.splits) Schedule(spec);
+}
+
+void FaultInjector::Schedule(const FaultPlan::NetSplit& spec) {
+  const uint64_t gen = generation_;
+  cluster_->events().ScheduleAt(spec.at, [this, spec, gen]() {
+    if (gen != generation_) return;
+    const Status cut = cluster_->PartitionNode(spec.node);
+    if (!cut.ok()) {
+      // Down, already partitioned, or otherwise uncuttable right now —
+      // dropped like a skipped crash injection.
+      WATTDB_INFO("fault: injected partition of node "
+                  << spec.node.value() << " skipped: " << cut.ToString());
+      return;
+    }
+    ++partitions_injected_;
+    if (spec.heal_after > 0) {
+      // Heals survive Disarm, like auto-restarts: a churn plan must not
+      // leave a node permanently unreachable from the master.
+      cluster_->events().ScheduleAfter(spec.heal_after, [this, spec]() {
+        (void)cluster_->HealPartition(spec.node);
+      });
+    }
+  });
 }
 
 void FaultInjector::Schedule(const FaultPlan::Crash& spec) {

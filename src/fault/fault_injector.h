@@ -45,7 +45,17 @@ struct FaultPlan {
     SimTime restart_after = 0;
   };
 
+  /// A master<->node control-link cut: heartbeats from `node` stop at
+  /// `at`, the data path keeps serving, and the link heals `heal_after`
+  /// later (0 = stays cut until Db::HealPartition).
+  struct NetSplit {
+    NodeId node;
+    SimTime at = 0;
+    SimTime heal_after = 0;
+  };
+
   std::vector<Crash> crashes;
+  std::vector<NetSplit> splits;
 
   FaultPlan& CrashAt(NodeId node, SimTime at, SimTime restart_after = 0) {
     Crash c;
@@ -87,7 +97,18 @@ struct FaultPlan {
     return *this;
   }
 
-  bool empty() const { return crashes.empty(); }
+  /// Partition `node` from the master at `at`; heal `heal_after` later
+  /// (0 = never, until an explicit Db::HealPartition).
+  FaultPlan& PartitionAt(NodeId node, SimTime at, SimTime heal_after = 0) {
+    NetSplit s;
+    s.node = node;
+    s.at = at;
+    s.heal_after = heal_after;
+    splits.push_back(s);
+    return *this;
+  }
+
+  bool empty() const { return crashes.empty() && splits.empty(); }
 };
 
 /// Schedules node failures on the simulated event loop and hands them to
@@ -110,6 +131,9 @@ class FaultInjector {
   /// Schedule one crash spec.
   void Schedule(const FaultPlan::Crash& spec);
 
+  /// Schedule one network-split spec.
+  void Schedule(const FaultPlan::NetSplit& spec);
+
   /// Cancel all pending injections (already-crashed nodes stay down; their
   /// pending auto-restarts still run so the cluster is not left wedged).
   void Disarm() { ++generation_; }
@@ -125,6 +149,7 @@ class FaultInjector {
 
   int crashes_injected() const { return crashes_injected_; }
   int restarts_injected() const { return restarts_injected_; }
+  int partitions_injected() const { return partitions_injected_; }
 
  private:
   void Fire(FaultPlan::Crash spec, uint64_t generation);
@@ -139,6 +164,7 @@ class FaultInjector {
   uint64_t generation_ = 0;
   int crashes_injected_ = 0;
   int restarts_injected_ = 0;
+  int partitions_injected_ = 0;
 };
 
 }  // namespace wattdb::fault

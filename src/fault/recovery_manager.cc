@@ -189,14 +189,34 @@ RecoveryReport RecoveryManager::Redo(NodeId node) {
     // partition last held them at, so a promotion that happened while the
     // node was down fences the deposed owner off instead of letting it
     // steal the route back and serve stale data.
+    // One claim token for the whole walk: reclaiming one range restamps
+    // the partition's epoch, and judging the next range under the inflated
+    // token would let it steal back a route that was promoted away.
+    const uint64_t claim_token = p->route_epoch();
     for (const auto& entry : p->top_index().All()) {
       const auto route = catalog.Route(p->table(), entry.range.lo);
       if (route.has_value() &&
           (route->primary == p->id() || route->secondary == p->id())) {
+        // Still routed here — but a fence stamped past the token with the
+        // route still naming this partition means a promotion sealed the
+        // range and never flipped (the standby died first). The full WAL
+        // was just replayed, so this copy is authoritative: reclaim to
+        // restamp, or the orphaned fence refuses the range forever.
+        // Per covering sub-entry: a split range may be part-promoted (the
+        // reclaim would refuse the whole), while the sub-entries still
+        // naming this partition heal unconditionally.
+        for (const auto& sub : catalog.RoutesInRange(p->table(), entry.range)) {
+          if (sub.primary != p->id() || sub.epoch <= claim_token) continue;
+          const Status heal = catalog.ReclaimRange(p->table(), sub.range,
+                                                   p->id(), claim_token);
+          WATTDB_CHECK_MSG(heal.ok(),
+                           "orphaned-fence heal failed: " << heal.ToString());
+          ++report.routes_restored;
+        }
         continue;
       }
       const Status claim = catalog.ReclaimRange(p->table(), entry.range,
-                                                p->id(), p->route_epoch());
+                                                p->id(), claim_token);
       if (claim.IsFailedPrecondition()) {
         // Superseded: a warm replica of this range was promoted during the
         // outage. The local copy is stale — drop it rather than carry two

@@ -15,7 +15,30 @@ void LogicalPartitioning::ExecuteTask(const MoveTask& task,
     next();
     return;
   }
+  if (!SourceOwnsRoute(task)) {
+    // A promotion deposed the source while the plan sat in the queue;
+    // draining its stale records over the new owner would undo the writes
+    // committed since the flip.
+    ++stats_.tasks_failed;
+    WATTDB_INFO("migration: logical move of range ["
+                << task.range.lo << ", " << task.range.hi
+                << ") abandoned (source no longer owns the route)");
+    next();
+    return;
+  }
   const PartitionId dst_id = DstPartitionFor(task.table, task.dst_node, task.range.lo);
+  catalog::Partition* dst_check = cat.GetPartition(dst_id);
+  WATTDB_CHECK(dst_check != nullptr);
+  if (!EvictStaleDstCopies(dst_check, task)) {
+    // Inserting the drained records into a partition that still holds live
+    // colliding segments would interleave two generations of the range.
+    ++stats_.tasks_failed;
+    WATTDB_INFO("migration: logical move of range ["
+                << task.range.lo << ", " << task.range.hi
+                << ") abandoned (destination holds live colliding segments)");
+    next();
+    return;
+  }
   // Master learns of the move; both locations are visited while in flight.
   WATTDB_CHECK(cat.BeginMove(task.table, task.range, dst_id).ok());
   src->set_forward_to(dst_id);

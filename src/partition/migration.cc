@@ -260,6 +260,45 @@ void MigrationManagerBase::StartTasks(std::vector<MoveTask> tasks,
   RunNextTask();
 }
 
+bool MigrationManagerBase::SourceOwnsRoute(const MoveTask& task) const {
+  const auto covering =
+      cluster_->catalog().RoutesInRange(task.table, task.range);
+  if (covering.empty()) return false;
+  for (const auto& entry : covering) {
+    if (entry.primary != task.src_partition) return false;
+  }
+  return true;
+}
+
+bool MigrationManagerBase::EvictStaleDstCopies(catalog::Partition* dst,
+                                               const MoveTask& task) {
+  // Precondition: SourceOwnsRoute(task) held — the catalog routes every
+  // entry of task.range to the source, so a segment of dst intersecting
+  // that range is a leftover copy: dst owned the range once (e.g. before a
+  // promotion deposed it while partitioned) and was never reconciled.
+  // Drop such copies so the incoming segment can attach. A leftover that
+  // also backs a range dst still legitimately serves cannot be dropped —
+  // refuse the install instead.
+  const auto stale = dst->SegmentsInRange(task.range);
+  for (const auto& entry : stale) {
+    for (const auto& route :
+         cluster_->catalog().RoutesInRange(task.table, entry.range)) {
+      if (route.primary == dst->id() || route.secondary == dst->id()) {
+        return false;
+      }
+    }
+  }
+  for (const auto& entry : stale) {
+    WATTDB_CHECK(dst->DetachSegment(entry.segment).ok());
+    cluster_->node(task.dst_node)->buffer().InvalidateSegment(entry.segment);
+    WATTDB_CHECK(cluster_->segments().Drop(entry.segment).ok());
+    WATTDB_INFO("migration: dropped stale segment "
+                << entry.segment.value() << " from deposed partition "
+                << dst->id().value() << " before reuse");
+  }
+  return true;
+}
+
 void MigrationManagerBase::OnNodeFailure(NodeId down) {
   if (!stats_.running) return;
   const size_t before = queue_.size();

@@ -104,6 +104,24 @@ class MigrationManagerBase : public cluster::Repartitioner {
   /// Task list that empties `victim`.
   std::vector<MoveTask> PlanDrain(NodeId victim);
 
+  /// Whether `task`'s source partition is still the routed primary of every
+  /// entry covering its range. A plan goes stale between planning and
+  /// execution: a promotion can depose the source (owner partitioned from
+  /// the master or crashed) and re-point the route at a standby — completing
+  /// such a move would install the deposed owner's stale segment copy over
+  /// the promoted one, silently dropping every write the new owner has
+  /// committed since. Ownership-transferring schemes must check this before
+  /// BeginMove and abandon the task when it fails.
+  bool SourceOwnsRoute(const MoveTask& task) const;
+
+  /// Drop any segments of `dst` that intersect `task.range` but are no
+  /// longer routed to it. Valid only after SourceOwnsRoute(task) held: the
+  /// route names the source, so such segments are stale copies left behind
+  /// when `dst` was deposed (promotion while its node was partitioned) and
+  /// never reconciled. Returns false — install must be abandoned — when a
+  /// stale segment also backs a range `dst` still legitimately serves.
+  bool EvictStaleDstCopies(catalog::Partition* dst, const MoveTask& task);
+
   /// Destination partition for moving `range` of `table` onto `node`,
   /// created on first use. Keyed by the range start so that warehouse-
   /// grained source partitions map to equally fine target partitions

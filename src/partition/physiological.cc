@@ -37,9 +37,29 @@ void PhysiologicalPartitioning::ExecuteTask(const MoveTask& task,
     next();
     return;
   }
+  if (!SourceOwnsRoute(task)) {
+    // The route moved on since planning (a standby was promoted over the
+    // source): installing this copy would resurrect pre-promotion state.
+    ++stats_.tasks_failed;
+    WATTDB_INFO("migration: move of segment "
+                << task.segment.value()
+                << " abandoned (source no longer owns the route)");
+    next();
+    return;
+  }
   const PartitionId dst_id = DstPartitionFor(task.table, task.dst_node, task.range.lo);
   catalog::Partition* dst = cat.GetPartition(dst_id);
   WATTDB_CHECK(dst != nullptr);
+  if (!EvictStaleDstCopies(dst, task)) {
+    // The reused destination still serves part of the colliding range:
+    // nothing here can be dropped safely, so the move is abandoned.
+    ++stats_.tasks_failed;
+    WATTDB_INFO("migration: move of segment "
+                << task.segment.value()
+                << " abandoned (destination holds live colliding segments)");
+    next();
+    return;
+  }
 
   // (1) Master: two-pointer routing entry; source forwards stragglers.
   WATTDB_CHECK(cat.BeginMove(task.table, task.range, dst_id).ok());

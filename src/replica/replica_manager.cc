@@ -453,6 +453,13 @@ int ReplicaManager::PromoteReplicasOf(NodeId dead) {
     catalog::Partition* part =
         cluster_->catalog().GetPartition(rep->replica_partition);
     if (src == nullptr || host == nullptr || part == nullptr) continue;
+    // Seal the range BEFORE the final tail is cut: from this instant the
+    // routing layer refuses the deposed owner, so no write can land there
+    // and miss the flip — the hole that loses data when the "dead" owner
+    // is actually alive behind a network partition, or restarts and
+    // finishes redo before the flip fires.
+    const uint64_t fence =
+        cluster_->catalog().FenceRange(rep->table, rep->range);
     std::vector<tx::LogRecord> tail;
     size_t bytes = 0;
     for (tx::LogRecord& rec : src->log().Tail(rep->applied_lsn)) {
@@ -493,11 +500,14 @@ int ReplicaManager::PromoteReplicasOf(NodeId dead) {
     // writes to the range stay unavailable (the honest failover gap).
     const int64_t final_records = static_cast<int64_t>(tail.size());
     std::weak_ptr<ReplicaInfo> weak = rep;
-    cluster_->events().ScheduleAt(done, [this, weak, final_records]() {
+    cluster_->events().ScheduleAt(done, [this, weak, final_records, fence]() {
       auto r = weak.lock();
       if (r == nullptr) return;  // Dropped before the flip (host died too).
+      // Conditional on the fence still standing: if the owner reclaimed
+      // the range in the meantime (restart + full redo won the race), the
+      // flip must not install the standby's older snapshot over it.
       const Status flip = cluster_->catalog().PromoteReplica(
-          r->table, r->range, r->replica_partition);
+          r->table, r->range, r->replica_partition, fence);
       if (!flip.ok()) {
         WATTDB_WARN("replica: promotion of " << Describe(*r)
                                              << " refused: "

@@ -1,0 +1,187 @@
+// chaos_soak: run N seeded chaos scenarios against the simulated cluster
+// and write a JSON report. Every scenario is a pure function of its seed,
+// so a soak failure ships its own reproducer:
+//
+//   ./chaos_soak --seeds 200 --base-seed 1 --out chaos_report.json
+//   ./chaos_soak --seed 137            # replay one failing seed, verbose
+//   ./chaos_soak --seeds 50 --no-fencing   # demo: the checker catches the
+//                                          # missing epoch check
+//
+// Exit code 0 when every seed passes, 1 otherwise. The report carries the
+// seeds run, the failures with their violations and full event timelines,
+// and the exact replay command.
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "chaos/chaos.h"
+#include "common/logging.h"
+
+namespace {
+
+using wattdb::chaos::ChaosConfig;
+using wattdb::chaos::ScenarioResult;
+
+struct SoakArgs {
+  int seeds = 50;
+  uint64_t base_seed = 1;
+  // >= 0: replay exactly this one seed, with the timeline printed.
+  int64_t replay_seed = -1;
+  std::string out = "chaos_report.json";
+  bool fencing = true;
+  int duration_s = 20;
+  bool verbose = false;
+};
+
+void Usage() {
+  std::cerr
+      << "usage: chaos_soak [--seeds N] [--base-seed B] [--seed X]\n"
+      << "                  [--out report.json] [--no-fencing]\n"
+      << "                  [--duration-s S]\n"
+      << "  --seeds N       run seeds B..B+N-1 (default 50)\n"
+      << "  --base-seed B   first seed of the sweep (default 1)\n"
+      << "  --seed X        replay a single seed and print its timeline\n"
+      << "  --out FILE      JSON report path (default chaos_report.json)\n"
+      << "  --no-fencing    disable catalog epoch fencing (bug demo)\n"
+      << "  --duration-s S  simulated workload seconds per seed (default "
+         "20)\n"
+      << "  --verbose       engine INFO logging (replay debugging)\n";
+}
+
+bool ParseArgs(int argc, char** argv, SoakArgs* args) {
+  auto value_of = [&](int* i) -> const char* {
+    const char* eq = std::strchr(argv[*i], '=');
+    if (eq != nullptr) return eq + 1;
+    if (*i + 1 >= argc) return nullptr;
+    return argv[++*i];
+  };
+  auto is_flag = [&](int i, const char* name) {
+    return std::strcmp(argv[i], name) == 0 ||
+           (std::strncmp(argv[i], name, std::strlen(name)) == 0 &&
+            argv[i][std::strlen(name)] == '=');
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (is_flag(i, "--seeds")) {
+      const char* v = value_of(&i);
+      if (v == nullptr) return false;
+      args->seeds = std::atoi(v);
+    } else if (is_flag(i, "--base-seed")) {
+      const char* v = value_of(&i);
+      if (v == nullptr) return false;
+      args->base_seed = std::strtoull(v, nullptr, 10);
+    } else if (is_flag(i, "--seed")) {
+      const char* v = value_of(&i);
+      if (v == nullptr) return false;
+      args->replay_seed = std::atoll(v);
+    } else if (is_flag(i, "--out")) {
+      const char* v = value_of(&i);
+      if (v == nullptr) return false;
+      args->out = v;
+    } else if (std::strcmp(argv[i], "--no-fencing") == 0) {
+      args->fencing = false;
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      args->verbose = true;
+    } else if (is_flag(i, "--duration-s")) {
+      const char* v = value_of(&i);
+      if (v == nullptr) return false;
+      args->duration_s = std::atoi(v);
+    } else {
+      std::cerr << "unknown argument: " << argv[i] << "\n";
+      return false;
+    }
+  }
+  return args->seeds > 0 && args->duration_s > 0;
+}
+
+std::string ReplayCommand(const SoakArgs& args, uint64_t seed) {
+  std::string cmd = "./chaos_soak --seed " + std::to_string(seed);
+  if (!args.fencing) cmd += " --no-fencing";
+  if (args.duration_s != 20) {
+    cmd += " --duration-s " + std::to_string(args.duration_s);
+  }
+  return cmd;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SoakArgs args;
+  if (!ParseArgs(argc, argv, &args)) {
+    Usage();
+    return 2;
+  }
+
+  if (args.verbose) wattdb::SetLogLevel(wattdb::LogLevel::kInfo);
+
+  std::vector<uint64_t> seeds;
+  if (args.replay_seed >= 0) {
+    seeds.push_back(static_cast<uint64_t>(args.replay_seed));
+  } else {
+    for (int i = 0; i < args.seeds; ++i) seeds.push_back(args.base_seed + i);
+  }
+
+  std::vector<ScenarioResult> failures;
+  int run = 0;
+  for (const uint64_t seed : seeds) {
+    ChaosConfig config;
+    config.seed = seed;
+    config.epoch_fencing = args.fencing;
+    config.workload_duration =
+        static_cast<wattdb::SimTime>(args.duration_s) * wattdb::kUsPerSec;
+    const ScenarioResult result = wattdb::chaos::RunScenario(config);
+    ++run;
+    if (result.passed) {
+      std::cout << "seed " << seed << ": PASS (nodes=" << result.nodes
+                << " crashes=" << result.crashes_injected
+                << " partitions=" << result.partitions_injected
+                << " promoted=" << result.replicas_promoted
+                << " committed=" << result.committed_txns
+                << " fenced_refusals=" << result.stale_route_refusals << ")\n";
+    } else {
+      std::cout << "seed " << seed << ": FAIL\n";
+      for (const std::string& v : result.violations) {
+        std::cout << "  violation: " << v << "\n";
+      }
+      std::cout << "  replay: " << ReplayCommand(args, seed) << "\n";
+      failures.push_back(result);
+    }
+    if (args.replay_seed >= 0) {
+      std::cout << "timeline of seed " << seed << ":\n";
+      for (const std::string& line : result.timeline) {
+        std::cout << "  " << line << "\n";
+      }
+    }
+  }
+
+  // One JSON report: summary plus the failing seeds' full results (the CI
+  // workflow uploads this as an artifact and prints the replay command).
+  std::ofstream out(args.out);
+  out << "{\"seeds_run\":" << run << ",\"seeds_failed\":" << failures.size()
+      << ",\"epoch_fencing\":" << (args.fencing ? "true" : "false")
+      << ",\"first_failing_replay\":\""
+      << (failures.empty()
+              ? ""
+              : wattdb::chaos::JsonEscape(
+                    ReplayCommand(args, failures.front().seed)))
+      << "\",\"failures\":[";
+  for (size_t i = 0; i < failures.size(); ++i) {
+    if (i > 0) out << ",";
+    out << wattdb::chaos::ToJson(failures[i]);
+  }
+  out << "]}\n";
+  out.close();
+
+  std::cout << run << " seeds run, " << failures.size() << " failed; report "
+            << "written to " << args.out << "\n";
+  if (!failures.empty()) {
+    std::cout << "first failing replay: "
+              << ReplayCommand(args, failures.front().seed) << "\n";
+    return 1;
+  }
+  return 0;
+}
