@@ -2,6 +2,7 @@
 """Gate bench results against checked-in baselines.
 
 Usage: compare_baselines.py <results_dir> <baselines_dir> [--threshold 0.25]
+       compare_baselines.py --soak-report chaos_report.json
 
 Both directories hold BENCH_<name>.json files as written by
 bench::JsonReporter (bench/bench_util.h):
@@ -29,6 +30,12 @@ not noise.
 When running under GitHub Actions (GITHUB_STEP_SUMMARY is set), the same
 comparison is appended to the job's step summary as a markdown table, so a
 reviewer sees every metric/baseline/current/delta without opening the log.
+
+With --soak-report the script instead summarizes a chaos_soak JSON report:
+per-seed wall-clock (real time, not simulated — the one number in the soak
+that IS machine-dependent) as a step-summary table of the slowest seeds plus
+totals, so a soak-job reviewer can spot pathological seeds whose checking
+blew up without downloading the artifact. Informational only: never gates.
 """
 
 import argparse
@@ -92,13 +99,70 @@ def write_step_summary(rows, failures, warnings, threshold) -> None:
         print(f"warning: cannot write step summary: {e}", file=sys.stderr)
 
 
+def soak_wall_clock_summary(report_path: Path, top: int = 15) -> int:
+    """Render per-seed soak wall-clock from a chaos_soak report.
+
+    Prints totals to stdout and, under GitHub Actions, appends a markdown
+    table of the `top` slowest seeds to the step summary. Wall-clock is the
+    soak's only machine-dependent number — everything else in the report is
+    a pure function of the seed — so it is reported, never gated.
+    """
+    report = load(report_path)
+    entries = [e for e in report.get("wall_ms", [])
+               if isinstance(e, dict) and "seed" in e and "ms" in e]
+    if not entries:
+        print(f"warning: {report_path} has no per-seed wall_ms entries "
+              "(old chaos_soak binary?)", file=sys.stderr)
+        return 0
+    total_ms = sum(e["ms"] for e in entries)
+    slowest = sorted(entries, key=lambda e: e["ms"], reverse=True)[:top]
+    failed = {f.get("seed") for f in report.get("failures", [])}
+
+    print(f"soak wall-clock: {len(entries)} seed(s), total {total_ms} ms, "
+          f"mean {total_ms / len(entries):.0f} ms, "
+          f"max {slowest[0]['ms']} ms (seed {slowest[0]['seed']})")
+
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return 0
+    mode = "".join(m for m, on in
+                   [("history", report.get("history")),
+                    ("elasticity", report.get("elasticity"))] if on)
+    lines = ["## Soak wall-clock per seed", "",
+             f"{len(entries)} seed(s)"
+             + (f" ({mode} mode)" if mode else "")
+             + f", total {total_ms / 1000.0:.1f} s, mean "
+             f"{total_ms / len(entries):.0f} ms. Slowest {len(slowest)}:",
+             "",
+             "| seed | wall (ms) | verdict |",
+             "|---:|---:|---|"]
+    for e in slowest:
+        verdict = "**FAIL**" if e["seed"] in failed else "ok"
+        lines.append(f"| {e['seed']} | {e['ms']} | {verdict} |")
+    try:
+        with open(path, "a") as f:
+            f.write("\n".join(lines) + "\n")
+    except OSError as e:
+        print(f"warning: cannot write step summary: {e}", file=sys.stderr)
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("results_dir", type=Path)
-    parser.add_argument("baselines_dir", type=Path)
+    parser.add_argument("results_dir", type=Path, nargs="?")
+    parser.add_argument("baselines_dir", type=Path, nargs="?")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="allowed relative regression (default 0.25)")
+    parser.add_argument("--soak-report", type=Path, metavar="JSON",
+                        help="summarize a chaos_soak report's per-seed "
+                             "wall-clock instead of gating benches")
     args = parser.parse_args()
+
+    if args.soak_report:
+        return soak_wall_clock_summary(args.soak_report)
+    if args.results_dir is None or args.baselines_dir is None:
+        parser.error("results_dir and baselines_dir are required unless "
+                     "--soak-report is given")
 
     baselines = sorted(args.baselines_dir.glob("BENCH_*.json"))
     if not baselines:

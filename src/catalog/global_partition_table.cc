@@ -221,7 +221,8 @@ std::optional<RouteEntry> GlobalPartitionTable::Route(TableId table,
 
 Status GlobalPartitionTable::AddReplicaRoute(TableId table,
                                              const KeyRange& range,
-                                             PartitionId partition) {
+                                             PartitionId partition,
+                                             PartitionId src) {
   if (range.Empty()) return Status::InvalidArgument("empty range");
   if (routes_.count(table) == 0) return Status::NotFound("unknown table");
   auto pit = partitions_.find(partition);
@@ -235,8 +236,15 @@ Status GlobalPartitionTable::AddReplicaRoute(TableId table,
       return Status::AlreadyExists("partition already holds a replica route");
     }
   }
+  if (src.valid()) {
+    auto sit = partitions_.find(src);
+    if (sit == partitions_.end()) return Status::NotFound("unknown source");
+    if (sit->second->table() != table) {
+      return Status::InvalidArgument("source belongs to another table");
+    }
+  }
   Ref(partition);
-  routes.push_back(ReplicaRoute{range, partition, false});
+  routes.push_back(ReplicaRoute{range, partition, src, false});
   return Status::OK();
 }
 
@@ -290,7 +298,8 @@ std::vector<ReplicaRoute> GlobalPartitionTable::ReplicaRoutes(
 Status GlobalPartitionTable::PromoteReplica(TableId table,
                                             const KeyRange& range,
                                             PartitionId replica,
-                                            uint64_t fence_epoch) {
+                                            uint64_t fence_epoch,
+                                            PartitionId deposed) {
   auto pit = partitions_.find(replica);
   if (pit == partitions_.end()) return Status::NotFound("unknown partition");
   if (pit->second->table() != table) {
@@ -300,8 +309,13 @@ Status GlobalPartitionTable::PromoteReplica(TableId table,
   if (rit == routes_.end()) return Status::NotFound("unknown table");
   // A move in flight over the range would leave the mover holding a
   // secondary pointer at a partition that no longer owns anything; the
-  // caller must wait for the move to settle (or abort it) first.
+  // caller must wait for the move to settle (or abort it) first. Entries
+  // routed to partitions other than `deposed` are bystanders under an
+  // over-wide replica range: not flipped, so not checked.
+  int owned = 0;
   for (const RouteEntry& e : RoutesInRange(table, range)) {
+    if (deposed.valid() && e.primary != deposed) continue;
+    ++owned;
     if (e.secondary.valid()) {
       return Status::FailedPrecondition("move in flight over range");
     }
@@ -315,11 +329,16 @@ Status GlobalPartitionTable::PromoteReplica(TableId table,
           "): range reclaimed since the promotion's state cut");
     }
   }
+  if (deposed.valid() && owned == 0) {
+    return Status::FailedPrecondition(
+        "deposed partition owns nothing in the promoted range");
+  }
   RangeMap& rm = rit->second;
   SplitAt(&rm, range.lo);
   SplitAt(&rm, range.hi);
   for (auto it = rm.lower_bound(range.lo);
        it != rm.end() && it->second.range.lo < range.hi; ++it) {
+    if (deposed.valid() && it->second.primary != deposed) continue;
     Unref(it->second.primary);
     it->second.primary = replica;
     Ref(replica);
@@ -332,8 +351,8 @@ Status GlobalPartitionTable::PromoteReplica(TableId table,
   return Status::OK();
 }
 
-uint64_t GlobalPartitionTable::FenceRange(TableId table,
-                                          const KeyRange& range) {
+uint64_t GlobalPartitionTable::FenceRange(TableId table, const KeyRange& range,
+                                          PartitionId only_primary) {
   auto rit = routes_.find(table);
   if (rit == routes_.end() || range.Empty()) return 0;
   RangeMap& rm = rit->second;
@@ -342,6 +361,7 @@ uint64_t GlobalPartitionTable::FenceRange(TableId table,
   uint64_t fence = 0;
   for (auto it = rm.lower_bound(range.lo);
        it != rm.end() && it->second.range.lo < range.hi; ++it) {
+    if (only_primary.valid() && it->second.primary != only_primary) continue;
     // Bump the entry's epoch but deliberately do NOT mirror it into the
     // primary's route_epoch: the owner's claim token is now behind the
     // entry, which is exactly the "fenced" condition the routing layer

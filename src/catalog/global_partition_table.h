@@ -37,6 +37,13 @@ struct RouteEntry {
 struct ReplicaRoute {
   KeyRange range;
   PartitionId partition;
+  /// Primary partition this standby replicates. A segment's top-index
+  /// range can be wider than what its partition actually owns (lazily
+  /// materialized segments claim the whole key space), so `range` alone
+  /// over-matches: read fan-out must also check that the key's routed
+  /// primary IS this source, or a replica of partition A starts answering
+  /// NotFound for partition B's keys during A-unrelated failovers.
+  PartitionId src;
   bool serving = false;
 };
 
@@ -90,12 +97,15 @@ class GlobalPartitionTable {
   std::optional<RouteEntry> Route(TableId table, Key key) const;
 
   // --- Replica routes ---------------------------------------------------
-  /// Register `partition` as a warm standby of `range` (not serving yet).
-  /// The replica partition takes a route reference like a primary, so it
-  /// cannot be dropped while the route exists. One replica route per
-  /// partition: AlreadyExists on a second registration.
+  /// Register `partition` as a warm standby of `range` (not serving yet),
+  /// replicating primary partition `src`. The replica partition takes a
+  /// route reference like a primary, so it cannot be dropped while the
+  /// route exists. One replica route per partition: AlreadyExists on a
+  /// second registration. An invalid `src` records an untied route
+  /// (unit-test convenience); the routing layer then trusts `range` alone.
   Status AddReplicaRoute(TableId table, const KeyRange& range,
-                         PartitionId partition);
+                         PartitionId partition,
+                         PartitionId src = PartitionId());
 
   /// Remove the replica route held by `partition` (NotFound if none).
   Status RemoveReplicaRoute(TableId table, PartitionId partition);
@@ -125,8 +135,15 @@ class GlobalPartitionTable {
   /// FenceRange stamped it — the deposed owner finished a full redo in the
   /// meantime and reclaimed the range, so the standby's snapshot (cut at
   /// fence time) would silently drop the writes the owner served since.
+  ///
+  /// A valid `deposed` clamps the flip to the entries `deposed` actually
+  /// owns: entries inside `range` routed to *other* partitions are left
+  /// untouched (a replica route's range may over-cover, see ReplicaRoute).
+  /// Refused (FailedPrecondition) when `deposed` owns nothing in `range` —
+  /// the standby would become an owner of nothing.
   Status PromoteReplica(TableId table, const KeyRange& range,
-                        PartitionId replica, uint64_t fence_epoch = 0);
+                        PartitionId replica, uint64_t fence_epoch = 0,
+                        PartitionId deposed = PartitionId());
 
   /// Seal the current primary of every entry covering `range`: bump the
   /// entries' epoch WITHOUT mirroring it into the primary partition's
@@ -137,8 +154,12 @@ class GlobalPartitionTable {
   /// instant no write can land on the old owner and miss the flip, even if
   /// the owner is merely partitioned from the master and still alive.
   /// Returns the fence epoch (to pass to the conditional PromoteReplica),
-  /// or 0 when nothing covers the range.
-  uint64_t FenceRange(TableId table, const KeyRange& range);
+  /// or 0 when nothing covers the range. A valid `only_primary` seals just
+  /// the entries routed to that partition — fencing a live neighbor whose
+  /// keys merely fall inside an over-wide replica range would refuse its
+  /// reads for nothing.
+  uint64_t FenceRange(TableId table, const KeyRange& range,
+                      PartitionId only_primary = PartitionId());
 
   /// Epoch of the entry covering `key` (0 if unrouted).
   uint64_t EpochOf(TableId table, Key key) const;

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "chaos/history.h"
 #include "common/types.h"
 
 namespace wattdb {
@@ -43,6 +44,26 @@ struct ChaosConfig {
   /// keeps serving routes a promotion sealed, and the invariant checker
   /// catches the lost writes.
   bool epoch_fencing = true;
+
+  /// Elasticity arm: provision spare standby nodes and race seeded
+  /// scale-out, drain-and-exclude, and scale-in decisions against the
+  /// fault schedule — including a drain victim crashing mid-drain, a drain
+  /// *destination* crashing mid-move, and a recruited standby crashing
+  /// during bootstrap. All elasticity decisions come from a rng *forked*
+  /// off the seed, so turning this on leaves the base scenario every
+  /// existing seed draws bit-identical.
+  bool elasticity = false;
+
+  /// Record a per-operation concurrent history through a dedicated
+  /// single-op KV workload riding alongside the chaos mix, then run the
+  /// per-key linearizability checker after the settle phase. Off by
+  /// default: recording and checking cost time the plain soak does not pay.
+  bool record_history = false;
+  /// Key space of the history workload — deliberately small so keys see
+  /// enough concurrent ops for the checker to have real interleavings.
+  int64_t history_keys = 64;
+  /// Closed-loop single-op clients of the history workload.
+  int history_clients = 8;
 };
 
 /// What the committed history *should* look like, maintained by the
@@ -76,7 +97,18 @@ struct ScenarioResult {
   std::vector<std::string> violations;
   std::vector<std::string> timeline;
 
+  /// The fully drawn fault schedule and elasticity plan, verbatim — the
+  /// subset of `timeline` a replay must reproduce bit-identically. Kept
+  /// separate so `chaos_soak --seed` can print what was *armed* up front
+  /// instead of leaving the reader to fish plan lines out of the merged
+  /// event log.
+  std::vector<std::string> fault_schedule;
+
   int nodes = 0;
+  /// Spare standby nodes provisioned by the elasticity arm (0 = arm off).
+  int spare_nodes = 0;
+  /// Scenario-driven elasticity actions scheduled (scale-outs + drains).
+  int elastic_actions = 0;
   int crashes_injected = 0;
   int partitions_injected = 0;
   int restarts_injected = 0;
@@ -87,6 +119,14 @@ struct ScenarioResult {
   uint64_t aborted_txns = 0;
   uint64_t indeterminate_txns = 0;
   SimTime sim_end = 0;
+
+  // History mode (ChaosConfig::record_history). History violations also
+  // land in `violations` (prefixed "history: ") so they fail the scenario;
+  // the structured copies here carry the minimal failing sub-histories.
+  int64_t history_ops = 0;
+  int history_keys_checked = 0;
+  int history_keys_over_budget = 0;
+  std::vector<HistoryViolation> history_violations;
 };
 
 /// Build a cluster, arm a seeded fault schedule (simultaneous crashes,

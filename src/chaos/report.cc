@@ -65,6 +65,8 @@ std::string ToJson(const ScenarioResult& r) {
   os << "{\"seed\":" << r.seed
      << ",\"passed\":" << (r.passed ? "true" : "false")
      << ",\"nodes\":" << r.nodes
+     << ",\"spare_nodes\":" << r.spare_nodes
+     << ",\"elastic_actions\":" << r.elastic_actions
      << ",\"violations\":" << JsonStringArray(r.violations)
      << ",\"counters\":{"
      << "\"crashes_injected\":" << r.crashes_injected
@@ -76,8 +78,18 @@ std::string ToJson(const ScenarioResult& r) {
      << ",\"committed_txns\":" << r.committed_txns
      << ",\"aborted_txns\":" << r.aborted_txns
      << ",\"indeterminate_txns\":" << r.indeterminate_txns
+     << ",\"history_ops\":" << r.history_ops
+     << ",\"history_keys_checked\":" << r.history_keys_checked
+     << ",\"history_keys_over_budget\":" << r.history_keys_over_budget
      << ",\"sim_end_us\":" << r.sim_end << "}"
-     << ",\"timeline\":" << JsonStringArray(r.timeline) << "}";
+     << ",\"fault_schedule\":" << JsonStringArray(r.fault_schedule);
+  os << ",\"history_violations\":[";
+  for (size_t i = 0; i < r.history_violations.size(); ++i) {
+    if (i > 0) os << ",";
+    os << ToJson(r.history_violations[i]);
+  }
+  os << "]";
+  os << ",\"timeline\":" << JsonStringArray(r.timeline) << "}";
   return os.str();
 }
 

@@ -8,13 +8,16 @@
 // and master<->node partitions where the deposed owner keeps committing
 // until epoch fencing cuts it off.
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
 #include "api/db.h"
 #include "chaos/chaos.h"
+#include "chaos/history.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "workload/kv.h"
 
 namespace wattdb::chaos {
 
@@ -194,9 +197,85 @@ std::string ConvergenceBlocker(Db& db, TableId table) {
       return "replica hosted on inactive node " +
              std::to_string(rep->host.value());
     }
+    // Replica maintenance keeps running during settle and may start a
+    // bootstrap right before a convergence check; give it sim time to
+    // finish instead of letting the audit flag a healthy stream as stuck.
+    if (rep->state == replica::ReplicaState::kBootstrapping) {
+      return "replica of [" + std::to_string(rep->range.lo) + ", " +
+             std::to_string(rep->range.hi) + ") still bootstrapping";
+    }
   }
   if (db.master().OverloadPressure()) return "overload pressure not cleared";
   return "";
+}
+
+/// One scenario-scheduled elasticity action, drawn up front from the
+/// forked elasticity rng so the whole plan prints before the run starts.
+struct ElasticAction {
+  SimTime at = 0;
+  bool scale_out = false;  // else: drain the target's data to survivors
+  NodeId target = NodeId::Invalid();
+  /// 0 = none; 1 = crash the action's own target mid-action (recruited
+  /// standby dies during bootstrap / drain victim dies mid-drain); 2 =
+  /// crash a *survivor* mid-action (a drain destination or move peer dies
+  /// while tasks are in flight); 3 = partition the target mid-action and
+  /// heal shortly after, racing the heal against any promotion flip the
+  /// partition provoked.
+  int rider = 0;
+  SimTime rider_delay = 0;
+  NodeId rider_node = NodeId::Invalid();
+};
+
+/// Scenario-driven scale-out: boot `target` and pull a fair share of data
+/// onto it, retrying while the single-flight repartitioner runs another
+/// plan.
+void ElasticScaleOut(Db* db, NodeId target, int retries,
+                     ScenarioResult* result) {
+  const int actives = db->cluster().ActiveNodeCount();
+  const Status s = db->TriggerRebalance({target}, 1.0 / (actives + 1));
+  if (s.IsBusy() && retries > 0) {
+    db->events().ScheduleAfter(
+        500 * kUsPerMs, [db, target, retries, result]() {
+          ElasticScaleOut(db, target, retries - 1, result);
+        });
+    return;
+  }
+  result->timeline.push_back("t=" + FormatSimTime(db->Now()) +
+                             " elastic scale-out onto node " +
+                             std::to_string(target.value()) + ": " +
+                             s.ToString());
+}
+
+/// Scenario-driven drain: move the victim's data to survivors but leave
+/// the node online (the master's scale-in path owns power-off, because
+/// only it can unwatch the node without tripping a false failure alarm).
+/// Standby replicas on the victim are disposable and dropped, not moved.
+void ElasticDrain(Db* db, NodeId victim, int retries, ScenarioResult* result) {
+  cluster::Node* n = db->cluster().node(victim);
+  if (n == nullptr || !n->IsActive()) {
+    result->timeline.push_back("t=" + FormatSimTime(db->Now()) +
+                               " elastic drain of node " +
+                               std::to_string(victim.value()) +
+                               " skipped: victim not active");
+    return;
+  }
+  db->replicas().DropReplicasOn(victim);
+  const Status s = db->scheme().Drain(victim, [db, victim, result]() {
+    result->timeline.push_back("t=" + FormatSimTime(db->Now()) +
+                               " elastic drain of node " +
+                               std::to_string(victim.value()) + " completed");
+  });
+  if (s.IsBusy() && retries > 0) {
+    db->events().ScheduleAfter(
+        500 * kUsPerMs, [db, victim, retries, result]() {
+          ElasticDrain(db, victim, retries - 1, result);
+        });
+    return;
+  }
+  result->timeline.push_back("t=" + FormatSimTime(db->Now()) +
+                             " elastic drain of node " +
+                             std::to_string(victim.value()) + ": " +
+                             s.ToString());
 }
 
 }  // namespace
@@ -205,6 +284,13 @@ ScenarioResult RunScenario(const ChaosConfig& config) {
   ScenarioResult result;
   result.seed = config.seed;
   Rng rng(config.seed);
+  // Every drawn plan line lands both in the merged timeline and in the
+  // standalone fault_schedule — the part of the draw `chaos_soak --seed`
+  // must print up front for a replay to be diagnosable.
+  auto note_plan = [&result](const std::string& line) {
+    result.timeline.push_back("plan: " + line);
+    result.fault_schedule.push_back(line);
+  };
 
   // --- Topology + policy, drawn from the seed ----------------------------
   const int num_nodes =
@@ -240,13 +326,12 @@ ScenarioResult RunScenario(const ChaosConfig& config) {
     policy.balance.cooldown = 5 * kUsPerSec;
     policy.balance.max_moves_per_round = 2;
   }
-  result.timeline.push_back(
-      "plan: nodes=" + std::to_string(num_nodes) +
-      " replicas=" + std::string(policy.replica.enabled ? "on" : "off") +
-      " balance=" + std::string(policy.balance.enabled ? "on" : "off") +
-      " exclude_after=" +
-      std::to_string(policy.recovery.exclude_after_crashes) +
-      " fencing=" + std::string(config.epoch_fencing ? "on" : "off"));
+  note_plan("nodes=" + std::to_string(num_nodes) +
+            " replicas=" + std::string(policy.replica.enabled ? "on" : "off") +
+            " balance=" + std::string(policy.balance.enabled ? "on" : "off") +
+            " exclude_after=" +
+            std::to_string(policy.recovery.exclude_after_crashes) +
+            " fencing=" + std::string(config.epoch_fencing ? "on" : "off"));
 
   // --- Fault schedule ----------------------------------------------------
   const SimTime fault_lo = 2 * kUsPerSec;
@@ -271,8 +356,8 @@ ScenarioResult RunScenario(const ChaosConfig& config) {
             ? static_cast<SimTime>(rng.UniformInt(4, 8)) * kUsPerSec
             : 0;
     plan.PartitionAt(node, at, heal);
-    result.timeline.push_back(
-        "plan: partition node " + std::to_string(node.value()) + " at " +
+    note_plan(
+        "partition node " + std::to_string(node.value()) + " at " +
         FormatSimTime(at) +
         (heal > 0 ? " heal_after " + FormatSimTime(heal) : " (no auto-heal)"));
   }
@@ -285,18 +370,16 @@ ScenarioResult RunScenario(const ChaosConfig& config) {
         const SimTime restart =
             static_cast<SimTime>(rng.UniformInt(2, 6)) * kUsPerSec;
         plan.CrashAt(node, at, restart);
-        result.timeline.push_back("plan: crash node " +
-                                  std::to_string(node.value()) + " at " +
-                                  FormatSimTime(at) + " restart_after " +
-                                  FormatSimTime(restart));
+        note_plan("crash node " + std::to_string(node.value()) + " at " +
+                  FormatSimTime(at) + " restart_after " +
+                  FormatSimTime(restart));
         break;
       }
       case 1: {  // Crash that stays down until the heal phase.
         const SimTime at = pick_at();
         plan.CrashAt(node, at, 0);
-        result.timeline.push_back("plan: crash node " +
-                                  std::to_string(node.value()) + " at " +
-                                  FormatSimTime(at) + " (stays down)");
+        note_plan("crash node " + std::to_string(node.value()) + " at " +
+                  FormatSimTime(at) + " (stays down)");
         break;
       }
       case 2: {  // Two nodes at the same instant.
@@ -309,10 +392,9 @@ ScenarioResult RunScenario(const ChaosConfig& config) {
         const SimTime restart =
             static_cast<SimTime>(rng.UniformInt(3, 5)) * kUsPerSec;
         plan.CrashAt(node, at, restart).CrashAt(other, at, restart);
-        result.timeline.push_back(
-            "plan: simultaneous crash of nodes " +
-            std::to_string(node.value()) + " and " +
-            std::to_string(other.value()) + " at " + FormatSimTime(at));
+        note_plan("simultaneous crash of nodes " +
+                  std::to_string(node.value()) + " and " +
+                  std::to_string(other.value()) + " at " + FormatSimTime(at));
         break;
       }
       case 3: {  // Crash loop (bounces against exclude_after_crashes).
@@ -321,27 +403,22 @@ ScenarioResult RunScenario(const ChaosConfig& config) {
         const SimTime restart =
             static_cast<SimTime>(rng.UniformInt(1, 2)) * kUsPerSec;
         plan.CrashEvery(node, period, restart);
-        result.timeline.push_back(
-            "plan: crash loop on node " + std::to_string(node.value()) +
-            " every " + FormatSimTime(period));
+        note_plan("crash loop on node " + std::to_string(node.value()) +
+                  " every " + FormatSimTime(period));
         break;
       }
       case 4: {  // Survivor dies while a heat move is in flight.
         const double frac = 0.2 + 0.6 * rng.UniformDouble();
         plan.CrashAtMigrationProgress(node, frac, 3 * kUsPerSec);
-        result.timeline.push_back("plan: crash node " +
-                                  std::to_string(node.value()) +
-                                  " at migration progress " +
-                                  std::to_string(frac));
+        note_plan("crash node " + std::to_string(node.value()) +
+                  " at migration progress " + std::to_string(frac));
         break;
       }
       case 5: {  // Owner dies during replica catch-up.
         const double frac = 0.3 + 0.6 * rng.UniformDouble();
         plan.CrashAtReplicaProgress(node, frac, 3 * kUsPerSec);
-        result.timeline.push_back("plan: crash node " +
-                                  std::to_string(node.value()) +
-                                  " at replica progress " +
-                                  std::to_string(frac));
+        note_plan("crash node " + std::to_string(node.value()) +
+                  " at replica progress " + std::to_string(frac));
         break;
       }
       default: {  // A second partition.
@@ -349,18 +426,92 @@ ScenarioResult RunScenario(const ChaosConfig& config) {
         const SimTime heal =
             static_cast<SimTime>(rng.UniformInt(3, 7)) * kUsPerSec;
         plan.PartitionAt(node, at, heal);
-        result.timeline.push_back("plan: partition node " +
-                                  std::to_string(node.value()) + " at " +
-                                  FormatSimTime(at) + " heal_after " +
-                                  FormatSimTime(heal));
+        note_plan("partition node " + std::to_string(node.value()) + " at " +
+                  FormatSimTime(at) + " heal_after " + FormatSimTime(heal));
         break;
       }
     }
   }
 
+  // --- Elasticity plan ---------------------------------------------------
+  // Drawn from a rng *forked* off the seed (not the main rng): enabling
+  // the arm must leave every existing seed's topology, policy, fault
+  // schedule, and workload draws bit-identical.
+  Rng erng(config.seed * 0x9E3779B97F4A7C15ULL + 0xE1A5);
+  int spare_nodes = 0;
+  std::vector<ElasticAction> elastic;
+  if (config.elasticity) {
+    spare_nodes = static_cast<int>(erng.UniformInt(1, 2));
+    // Sometimes let the *master's* elasticity policies race the scripted
+    // actions too: scale-out recruits the same spares on overload, and
+    // scale-in drains whatever ends up least loaded.
+    policy.enable_scale_out = erng.UniformDouble() < 0.35;
+    policy.enable_scale_in = erng.UniformDouble() < 0.35;
+    note_plan("elastic: spares=" + std::to_string(spare_nodes) +
+              " master_scale_out=" +
+              std::string(policy.enable_scale_out ? "on" : "off") +
+              " master_scale_in=" +
+              std::string(policy.enable_scale_in ? "on" : "off"));
+    const int n_actions = static_cast<int>(erng.UniformInt(1, 3));
+    for (int i = 0; i < n_actions; ++i) {
+      ElasticAction a;
+      a.at = static_cast<SimTime>(erng.UniformInt(fault_lo, fault_hi));
+      a.scale_out = erng.UniformDouble() < 0.5;
+      a.target =
+          a.scale_out
+              ? NodeId(static_cast<uint32_t>(num_nodes + i % spare_nodes))
+              : NodeId(static_cast<uint32_t>(erng.UniformInt(1, num_nodes - 1)));
+      const double roll = erng.UniformDouble();
+      if (roll < 0.30) {
+        a.rider = 1;  // Target dies mid-bootstrap / mid-drain.
+      } else if (roll < 0.50) {
+        a.rider = 2;  // A drain destination / move peer dies mid-move.
+      } else if (roll < 0.65) {
+        a.rider = 3;  // Partition target, heal racing the promotion flip.
+      }
+      a.rider_delay =
+          static_cast<SimTime>(erng.UniformInt(200, 1500)) * kUsPerMs;
+      a.rider_node = a.target;
+      if (a.rider == 2) {
+        NodeId survivor(
+            static_cast<uint32_t>(erng.UniformInt(1, num_nodes - 1)));
+        if (survivor == a.target) {
+          survivor = NodeId(
+              static_cast<uint32_t>(survivor.value() % (num_nodes - 1) + 1));
+        }
+        a.rider_node = survivor;
+      }
+      elastic.push_back(a);
+      std::string line =
+          std::string("elastic: ") +
+          (a.scale_out ? "scale-out onto node " : "drain node ") +
+          std::to_string(a.target.value()) + " at " + FormatSimTime(a.at);
+      switch (a.rider) {
+        case 1:
+          line += " rider: crash target after " + FormatSimTime(a.rider_delay);
+          break;
+        case 2:
+          line += " rider: crash survivor " +
+                  std::to_string(a.rider_node.value()) + " after " +
+                  FormatSimTime(a.rider_delay);
+          break;
+        case 3:
+          line += " rider: partition target after " +
+                  FormatSimTime(a.rider_delay) + ", heal 1s later";
+          break;
+        default:
+          break;
+      }
+      note_plan(line);
+    }
+  }
+  result.spare_nodes = spare_nodes;
+  result.elastic_actions = static_cast<int>(elastic.size());
+  const int total_nodes = num_nodes + spare_nodes;
+
   // --- Open --------------------------------------------------------------
   auto opened = Db::Open(DbOptions()
-                             .WithNodes(num_nodes)
+                             .WithNodes(total_nodes)
                              .WithActiveNodes(num_nodes)
                              .WithSeed(config.seed)
                              .WithoutTpccLoad()
@@ -383,6 +534,72 @@ ScenarioResult RunScenario(const ChaosConfig& config) {
   }
   const TableId table = created.value();
 
+  // --- Arm the elasticity actions ----------------------------------------
+  for (const ElasticAction& a : elastic) {
+    Db* dbp = &db;
+    ScenarioResult* res = &result;
+    const SimTime at = std::max(a.at, db.Now() + 1);
+    db.events().ScheduleAt(at, [dbp, res, a]() {
+      if (a.scale_out) {
+        ElasticScaleOut(dbp, a.target, /*retries=*/6, res);
+      } else {
+        ElasticDrain(dbp, a.target, /*retries=*/6, res);
+      }
+    });
+    if (a.rider == 1 || a.rider == 2) {
+      db.events().ScheduleAt(at + a.rider_delay, [dbp, res, a]() {
+        const Status s = dbp->CrashNode(a.rider_node);
+        res->timeline.push_back("t=" + FormatSimTime(dbp->Now()) +
+                                " elastic rider: crash node " +
+                                std::to_string(a.rider_node.value()) + ": " +
+                                s.ToString());
+      });
+    } else if (a.rider == 3) {
+      db.events().ScheduleAt(at + a.rider_delay, [dbp, res, a]() {
+        const Status s = dbp->PartitionNode(a.rider_node);
+        res->timeline.push_back("t=" + FormatSimTime(dbp->Now()) +
+                                " elastic rider: partition node " +
+                                std::to_string(a.rider_node.value()) + ": " +
+                                s.ToString());
+        dbp->events().ScheduleAfter(kUsPerSec, [dbp, res, a]() {
+          const Status h = dbp->HealPartition(a.rider_node);
+          res->timeline.push_back("t=" + FormatSimTime(dbp->Now()) +
+                                  " elastic rider: heal node " +
+                                  std::to_string(a.rider_node.value()) + ": " +
+                                  h.ToString());
+        });
+      });
+    }
+  }
+
+  // --- History workload (record_history) ---------------------------------
+  // A dedicated single-op KV table rides alongside the chaos mix; every
+  // Get/Put lands in the recorder as one history op, and the checker runs
+  // over the result after the settle phase.
+  HistoryRecorder recorder;
+  workload::KvWorkload* history_kv = nullptr;
+  if (config.record_history) {
+    workload::KvConfig kcfg;
+    kcfg.num_clients = config.history_clients;
+    kcfg.think_time = 10 * kUsPerMs;
+    kcfg.read_ratio = 0.6;
+    kcfg.batch_size = 1;
+    kcfg.batched = false;
+    kcfg.num_keys = config.history_keys;
+    kcfg.value_bytes = 16;  // EncodePayload width.
+    kcfg.history_payloads = true;
+    kcfg.seed = config.seed * 31 + 7;
+    auto added = db.AddKvWorkload(kcfg);
+    if (!added.ok()) {
+      result.violations.push_back("history workload failed to attach: " +
+                                  added.status().ToString());
+      return result;
+    }
+    history_kv = added.value();
+    history_kv->set_history(&recorder);
+    history_kv->Start();
+  }
+
   // --- Workload against the armed fault schedule -------------------------
   Session session = db.OpenSession();
   GroundTruth truth;
@@ -400,17 +617,20 @@ ScenarioResult RunScenario(const ChaosConfig& config) {
   }
 
   // --- Heal: disarm, reconnect, restart, wait for re-convergence ---------
+  if (history_kv != nullptr) history_kv->Stop();
   db.fault().Disarm();
   result.timeline.push_back("t=" + FormatSimTime(db.Now()) +
                             " heal phase begins");
-  for (int i = 1; i < num_nodes; ++i) {
+  // Heal loops cover the spares too: a recruited standby that a rider
+  // crashed must be restarted like any other casualty.
+  for (int i = 1; i < total_nodes; ++i) {
     const NodeId id(static_cast<uint32_t>(i));
     if (db.cluster().IsPartitioned(id)) (void)db.HealPartition(id);
   }
   const SimTime settle_deadline = db.Now() + config.settle_timeout;
   std::string blocker = ConvergenceBlocker(db, table);
   while (!blocker.empty() && db.Now() < settle_deadline) {
-    for (int i = 1; i < num_nodes; ++i) {
+    for (int i = 1; i < total_nodes; ++i) {
       const NodeId id(static_cast<uint32_t>(i));
       if (db.recovery().IsDown(id) && !db.master().IsExcluded(id)) {
         (void)db.RestartNode(id);
@@ -428,6 +648,18 @@ ScenarioResult RunScenario(const ChaosConfig& config) {
   // --- Invariant audit ---------------------------------------------------
   for (std::string& v : CheckInvariants(db, table, config.max_key, truth)) {
     result.violations.push_back(std::move(v));
+  }
+
+  // --- History check -----------------------------------------------------
+  if (config.record_history) {
+    HistoryCheckResult hc = CheckHistory(recorder);
+    result.history_ops = static_cast<int64_t>(recorder.size());
+    result.history_keys_checked = hc.keys_checked;
+    result.history_keys_over_budget = hc.keys_over_budget;
+    for (HistoryViolation& v : hc.violations) {
+      result.violations.push_back("history: " + v.anomaly);
+      result.history_violations.push_back(std::move(v));
+    }
   }
 
   // --- Report ------------------------------------------------------------

@@ -22,6 +22,10 @@ Cluster::Cluster(const ClusterConfig& config)
         DiskId(static_cast<uint32_t>(i * disks_per_node)), &segments_, &tm_,
         &network_, [this](DiskId d) { return FindDisk(d); });
     node->set_lane_manager(&lanes_);
+    node->set_route_bound_fn([this](TableId table, Key key) {
+      const auto entry = catalog_.Route(table, key);
+      return entry.has_value() ? entry->range : KeyRange{kMinKey, kMaxKey};
+    });
     for (auto& disk : node->hardware().disks()) {
       disk_index_[disk->id()] = disk.get();
     }
@@ -338,6 +342,11 @@ std::pair<catalog::Partition*, catalog::Partition*> Cluster::RouteForRead(
   std::vector<catalog::Partition*> standbys;
   for (const auto& rr : catalog_.ReplicasFor(table, key)) {
     if (!rr.serving) continue;
+    // Only a standby of *this key's* primary may answer: a replica whose
+    // over-wide range merely covers the key never held it, and during a
+    // failover window (no fallback) its honest answer would be a wrong
+    // NotFound — the linearizability checker caught exactly this.
+    if (rr.src.valid() && rr.src != entry->primary) continue;
     catalog::Partition* rp = catalog_.GetPartition(rr.partition);
     if (rp == nullptr) continue;
     Node* host = node(rp->owner());

@@ -402,6 +402,12 @@ void Master::MaybeScaleIn(const std::vector<NodeStats>& stats) {
   for (const auto& s : stats) {
     if (!s.active || s.node.value() == 0) continue;
     if (helper_assignments_.count(s.node) > 0) continue;
+    // A node that just finished booting after a crash looks like the
+    // perfect victim — zero load, zero bytes — but its redo has not run
+    // yet: powering it off mid-recovery strands the unredone WAL tail and
+    // leaves the recovery manager considering it down forever (each later
+    // restart gets re-drained at the same instant, wedging the node).
+    if (is_down_fn_ && is_down_fn_(s.node)) continue;
     size_t bytes = 0;
     for (auto* seg : cluster_->segments().SegmentsOn(s.node)) {
       bytes += seg->DiskBytes();
@@ -795,14 +801,29 @@ Status Master::TriggerRebalance(const std::vector<NodeId>& targets,
   }
   if (to_boot.empty()) return start();
   *pending = static_cast<int>(to_boot.size());
+  auto on_up = [pending, start]() {
+    if (--*pending > 0) return;
+    // Deferred start after boot: failures can only be logged here.
+    if (const Status s = start(); !s.ok()) {
+      WATTDB_WARN("rebalance failed to start: " << s.ToString());
+    }
+  };
   for (NodeId t : to_boot) {
-    WATTDB_RETURN_IF_ERROR(cluster_->PowerOn(t, [pending, start]() {
-      if (--*pending > 0) return;
-      // Deferred start after boot: failures can only be logged here.
-      if (const Status s = start(); !s.ok()) {
-        WATTDB_WARN("rebalance failed to start: " << s.ToString());
+    // A target that is down because it CRASHED (vs a cold standby) must
+    // come back through recovery — bare PowerOn would skip the redo, leave
+    // the recovery manager considering the node down forever, and pull
+    // fresh data onto a disk whose WAL tail was never replayed.
+    if (is_down_fn_ && is_down_fn_(t)) {
+      if (!restart_fn_) {
+        return Status::FailedPrecondition(
+            "target node " + std::to_string(t.value()) +
+            " crashed and no restart hook is wired");
       }
-    }));
+      WATTDB_RETURN_IF_ERROR(
+          restart_fn_(t, [on_up](const std::string&) { on_up(); }));
+      continue;
+    }
+    WATTDB_RETURN_IF_ERROR(cluster_->PowerOn(t, on_up));
   }
   return Status::OK();
 }

@@ -27,6 +27,12 @@ struct RebalanceStats {
   int64_t tasks_planned = 0;
   /// Tasks abandoned because their source or target node failed.
   int64_t tasks_failed = 0;
+  /// Queued drain tasks orphaned by their *destination* failing that were
+  /// immediately re-targeted onto a surviving destination instead of
+  /// abandoned. Only a drain can do this — its source (the drain victim)
+  /// is fixed, so abandoning the task would strand data on the victim
+  /// until a later attempt re-plans it.
+  int64_t tasks_replanned = 0;
   SimTime started_at = 0;
   SimTime finished_at = 0;
   bool running = false;

@@ -197,8 +197,15 @@ Result<storage::Segment*> Node::SegmentForInsert(SimTime now, tx::Txn* txn,
                                                  size_t record_bytes) {
   const SegmentId sid = part->SegmentFor(key);
   if (!sid.valid()) {
-    // No covering segment: carve the gap between neighbors.
+    // No covering segment: carve the gap between neighbors, clamped to the
+    // route entry covering the key so the fresh segment never claims keys
+    // this partition does not own (an over-wide claim turns into wrong
+    // NotFounds and heal-time data drops downstream).
     KeyRange gap{kMinKey, kMaxKey};
+    if (route_bound_) {
+      const KeyRange bound = route_bound_(part->table(), key);
+      if (bound.Contains(key)) gap = bound;
+    }
     for (const auto& e : part->top_index().All()) {
       if (e.range.hi <= key) gap.lo = std::max(gap.lo, e.range.hi);
       if (e.range.lo > key) gap.hi = std::min(gap.hi, e.range.lo);
@@ -447,7 +454,11 @@ Status Node::RedoInto(catalog::Partition* part,
       }
       case tx::LogRecordType::kUpdate: {
         const SegmentId sid = part->SegmentFor(rec.key);
-        if (!sid.valid()) return Status::Corruption("redo: no segment");
+        // No covering segment: the range's segment was deliberately dropped
+        // after this record was logged (heal-time stale-copy reconciliation,
+        // or a mid-move detach) — the data intentionally left this partition,
+        // so replaying the record would resurrect it as unrouted garbage.
+        if (!sid.valid()) break;
         // Upsert: the after-image fully determines the record, and the tail
         // may legally update a key a preceding record deleted (an abort's
         // compensation record restoring the pre-image of a deleted row).
@@ -460,7 +471,8 @@ Status Node::RedoInto(catalog::Partition* part,
       }
       case tx::LogRecordType::kDelete: {
         const SegmentId sid = part->SegmentFor(rec.key);
-        if (!sid.valid()) return Status::Corruption("redo: no segment");
+        // Dropped segment: deleting from it is already more than done.
+        if (!sid.valid()) break;
         // Idempotent: the delete may have reached the page before the
         // crash, in which case replaying it is a no-op.
         const Status del = segments_->Get(sid)->Delete(rec.key);

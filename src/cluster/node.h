@@ -56,6 +56,15 @@ class Node {
   /// on a known segment is charged to the segment's lane instead of the
   /// shared core pool (shared-nothing intra-node parallelism).
   void set_lane_manager(lanes::LaneManager* lanes) { lanes_ = lanes; }
+  /// Routed range covering (table, key), injected by the cluster. Bounds
+  /// the key range a lazily materialized segment claims in the top index:
+  /// without it the first insert claims [kMinKey, kMaxKey), and a segment
+  /// claiming keys its partition never owned poisons every consumer that
+  /// treats segment ranges as ownership (replica routes, partition-heal
+  /// reconciliation, promotion fencing).
+  void set_route_bound_fn(std::function<KeyRange(TableId, Key)> fn) {
+    route_bound_ = std::move(fn);
+  }
   storage::BufferManager& buffer() { return buffer_; }
   tx::LogManager& log() { return *log_; }
   tx::CcScheme cc_scheme() const { return cc_; }
@@ -155,6 +164,7 @@ class Node {
   tx::TransactionManager* tm_;
   hw::Network* network_;
   lanes::LaneManager* lanes_ = nullptr;
+  std::function<KeyRange(TableId, Key)> route_bound_;
 };
 
 }  // namespace wattdb::cluster

@@ -47,6 +47,10 @@ Status RoutedRead(Cluster* c, tx::Txn* txn, TableId table, Key key,
   auto [part, second] = c->RouteForRead(txn, table, key);
   if (part == nullptr) return c->NoRouteStatus(table, key);
   WATTDB_RETURN_IF_ERROR(AdmitOps(c, txn, part->owner(), ClassOf(txn)));
+  // Track which copy *determined* the result: a replica-served observation
+  // is only staleness-bounded, and history checking must not hold it to
+  // the strict register semantics.
+  bool served_by_replica = part->is_replica();
   Status s = c->node(part->owner())->Read(txn, part, key, out);
   c->ChargeClientHop(txn, part->owner(), 96,
                      32 + (s.ok() ? out->StoredSize() : 0));
@@ -61,7 +65,13 @@ Status RoutedRead(Cluster* c, tx::Txn* txn, TableId table, Key key,
                        32 + (retry.ok() ? out->StoredSize() : 0));
     // A dead primary and a missing secondary is "unreachable", not
     // "absent": the key may well exist on the downed node.
-    if (!(s.IsUnavailable() && retry.IsNotFound())) s = retry;
+    if (!(s.IsUnavailable() && retry.IsNotFound())) {
+      s = retry;
+      served_by_replica = second->is_replica();
+    }
+  }
+  if (s.ok() || s.IsNotFound()) {
+    if (served_by_replica && txn != nullptr) ++txn->replica_reads;
   }
   CompleteOps(c, txn, part->owner());
   return s;
@@ -266,6 +276,12 @@ Status RoutedMultiRead(Cluster* c, tx::Txn* txn, TableId table,
         storage::Record rec;
         Status s = c->node(owner)->Read(txn, routes[i].part, keys[i], &rec);
         resp_bytes += s.ok() ? 32 + rec.StoredSize() : 8;
+        // Conservative replica tagging: a straggler retry below may still
+        // land on the authoritative copy, but over-tagging only relaxes
+        // what history checking asserts about the observation.
+        if ((s.ok() || s.IsNotFound()) && routes[i].part->is_replica()) {
+          ++txn->replica_reads;
+        }
         (*out)[i] = s.ok() ? StatusOr<storage::Record>(std::move(rec))
                            : StatusOr<storage::Record>(s);
       }

@@ -99,13 +99,20 @@ MigrationManagerBase::PlanRebalance(const std::vector<NodeId>& targets,
   return tasks;
 }
 
+std::vector<NodeId> MigrationManagerBase::DrainSurvivors(NodeId victim) const {
+  std::vector<NodeId> survivors;
+  for (cluster::Node* n : cluster_->ActiveNodes()) {
+    if (n->id() == victim) continue;
+    if (cluster_->IsPartitioned(n->id())) continue;
+    survivors.push_back(n->id());
+  }
+  return survivors;
+}
+
 std::vector<MigrationManagerBase::MoveTask> MigrationManagerBase::PlanDrain(
     NodeId victim) {
   std::vector<MoveTask> tasks;
-  std::vector<NodeId> survivors;
-  for (cluster::Node* n : cluster_->ActiveNodes()) {
-    if (n->id() != victim) survivors.push_back(n->id());
-  }
+  const std::vector<NodeId> survivors = DrainSurvivors(victim);
   if (survivors.empty()) return tasks;
   size_t rr = 0;
   for (catalog::Partition* part :
@@ -219,6 +226,7 @@ Status MigrationManagerBase::Drain(NodeId victim, std::function<void()> done) {
 void MigrationManagerBase::StartDrainAttempt(NodeId victim, int attempt,
                                              std::function<void()> done) {
   constexpr int kMaxDrainAttempts = 3;
+  drain_victim_ = victim;
   std::vector<MoveTask> plan = PlanDrain(victim);
   // Retry only when this round had work to do: an empty plan with data
   // left behind means no survivors exist, and another round cannot help.
@@ -235,6 +243,7 @@ void MigrationManagerBase::StartDrainAttempt(NodeId victim, int attempt,
       StartDrainAttempt(victim, attempt + 1, std::move(done));
       return;
     }
+    drain_victim_ = NodeId::Invalid();
     // The victim is empty (or unsalvageable): drop its now segment-less
     // partitions so the node can power off (§3.4 scale-in protocol).
     for (catalog::Partition* p :
@@ -301,17 +310,42 @@ bool MigrationManagerBase::EvictStaleDstCopies(catalog::Partition* dst,
 
 void MigrationManagerBase::OnNodeFailure(NodeId down) {
   if (!stats_.running) return;
-  const size_t before = queue_.size();
-  queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
-                              [down](const MoveTask& t) {
-                                return t.src_node == down || t.dst_node == down;
-                              }),
-               queue_.end());
-  const size_t dropped = before - queue_.size();
+  // Mid-drain, a task whose *destination* died still has a live source
+  // (the drain victim): abandoning it would strand that data on the victim
+  // until the end-of-drain re-plan or the master's next control tick.
+  // Re-target such tasks onto the survivors still standing instead.
+  std::vector<NodeId> survivors;
+  if (drain_victim_.valid() && drain_victim_ != down) {
+    survivors = DrainSurvivors(drain_victim_);
+    survivors.erase(std::remove(survivors.begin(), survivors.end(), down),
+                    survivors.end());
+  }
+  size_t dropped = 0;
+  size_t replanned = 0;
+  size_t rr = 0;
+  std::deque<MoveTask> kept;
+  for (MoveTask& t : queue_) {
+    if (t.src_node != down && t.dst_node != down) {
+      kept.push_back(t);
+      continue;
+    }
+    if (t.src_node == drain_victim_ && t.dst_node == down &&
+        !survivors.empty()) {
+      t.dst_node = survivors[rr++ % survivors.size()];
+      t.dst_partition = PartitionId::Invalid();  // Resolved at execution.
+      ++replanned;
+      kept.push_back(t);
+      continue;
+    }
+    ++dropped;
+  }
+  queue_.swap(kept);
   stats_.tasks_failed += static_cast<int64_t>(dropped);
-  if (dropped > 0) {
+  stats_.tasks_replanned += static_cast<int64_t>(replanned);
+  if (dropped > 0 || replanned > 0) {
     WATTDB_INFO("migration: node " << down.value() << " failed, abandoning "
-                                   << dropped << " queued task(s)");
+                                   << dropped << " and re-targeting "
+                                   << replanned << " queued task(s)");
   }
   // The in-flight task (if any) aborts itself at the next chunk boundary
   // and pulls the next task, which keeps the queue draining to FinishAll.

@@ -103,6 +103,12 @@ class MigrationManagerBase : public cluster::Repartitioner {
                                       double fraction);
   /// Task list that empties `victim`.
   std::vector<MoveTask> PlanDrain(NodeId victim);
+  /// Nodes a drain of `victim` may ship data to: active, not the victim,
+  /// and not partitioned from the master. A partitioned node's data path
+  /// is alive (it is still "active"), but the master has declared it dead
+  /// and a promotion may depose it at any moment — shipping drain data
+  /// there wedges the drain until the next control tick re-plans it.
+  std::vector<NodeId> DrainSurvivors(NodeId victim) const;
 
   /// Whether `task`'s source partition is still the routed primary of every
   /// entry covering its range. A plan goes stale between planning and
@@ -154,6 +160,11 @@ class MigrationManagerBase : public cluster::Repartitioner {
   MigrationStats stats_;
   std::deque<MoveTask> queue_;
   std::function<void()> done_;
+  /// Victim of the drain currently running (invalid outside a drain).
+  /// OnNodeFailure uses it to tell a drain task orphaned by its
+  /// *destination* dying — re-targetable onto another survivor — from an
+  /// ordinary rebalance task, which is simply abandoned.
+  NodeId drain_victim_ = NodeId::Invalid();
   struct DstKey {
     uint64_t table_node;
     Key range_lo;

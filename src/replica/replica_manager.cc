@@ -401,7 +401,7 @@ void ReplicaManager::FinishBootstrap(const std::shared_ptr<ReplicaInfo>& rep,
   rep->state = ReplicaState::kCatchingUp;
   ++replicas_created_;
   const Status routed = cluster_->catalog().AddReplicaRoute(
-      rep->table, rep->range, rep->replica_partition);
+      rep->table, rep->range, rep->replica_partition, rep->src_partition);
   if (!routed.ok()) {
     DropReplica(rep, "replica route rejected: " + routed.ToString());
     return;
@@ -458,8 +458,8 @@ int ReplicaManager::PromoteReplicasOf(NodeId dead) {
     // and miss the flip — the hole that loses data when the "dead" owner
     // is actually alive behind a network partition, or restarts and
     // finishes redo before the flip fires.
-    const uint64_t fence =
-        cluster_->catalog().FenceRange(rep->table, rep->range);
+    const uint64_t fence = cluster_->catalog().FenceRange(
+        rep->table, rep->range, rep->src_partition);
     std::vector<tx::LogRecord> tail;
     size_t bytes = 0;
     for (tx::LogRecord& rec : src->log().Tail(rep->applied_lsn)) {
@@ -507,7 +507,7 @@ int ReplicaManager::PromoteReplicasOf(NodeId dead) {
       // the range in the meantime (restart + full redo won the race), the
       // flip must not install the standby's older snapshot over it.
       const Status flip = cluster_->catalog().PromoteReplica(
-          r->table, r->range, r->replica_partition, fence);
+          r->table, r->range, r->replica_partition, fence, r->src_partition);
       if (!flip.ok()) {
         WATTDB_WARN("replica: promotion of " << Describe(*r)
                                              << " refused: "

@@ -40,6 +40,12 @@ struct Txn {
   SimTime start_time = 0;
   SimTime now = 0;
 
+  /// Reads served by a bounded-staleness warm replica instead of the
+  /// authoritative owner (maintained by the routing layer). History
+  /// recording reads it per op to tag observations that are only held to
+  /// the relaxed staleness window, not strict linearizability.
+  uint64_t replica_reads = 0;
+
   // Component-time accounting for the Fig. 7 breakdown (microseconds).
   SimTime cpu_us = 0;
   SimTime disk_us = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "chaos/history.h"
 #include "common/logging.h"
 
 namespace wattdb::workload {
@@ -37,6 +38,16 @@ void ClientPool::RunClient(int client_idx, TpccTxnType type, int attempt) {
   const TpccTxnResult result = runner_.Run(type, rng);
   const bool shed = result.status.IsResourceExhausted();
   if (shed) ++shed_;
+  if (history_ != nullptr) {
+    chaos::HistoryOp op;
+    op.client = client_idx;
+    op.kind = chaos::OpKind::kTxn;
+    op.outcome = result.committed ? chaos::OpOutcome::kOk
+                                  : chaos::OpOutcome::kFailed;
+    op.invoked_at = result.completed_at - result.latency_us;
+    op.responded_at = result.completed_at;
+    history_->Record(op);
+  }
   if (result.committed) {
     ++completed_;
     latencies_.Add(static_cast<double>(result.latency_us));

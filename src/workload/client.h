@@ -50,6 +50,14 @@ class ClientPool : public WorkloadDriver {
   void set_series(metrics::TimeSeries* series) { series_ = series; }
   void set_breakdown(metrics::TimeBreakdown* bd) { breakdown_ = bd; }
 
+  /// TPC-C transactions are not register ops, so the pool records whole-
+  /// transaction OpKind::kTxn markers only: the linearizability checker
+  /// skips them, but they situate a violation's surroundings in dumps of
+  /// mixed-workload histories.
+  void set_history(chaos::HistoryRecorder* history) override {
+    history_ = history;
+  }
+
   int64_t completed() const { return completed_; }
   int64_t committed() const override { return completed_; }
   int64_t aborted() const override { return aborted_; }
@@ -86,6 +94,7 @@ class ClientPool : public WorkloadDriver {
 
   metrics::TimeSeries* series_ = nullptr;
   metrics::TimeBreakdown* breakdown_ = nullptr;
+  chaos::HistoryRecorder* history_ = nullptr;
   int64_t completed_ = 0;
   int64_t aborted_ = 0;
   int64_t shed_ = 0;

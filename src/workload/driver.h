@@ -5,6 +5,10 @@
 
 #include "common/stats.h"
 
+namespace wattdb::chaos {
+class HistoryRecorder;
+}  // namespace wattdb::chaos
+
 namespace wattdb::workload {
 
 /// Common face of every closed-loop workload generator (TPC-C client pool,
@@ -23,6 +27,12 @@ class WorkloadDriver {
   /// Begin issuing queries now; clients run until Stop(). Idempotent.
   virtual void Start() = 0;
   virtual void Stop() = 0;
+
+  /// Attach a chaos-harness history recorder. Drivers that support
+  /// per-operation history recording (see chaos/history.h) log every
+  /// invocation/response through it; the default is a no-op so workloads
+  /// without op-level observability stay untouched.
+  virtual void set_history(chaos::HistoryRecorder*) {}
 
   /// Committed transactions since the last ResetStats().
   virtual int64_t committed() const = 0;

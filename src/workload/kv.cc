@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "chaos/chaos.h"
+#include "chaos/history.h"
 #include "common/logging.h"
 
 namespace wattdb::workload {
@@ -54,6 +56,21 @@ std::vector<uint8_t> KvWorkload::MakeValue(Rng* rng) const {
   return value;
 }
 
+void KvWorkload::set_history(chaos::HistoryRecorder* history) {
+  WATTDB_CHECK_MSG(config_.history_payloads,
+                   "set_history needs KvConfig.history_payloads: the checker "
+                   "matches observations to writes by the encoded seq");
+  WATTDB_CHECK_MSG(!config_.batched,
+                   "history recording covers the per-key op path only");
+  history_ = history;
+  if (history_ == nullptr) return;
+  // Load() already ran (Db::AddKvWorkload loads before returning the
+  // driver); hand its per-key initial seqs to the recorder now.
+  for (const auto& [key, seq] : initial_seqs_) {
+    history_->RecordInitial(key, seq);
+  }
+}
+
 Status KvWorkload::Load() {
   if (loaded_) return Status::OK();
   Rng* rng = rngs_.empty() ? nullptr : rngs_[0].get();
@@ -65,7 +82,14 @@ Status KvWorkload::Load() {
     std::vector<KeyValue> kvs;
     kvs.reserve(static_cast<size_t>(hi - lo));
     for (int64_t k = lo; k < hi; ++k) {
-      kvs.push_back(KeyValue{static_cast<Key>(k), MakeValue(rng)});
+      if (config_.history_payloads) {
+        const uint64_t seq = ++next_seq_;
+        initial_seqs_[static_cast<Key>(k)] = seq;
+        kvs.push_back(KeyValue{static_cast<Key>(k),
+                               chaos::EncodePayload(static_cast<Key>(k), seq)});
+      } else {
+        kvs.push_back(KeyValue{static_cast<Key>(k), MakeValue(rng)});
+      }
     }
     // System transaction: bulk loading must not be refused (or even
     // counted) by admission control, like the TPC-C loader.
@@ -107,7 +131,7 @@ SimTime KvWorkload::Backoff(Rng* rng, int attempt) const {
       1, static_cast<SimTime>(base * (0.5 + rng->UniformDouble())));
 }
 
-KvWorkload::RunResult KvWorkload::RunOnce(Rng* rng, int attempt) {
+KvWorkload::RunResult KvWorkload::RunOnce(Rng* rng, int client, int attempt) {
   const bool updater = rng->UniformDouble() >= config_.read_ratio;
 
   std::vector<Key> keys(static_cast<size_t>(config_.batch_size));
@@ -118,12 +142,38 @@ KvWorkload::RunResult KvWorkload::RunOnce(Rng* rng, int attempt) {
   if (attempt == 0) ++issued_;
   TxnHandle txn =
       session_.Begin(/*read_only=*/!updater, config_.batch_priority);
+  // Commit()/Abort() close the handle and release the engine transaction;
+  // capture the invocation time now, while txn() is still live.
+  const SimTime invoked_at = txn.txn() != nullptr ? txn.txn()->start_time : 0;
   Status status;
   int64_t ops = 0;
+  // Per-op bookkeeping for the history recorder: writes this attempt put
+  // (applied = the Put itself was accepted) and reads with the seq each
+  // observed (0 = absent) plus whether a warm replica served it.
+  struct PendingWrite {
+    Key key;
+    uint64_t seq;
+    bool applied;
+  };
+  struct PendingRead {
+    Key key;
+    uint64_t seq;
+    bool from_replica;
+  };
+  std::vector<PendingWrite> pending_writes;
+  std::vector<PendingRead> pending_reads;
   if (updater) {
     std::vector<KeyValue> kvs;
+    std::vector<uint64_t> seqs;
     kvs.reserve(keys.size());
-    for (Key k : keys) kvs.push_back(KeyValue{k, MakeValue(rng)});
+    for (Key k : keys) {
+      if (config_.history_payloads) {
+        seqs.push_back(++next_seq_);
+        kvs.push_back(KeyValue{k, chaos::EncodePayload(k, seqs.back())});
+      } else {
+        kvs.push_back(KeyValue{k, MakeValue(rng)});
+      }
+    }
     if (config_.batched) {
       StatusOr<MultiPutResult> r = txn.MultiPut(table_, kvs);
       status = r.status();
@@ -141,8 +191,12 @@ KvWorkload::RunResult KvWorkload::RunOnce(Rng* rng, int attempt) {
         }
       }
     } else {
-      for (const KeyValue& kv : kvs) {
-        status = txn.Put(table_, kv.key, kv.payload);
+      for (size_t i = 0; i < kvs.size(); ++i) {
+        status = txn.Put(table_, kvs[i].key, kvs[i].payload);
+        if (history_ != nullptr) {
+          pending_writes.push_back(
+              PendingWrite{kvs[i].key, seqs[i], status.ok()});
+        }
         if (!status.ok()) break;
         ++ops;
       }
@@ -164,9 +218,21 @@ KvWorkload::RunResult KvWorkload::RunOnce(Rng* rng, int attempt) {
       }
     } else {
       for (Key k : keys) {
+        const uint64_t replica_before =
+            history_ != nullptr ? txn.txn()->replica_reads : 0;
         StatusOr<storage::Record> r = txn.Get(table_, k);
         // A fully-loaded key space only misses for records in flight
         // mid-migration; the per-op loop keeps going like the batch does.
+        if (history_ != nullptr && (r.ok() || r.status().IsNotFound())) {
+          uint64_t seq = 0;
+          Key decoded_key = 0;
+          if (r.ok() &&
+              !chaos::DecodePayload(r->payload, &decoded_key, &seq)) {
+            seq = 0;
+          }
+          pending_reads.push_back(PendingRead{
+              k, seq, txn.txn()->replica_reads > replica_before});
+        }
         if (!r.ok() && !r.status().IsNotFound()) {
           status = r.status();
           break;
@@ -176,10 +242,60 @@ KvWorkload::RunResult KvWorkload::RunOnce(Rng* rng, int attempt) {
     }
   }
 
+  const bool ops_ok = status.ok();
   if (status.ok()) status = txn.Commit();
   if (!status.ok()) txn.Abort();
   const bool committed = status.ok();
   const bool shed = status.IsResourceExhausted();
+  if (history_ != nullptr) {
+    // All ops of the transaction share its [begin, completed] window —
+    // wider than each op's true extent, which only *adds* linearization
+    // freedom, so it can never produce a false violation.
+    const SimTime inv = invoked_at;
+    const SimTime resp = txn.completed_at();
+    for (const PendingWrite& w : pending_writes) {
+      chaos::HistoryOp op;
+      op.client = client;
+      op.kind = chaos::OpKind::kWrite;
+      op.key = w.key;
+      op.seq = w.seq;
+      op.invoked_at = inv;
+      op.responded_at = resp;
+      if (committed) {
+        op.outcome = chaos::OpOutcome::kOk;
+      } else if (!w.applied) {
+        // The Put itself was refused (shed, unavailable route). The engine
+        // does not assert refused ops never surface — mirror that and
+        // treat the write as indeterminate rather than definitely absent.
+        op.outcome = chaos::OpOutcome::kIndeterminate;
+      } else if (ops_ok) {
+        // Applied, then Commit() failed: the fault may have landed after
+        // the commit point — genuinely indeterminate.
+        op.outcome = chaos::OpOutcome::kIndeterminate;
+      } else {
+        // Applied, then deliberately rolled back by Abort() before any
+        // commit attempt: a definite no.
+        op.outcome = chaos::OpOutcome::kFailed;
+      }
+      history_->Record(op);
+    }
+    if (committed) {
+      // Observations from uncommitted transactions are dropped: a shed or
+      // aborted read never promised its snapshot was committed state.
+      for (const PendingRead& r : pending_reads) {
+        chaos::HistoryOp op;
+        op.client = client;
+        op.kind = chaos::OpKind::kRead;
+        op.key = r.key;
+        op.seq = r.seq;
+        op.outcome = chaos::OpOutcome::kOk;
+        op.invoked_at = inv;
+        op.responded_at = resp;
+        op.from_replica = r.from_replica;
+        history_->Record(op);
+      }
+    }
+  }
   const bool will_retry = shed && attempt < config_.shed_retries;
   const double latency = static_cast<double>(txn.latency_us());
   auto book = [this, committed, shed, will_retry, ops, latency]() {
@@ -219,7 +335,7 @@ void KvWorkload::ClientLoop(int idx, int attempt) {
     return;
   }
   Rng* rng = rngs_[idx].get();
-  const RunResult r = RunOnce(rng, attempt);
+  const RunResult r = RunOnce(rng, idx, attempt);
   if (r.retry) {
     // The client sits out the backoff instead of thinking — a shed
     // transaction is unfinished business, not a completed one.
@@ -241,7 +357,7 @@ void KvWorkload::Dispatch(int attempt) {
     return;
   }
   Rng* rng = rngs_[0].get();
-  const RunResult r = RunOnce(rng, attempt);
+  const RunResult r = RunOnce(rng, 0, attempt);
   if (r.retry) {
     ++retried_;
     events_->ScheduleAt(r.completed_at + Backoff(rng, attempt),

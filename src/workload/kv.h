@@ -1,6 +1,7 @@
 #ifndef WATTDB_WORKLOAD_KV_H_
 #define WATTDB_WORKLOAD_KV_H_
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -78,6 +79,13 @@ struct KvConfig {
   /// > 0: also count commits whose latency is within this bound (slo_met()
   /// — the numerator of SLO-goodput). 0 = goodput accounting off.
   SimTime slo_us = 0;
+  /// Write self-describing values — 8-byte LE key then an 8-byte LE
+  /// sequence number from a driver-wide monotone counter — instead of
+  /// random bytes, so a later reader can tell *which* write it observed.
+  /// Required when the driver feeds a chaos HistoryRecorder (set_history):
+  /// the linearizability checker matches read observations to writes by
+  /// that sequence number.
+  bool history_payloads = false;
   uint64_t seed = 2024;
 };
 
@@ -93,6 +101,12 @@ class KvWorkload : public WorkloadDriver {
   Status Load();
 
   std::string name() const override { return "kv"; }
+
+  /// Attach the chaos history recorder; requires history_payloads (the
+  /// checker cannot match observations without self-describing values).
+  /// Seeds the recorder with the initial per-key sequence numbers written
+  /// by Load(), which already ran by the time Db::AddKvWorkload returns.
+  void set_history(chaos::HistoryRecorder* history) override;
 
   void Start() override;
   void Stop() override { running_ = false; }
@@ -157,8 +171,9 @@ class KvWorkload : public WorkloadDriver {
   /// retry chain (closed loop chains inside ClientLoop instead).
   void Dispatch(int attempt);
   /// One transaction (read or update batch per `config_`). `attempt` > 0
-  /// marks a shed retry: it is not a new issued transaction.
-  RunResult RunOnce(Rng* rng, int attempt);
+  /// marks a shed retry: it is not a new issued transaction. `client`
+  /// labels recorded history ops (the rng's owner index).
+  RunResult RunOnce(Rng* rng, int client, int attempt);
   SimTime Backoff(Rng* rng, int attempt) const;
   Key NextKey(Rng* rng) const;
   std::vector<uint8_t> MakeValue(Rng* rng) const;
@@ -172,6 +187,13 @@ class KvWorkload : public WorkloadDriver {
   std::vector<Key> scramble_;
   bool running_ = false;
   bool loaded_ = false;
+
+  /// Chaos history recording (null = off). `next_seq_` tags every written
+  /// value; `initial_seqs_` remembers what Load() wrote so set_history can
+  /// seed the recorder after the fact.
+  chaos::HistoryRecorder* history_ = nullptr;
+  uint64_t next_seq_ = 0;
+  std::map<Key, uint64_t> initial_seqs_;
 
   int64_t committed_ = 0;
   int64_t aborted_ = 0;

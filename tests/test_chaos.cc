@@ -93,6 +93,88 @@ TEST(ChaosSmoke, FencingOffIsCaughtDeterministically) {
       << "invariant checker has lost its teeth";
 }
 
+// ------------------------------------------------------ history checking
+
+// History mode on the PR-blocking tier: a subset of the fixed smoke list
+// re-run with the per-operation recorder and the per-key linearizability
+// checker armed. The subset is small because checking is superlinear in
+// contention — the full list stays on the cheap final-state tier, the
+// nightly soak covers breadth.
+constexpr uint64_t kHistorySmokeSeeds[] = {1, 3, 7, 19, 40};
+
+TEST(ChaosHistory, HistorySmokeSeedsPass) {
+  for (uint64_t seed : kHistorySmokeSeeds) {
+    chaos::ChaosConfig config;
+    config.seed = seed;
+    config.record_history = true;
+    const chaos::ScenarioResult result = chaos::RunScenario(config);
+    EXPECT_TRUE(result.passed)
+        << "seed " << seed << " (replay with chaos_soak --seed=" << seed
+        << " --history):" << Joined(result.violations);
+    EXPECT_GT(result.history_ops, 0)
+        << "seed " << seed << " recorded no operations — history mode is "
+        << "vacuous";
+    EXPECT_GT(result.history_keys_checked, 0);
+  }
+}
+
+TEST(ChaosHistory, HistoryAndElasticityReplayBitIdentically) {
+  chaos::ChaosConfig config;
+  config.seed = 3;
+  config.record_history = true;
+  config.elasticity = true;
+  const chaos::ScenarioResult a = chaos::RunScenario(config);
+  const chaos::ScenarioResult b = chaos::RunScenario(config);
+  EXPECT_EQ(chaos::ToJson(a), chaos::ToJson(b))
+      << "history + elasticity must replay bit-identically from the seed";
+  EXPECT_GT(a.elastic_actions, 0)
+      << "seed 3 is expected to draw elastic actions";
+  EXPECT_GT(a.history_ops, 0);
+}
+
+// The acceptance check for the *history* tier: with epoch fencing off, the
+// linearizability checker catches anomalies the final-state audit cannot
+// (a stale read served mid-handoff is invisible once later writes repair
+// the key). Seeds 317 and 419 are soak-found anchors: both fail with a
+// named stale-read anomaly, deterministically, and pass with fencing on.
+TEST(ChaosHistory, FencingOffIsCaughtByHistoryChecker) {
+  for (uint64_t seed : {317u, 419u}) {
+    chaos::ChaosConfig config;
+    config.seed = seed;
+    config.record_history = true;
+    config.epoch_fencing = false;
+    const chaos::ScenarioResult first = chaos::RunScenario(config);
+    ASSERT_FALSE(first.passed)
+        << "seed " << seed << " no longer catches the missing epoch check";
+    ASSERT_FALSE(first.history_violations.empty())
+        << "seed " << seed << " failed, but not through the history "
+        << "checker:" << Joined(first.violations);
+    const chaos::HistoryViolation& v = first.history_violations.front();
+    EXPECT_NE(v.anomaly.find("stale read"), std::string::npos)
+        << "seed " << seed << ": expected a named stale-read anomaly, got: "
+        << v.anomaly;
+    EXPECT_FALSE(v.sub_history.empty())
+        << "a violation must carry its minimal failing sub-history";
+    // The sub-history ends at the offending read (healthy tail truncated).
+    EXPECT_EQ(v.sub_history.back().key, v.key);
+
+    // Deterministic: the same seed re-draws the same anomaly verbatim.
+    const chaos::ScenarioResult again = chaos::RunScenario(config);
+    ASSERT_FALSE(again.history_violations.empty());
+    EXPECT_EQ(v.anomaly, again.history_violations.front().anomaly);
+    EXPECT_EQ(first.violations, again.violations);
+
+    // And the anomaly is the injected bug's, not the harness's: fencing
+    // back on, the identical schedule passes the same checker.
+    chaos::ChaosConfig fenced = config;
+    fenced.epoch_fencing = true;
+    const chaos::ScenarioResult clean = chaos::RunScenario(fenced);
+    EXPECT_TRUE(clean.passed)
+        << "seed " << seed << " fails even with fencing on:"
+        << Joined(clean.violations);
+  }
+}
+
 // ------------------------------------------- directed partition + fencing
 
 /// Same master policy as the replica tests: 1s control ticks, replica
@@ -275,6 +357,90 @@ TEST(PartitionFencing, PartitionedOwnerDeposedThenRejoinsClean) {
   // Final audit with the chaos invariant checker: routes disjoint and
   // live, no orphaned fence, every committed (key, seq) present exactly
   // once with its exact payload, nothing resurrected.
+  const std::vector<std::string> violations =
+      chaos::CheckInvariants(db, *table, 1536, truth);
+  EXPECT_TRUE(violations.empty()) << Joined(violations);
+}
+
+// The race satellite: the partition heals AFTER the master declared the
+// owner dead and started promotion (the fence is stamped, the flip is
+// scheduled behind the standby's final catch-up) but possibly BEFORE the
+// flip lands. Two legal outcomes — the flip wins and the rejoining owner
+// is deposed, or the owner's reclaim wins and the conditional flip is
+// refused — and in both the audit must hold: nothing lost, nothing doubly
+// served, no route left permanently fenced.
+TEST(PartitionFencing, HealRacingPromotionFlipSettlesClean) {
+  auto opened = Db::Open(FencingOptions());
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  Db& db = **opened;
+  Session session = db.OpenSession();
+  StatusOr<TableId> table = db.CreateKvTable("kv", 64, 1536, 2);
+  ASSERT_TRUE(table.ok());
+
+  chaos::GroundTruth truth;
+  uint64_t next_seq = 1;
+  std::vector<Key> keys;
+  for (Key k = 520; k < 584; ++k) keys.push_back(k);
+  auto put = [&](Key k) {
+    const uint64_t seq = next_seq++;
+    const Status s = session.Put(*table, k, chaos::EncodePayload(k, seq));
+    if (s.ok()) {
+      truth.committed[k] = seq;
+      ++truth.committed_txns;
+    } else {
+      EXPECT_TRUE(s.IsUnavailable()) << s.ToString();
+    }
+    return s.ok();
+  };
+  for (Key k : keys) ASSERT_TRUE(put(k));
+
+  // Warm a standby of node 1's segment, as in the deposed-owner test.
+  const SimTime t0 = db.Now();
+  while (db.replicas().replicas_caught_up() == 0 &&
+         db.Now() < t0 + 30 * kUsPerSec) {
+    for (int i = 0; i < 50; ++i) {
+      (void)session.Get(*table, 520 + (i % 64));
+    }
+    db.RunFor(kUsPerSec);
+  }
+  ASSERT_GE(db.replicas().replicas_caught_up(), 1) << "no standby caught up";
+
+  // Cut the control link and wait for the death declaration — promotion
+  // starts here (fence stamped, flip pending) — in small steps so the heal
+  // lands inside the fence-to-flip window rather than after it.
+  ASSERT_TRUE(db.PartitionNode(NodeId(1)).ok());
+  const SimTime w0 = db.Now();
+  while (CountEvents(db, cluster::ControlEventType::kNodeDeclaredDead) == 0 &&
+         db.Now() < w0 + 30 * kUsPerSec) {
+    for (Key k : keys) (void)put(k);
+    db.RunFor(kUsPerSec / 8);
+  }
+  ASSERT_GE(CountEvents(db, cluster::ControlEventType::kNodeDeclaredDead), 1)
+      << "partitioned owner was never declared dead";
+  const int promoted_at_heal =
+      CountEvents(db, cluster::ControlEventType::kReplicaPromoted);
+
+  // Heal immediately: the owner reclaims while the flip may still be in
+  // flight. Keep the writers hammering through the race.
+  ASSERT_TRUE(db.HealPartition(NodeId(1)).ok());
+  for (int step = 0; step < 40; ++step) {
+    for (Key k : keys) (void)put(k);
+    db.RunFor(kUsPerSec / 4);
+  }
+  db.RunFor(10 * kUsPerSec);
+
+  // Whichever side won, the routes must serve again...
+  bool served = false;
+  for (int attempt = 0; attempt < 20 && !served; ++attempt) {
+    served = put(keys[0]);
+    if (!served) db.RunFor(kUsPerSec);
+  }
+  EXPECT_TRUE(served) << "route still refusing writes long after the heal "
+                      << "settled — a fence was left orphaned";
+  // ...and the audit must hold under either interleaving. (Whether the
+  // flip landed is the seedless race's outcome, not an assertion target:
+  // promoted_at_heal only documents where the race began.)
+  (void)promoted_at_heal;
   const std::vector<std::string> violations =
       chaos::CheckInvariants(db, *table, 1536, truth);
   EXPECT_TRUE(violations.empty()) << Joined(violations);

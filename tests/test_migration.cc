@@ -318,5 +318,74 @@ TEST_F(MigrationTest, CostScaleStretchesMigration) {
   EXPECT_GT(durations[1], durations[0] * 3);
 }
 
+// A drain *destination* dying mid-drain must not strand the victim's data:
+// the queued tasks targeting the dead node are re-targeted onto the
+// remaining survivors immediately (counted in tasks_replanned), so the
+// drain still finishes in its first attempt instead of wedging until the
+// end-of-drain re-plan notices the leftovers. Regression test for the
+// re-plan path in OnNodeFailure.
+TEST(DrainReplan, DestinationDeathRetargetsQueuedTasks) {
+  cluster::ClusterConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.initially_active = 4;
+  cluster::Cluster cluster(cfg);
+  const TableId table = cluster.catalog().CreateTable(
+      {TableId(), "t", {{"v", catalog::ColumnType::kString, 64}}});
+  // The drain victim (node 1) holds three segments, so PlanDrain round-
+  // robins them across all three survivors — guaranteeing at least one
+  // *queued* task targets node 3 when it dies.
+  catalog::Partition* part = cluster.catalog().CreatePartition(table,
+                                                               NodeId(1));
+  WATTDB_CHECK(
+      cluster.catalog().AssignRange(table, {0, 3000}, part->id()).ok());
+  cluster::Node* victim = cluster.node(NodeId(1));
+  for (Key lo = 0; lo < 3000; lo += 1000) {
+    WATTDB_CHECK(victim->AllocateSegment(0, part, {lo, lo + 1000}).ok());
+  }
+  tx::Txn* w = cluster.BeginTxn();
+  for (Key k = 0; k < 60; ++k) {
+    WATTDB_CHECK(victim
+                     ->Insert(w, part, k * 50,
+                              std::vector<uint8_t>(
+                                  3200, static_cast<uint8_t>(k)))
+                     .ok());
+  }
+  cluster.CommitTxn(victim, w);
+  cluster.tm().Release(w->id);
+
+  PhysiologicalPartitioning scheme(&cluster);
+  bool drained = false;
+  ASSERT_TRUE(scheme.Drain(NodeId(1), [&]() { drained = true; }).ok());
+  ASSERT_EQ(scheme.stats().tasks_planned, 3);
+  // One task is already in flight (dst node 0); the queued ones target
+  // nodes 2 and 3. Node 3 dies before its task runs.
+  scheme.OnNodeFailure(NodeId(3));
+  EXPECT_EQ(scheme.stats().tasks_replanned, 1)
+      << "the queued task bound for the dead destination was not re-planned";
+  EXPECT_EQ(scheme.stats().tasks_failed, 0)
+      << "re-planning must re-target, not abandon";
+
+  cluster.RunUntil(cluster.Now() + 120 * kUsPerSec);
+  ASSERT_TRUE(drained) << "drain wedged after the destination died";
+  EXPECT_TRUE(cluster.segments().SegmentsOn(NodeId(1)).empty())
+      << "the victim still holds segments — its data was stranded";
+  EXPECT_TRUE(cluster.segments().SegmentsOn(NodeId(3)).empty())
+      << "a segment landed on the dead destination";
+  EXPECT_TRUE(cluster.catalog().CheckInvariants());
+  // Every record survived the re-targeted drain.
+  tx::Txn* r = cluster.BeginTxn(true);
+  for (Key k = 0; k < 60; ++k) {
+    const auto e = cluster.catalog().Route(table, k * 50);
+    ASSERT_TRUE(e.has_value()) << k;
+    catalog::Partition* p = cluster.catalog().GetPartition(e->primary);
+    ASSERT_NE(p, nullptr) << k;
+    storage::Record rec;
+    ASSERT_TRUE(cluster.node(p->owner())->Read(r, p, k * 50, &rec).ok()) << k;
+    EXPECT_EQ(rec.payload[0], static_cast<uint8_t>(k));
+  }
+  cluster.tm().Commit(r);
+  cluster.tm().Release(r->id);
+}
+
 }  // namespace
 }  // namespace wattdb::partition
